@@ -1,0 +1,26 @@
+"""Figure 6: frequency of events in the database for ALL accesses.
+
+Paper: most patients whose records are accessed have an appointment,
+visit, or document in the database; repeat accesses form a majority; the
+union covers ~97% of all accesses.
+"""
+
+from repro.evalx import event_frequency
+
+#: Paper's reported bars (approximate, read from Figure 6).
+PAPER = {"Appt": 0.90, "Visit": 0.15, "Document": 0.80, "Repeat Access": 0.75, "All": 0.97}
+
+
+def bench_fig06_event_frequency(benchmark, study, report):
+    freqs = benchmark.pedantic(
+        lambda: event_frequency(study.db), rounds=1, iterations=1
+    )
+    lines = report.fmt_bars(freqs)
+    lines.append(f"  paper (approx): {PAPER}")
+    report.section("Figure 6 — event frequency, all accesses", lines)
+
+    # the qualitative claims the paper makes about this figure
+    assert freqs["All"] > 0.85, "nearly all accesses trace to an event"
+    assert freqs["Repeat Access"] > 0.5, "repeat accesses form a majority"
+    assert freqs["Appt"] > freqs["Visit"], "appointments dominate visits"
+    assert freqs["All"] >= max(v for k, v in freqs.items() if k != "All")

@@ -1,0 +1,89 @@
+"""Collaborative-group discovery: recovering care teams from access logs.
+
+Reproduces the paper's Section 4 / Figures 10-11 finding: clustering the
+user-similarity graph W = AᵀA recovers real collaborative groups that
+*span department codes* (the Cancer Center group mixes Hem/Onc
+physicians, oncology nursing, radiology, pathology, pharmacy...), and the
+simulator's hidden care-team structure lets us score how well.
+
+Run:  python examples/group_discovery.py
+"""
+
+from collections import Counter
+
+from repro.ehr import SimulationConfig, simulate
+from repro.evalx import lids_on_days, restrict_log
+from repro.groups import (
+    access_matrix_from_log,
+    build_hierarchy,
+    modularity,
+    similarity_graph,
+)
+
+
+def main() -> None:
+    sim = simulate(SimulationConfig.small(seed=99))
+    db = sim.db
+    print(sim.summary())
+
+    # groups are trained on the first six days, like the paper
+    train = restrict_log(db, lids_on_days(db, range(1, 7)))
+    access = access_matrix_from_log(train)
+    adjacency = similarity_graph(access)
+    print(
+        f"\naccess matrix: {access.shape[0]} patients x {access.shape[1]} "
+        f"users, density {access.density():.4f}"
+    )
+
+    hierarchy = build_hierarchy(adjacency, max_depth=8)
+    level1 = hierarchy.levels[1]
+    print(
+        f"hierarchy: {hierarchy.max_depth} levels; depth-1 has "
+        f"{len(hierarchy.groups_at(1))} groups, modularity "
+        f"{modularity(adjacency, level1):.3f}"
+    )
+
+    # ------------------------------------------------------------------
+    # Figures 10-11: department composition of the largest groups
+    # ------------------------------------------------------------------
+    print("\ndepartment composition of the two largest depth-1 groups:")
+    groups = sorted(
+        hierarchy.groups_at(1).items(), key=lambda kv: -len(kv[1])
+    )
+    for gid, members in groups[:2]:
+        departments = Counter(
+            sim.hospital.department_of(u) for u in members
+        )
+        print(f"  group {gid} ({len(members)} members):")
+        for dept, count in departments.most_common(6):
+            print(f"      {count:2d}  {dept}")
+
+    # ------------------------------------------------------------------
+    # score recovered groups against the hidden care-team ground truth
+    # ------------------------------------------------------------------
+    pairs_same_team = pairs_same_group = pairs_both = 0
+    users = sorted(level1)
+    team_of = {
+        uid: frozenset(sim.hospital.users[uid].team_ids) for uid in users
+    }
+    for i, u in enumerate(users):
+        for v in users[i + 1:]:
+            same_team = bool(team_of[u] & team_of[v])
+            same_group = level1[u] == level1[v]
+            pairs_same_team += same_team
+            pairs_same_group += same_group
+            pairs_both += same_team and same_group
+    precision = pairs_both / pairs_same_group if pairs_same_group else 0.0
+    recall = pairs_both / pairs_same_team if pairs_same_team else 0.0
+    print(
+        f"\npair-level recovery of hidden care teams: "
+        f"precision {precision:.2f}, recall {recall:.2f}"
+    )
+    print(
+        "(department codes alone cannot do this: doctors and nurses of the "
+        "same team carry different codes)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""User-centric auditing: a patient views *why* each access happened.
+
+Simulates a CareWeb-like hospital week, infers collaborative groups from
+the access log (paper Section 4), and renders the access report the
+paper's introduction motivates: "if Alice clicks on a log record, she
+should be presented with a short snippet of text."
+
+Run:  python examples/patient_portal.py
+"""
+
+from repro import ExplanationEngine
+from repro.audit import (
+    PatientPortal,
+    all_event_user_templates,
+    group_templates,
+    repeat_access_template,
+    with_careweb_description,
+)
+from repro.ehr import SimulationConfig, build_careweb_graph, simulate
+from repro.groups import build_groups_table, hierarchy_from_log
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. a week of hospital activity
+    # ------------------------------------------------------------------
+    sim = simulate(SimulationConfig.small(seed=42))
+    db = sim.db
+    print(sim.summary(), "\n")
+
+    # ------------------------------------------------------------------
+    # 2. infer collaborative groups from the log and store them
+    # ------------------------------------------------------------------
+    hierarchy, access = hierarchy_from_log(db)
+    build_groups_table(db, hierarchy)
+    print(
+        f"inferred {len(hierarchy.groups_at(1))} depth-1 collaborative "
+        f"groups from {access.shape[1]} users "
+        f"(density {access.density():.4f})\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. assemble the explanation templates the portal uses
+    # ------------------------------------------------------------------
+    graph = build_careweb_graph(db)
+    templates = all_event_user_templates(graph)       # Appt/Visit/... w/user
+    templates.append(repeat_access_template(graph))   # prior access
+    templates.extend(group_templates(graph, depth=1)) # care-team accesses
+    templates = [with_careweb_description(t) for t in templates]
+    engine = ExplanationEngine(db, templates)
+
+    # ------------------------------------------------------------------
+    # 4. the patient logs in and reads their report
+    # ------------------------------------------------------------------
+    # pick a patient with a busy chart
+    log = db.table("Log")
+    counts: dict[str, int] = {}
+    for row in log.rows():
+        counts[row[3]] = counts.get(row[3], 0) + 1
+    patient = max(counts, key=lambda p: counts[p])
+
+    portal = PatientPortal(engine)
+    print(portal.render(patient, limit=12))
+
+    suspicious = [e for e in portal.access_report(patient) if e.suspicious]
+    print(
+        f"\n{len(suspicious)} of {counts[patient]} accesses to {patient} "
+        "could not be explained; the portal offers a one-click report to "
+        "the compliance office for each."
+    )
+
+
+if __name__ == "__main__":
+    main()

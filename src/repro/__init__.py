@@ -1,0 +1,103 @@
+"""repro — Explanation-Based Auditing (Fabbri & LeFevre, VLDB 2011).
+
+A complete, from-scratch reproduction of the paper's system:
+
+* :mod:`repro.db` — the relational substrate (in-memory engine standing in
+  for PostgreSQL);
+* :mod:`repro.core` — explanation templates, the explanation graph, and
+  the one-way / two-way / bridged mining algorithms;
+* :mod:`repro.groups` — collaborative-group inference (W = AᵀA +
+  weighted-modularity clustering);
+* :mod:`repro.ehr` — a synthetic CareWeb-like hospital substituting for
+  the University of Michigan Health System data;
+* :mod:`repro.audit` — hand-crafted templates, the patient portal, and
+  misuse-detection reports;
+* :mod:`repro.evalx` — metrics and one experiment per paper figure/table.
+
+Quickstart::
+
+    from repro import CareWebStudy, MiningConfig, OneWayMiner
+
+    study = CareWebStudy.prepare()          # simulate + infer groups
+    result = OneWayMiner(
+        study.mining_db(), study.mining_graph(),
+        MiningConfig(support_fraction=0.01, max_length=4, max_tables=3),
+    ).mine()
+    for mined in result.templates[:5]:
+        print(mined.support, mined.template.to_sql())
+"""
+
+from .core import (
+    BridgedMiner,
+    DecorationMiner,
+    EdgeKind,
+    ExplanationEngine,
+    ExplanationInstance,
+    ExplanationTemplate,
+    MinedTemplate,
+    MiningConfig,
+    MiningResult,
+    OneWayMiner,
+    Path,
+    ReviewStatus,
+    SchemaAttr,
+    SchemaEdge,
+    SchemaGraph,
+    SupportConfig,
+    SupportEvaluator,
+    TemplateLibrary,
+    TwoWayMiner,
+)
+from .db import (
+    AttrRef,
+    Condition,
+    ConjunctiveQuery,
+    Database,
+    Executor,
+    Literal,
+    TableSchema,
+    TupleVar,
+)
+from .ehr import SimulationConfig, SimulationResult, simulate
+from .evalx import CareWebStudy
+from .groups import GroupHierarchy, build_groups_table, hierarchy_from_log
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttrRef",
+    "BridgedMiner",
+    "CareWebStudy",
+    "Condition",
+    "ConjunctiveQuery",
+    "Database",
+    "DecorationMiner",
+    "EdgeKind",
+    "Executor",
+    "ExplanationEngine",
+    "ExplanationInstance",
+    "ExplanationTemplate",
+    "GroupHierarchy",
+    "Literal",
+    "MinedTemplate",
+    "MiningConfig",
+    "MiningResult",
+    "OneWayMiner",
+    "Path",
+    "ReviewStatus",
+    "SchemaAttr",
+    "SchemaEdge",
+    "SchemaGraph",
+    "SimulationConfig",
+    "SimulationResult",
+    "SupportConfig",
+    "SupportEvaluator",
+    "TableSchema",
+    "TemplateLibrary",
+    "TupleVar",
+    "TwoWayMiner",
+    "__version__",
+    "build_groups_table",
+    "hierarchy_from_log",
+    "simulate",
+]

@@ -1,0 +1,37 @@
+"""Application layer: hand-crafted templates, NL rendering, patient portal,
+and compliance (misuse-detection) reporting."""
+
+from .handcrafted import (
+    all_event_user_templates,
+    dataset_a_doctor_templates,
+    event_group_template,
+    event_same_department_template,
+    event_user_template,
+    group_templates,
+    repeat_access_template,
+    same_department_templates,
+)
+from .nl import TABLE_PHRASES, describe_careweb_path, with_careweb_description
+from .portal import AccessReportEntry, PatientPortal
+from .report import ComplianceAuditor, UnexplainedAccess
+from .streaming import AccessMonitor, StreamedAccess
+
+__all__ = [
+    "AccessMonitor",
+    "AccessReportEntry",
+    "ComplianceAuditor",
+    "StreamedAccess",
+    "PatientPortal",
+    "TABLE_PHRASES",
+    "UnexplainedAccess",
+    "all_event_user_templates",
+    "dataset_a_doctor_templates",
+    "describe_careweb_path",
+    "event_group_template",
+    "event_same_department_template",
+    "event_user_template",
+    "group_templates",
+    "repeat_access_template",
+    "same_department_templates",
+    "with_careweb_description",
+]

@@ -1,0 +1,198 @@
+"""The paper's hand-crafted explanation template library (Section 5.3.1).
+
+Builders for every template family the evaluation uses:
+
+* ``event_user_template`` — length-2 "X w/Dr."-style templates: the
+  patient has an event row referencing the accessing user directly
+  (Appt w/Dr., Visit w/Dr., Doc. w/Dr., and the data set B analogues);
+* ``repeat_access_template`` — the decorated self-join template
+  ("the same user previously accessed the data", Definition 3's example);
+* ``event_group_template`` — Example 4.2: the event references a member
+  of the accessing user's collaborative group, optionally restricted to
+  one hierarchy depth (the Figure 12 sweep);
+* ``event_same_department_template`` — template (B) of Example 2.1: the
+  event references a user sharing the accessor's department code.
+
+All builders need only a :class:`~repro.core.graph.SchemaGraph` for the
+log endpoints; edges are constructed directly, so hand-crafted templates
+exist independently of what the mining edge set permits.
+"""
+
+from __future__ import annotations
+
+from ..core.edges import EdgeKind, SchemaAttr, SchemaEdge
+from ..core.graph import SchemaGraph
+from ..core.path import Path
+from ..core.template import ExplanationTemplate
+from ..db.query import AttrRef, Condition, Literal
+from ..ehr.schema import DATASET_A, USER_COLUMNS
+from .nl import TABLE_PHRASES
+
+
+def _admin(t1: str, a1: str, t2: str, a2: str) -> SchemaEdge:
+    return SchemaEdge(SchemaAttr(t1, a1), SchemaAttr(t2, a2), EdgeKind.ADMIN)
+
+
+def _self(t: str, a: str) -> SchemaEdge:
+    return SchemaEdge(SchemaAttr(t, a), SchemaAttr(t, a), EdgeKind.SELF_JOIN)
+
+
+def event_user_template(
+    graph: SchemaGraph, event_table: str, user_col: str
+) -> ExplanationTemplate:
+    """Length-2: the patient has an ``event_table`` row whose ``user_col``
+    is the accessing user (e.g. *Appt w/Dr.*)."""
+    path = Path.forward_seed(
+        graph, _admin(graph.log_table, graph.start.attr, event_table, "Patient")
+    ).extend_forward(_admin(event_table, user_col, graph.log_table, graph.end.attr))
+    phrase = TABLE_PHRASES.get(event_table, f"a {event_table} record exists")
+    description = (
+        "[L.User] accessed [L.Patient]'s record because "
+        + phrase.format(a=f"{event_table}_1")
+        + "."
+    )
+    return ExplanationTemplate(
+        path=path,
+        description=description,
+        name=f"{event_table.lower()}-{user_col.lower()}",
+    )
+
+
+def repeat_access_template(graph: SchemaGraph) -> ExplanationTemplate:
+    """Decorated repeat-access template: same user, same patient, strictly
+    earlier timestamp (paper Section 2.1, explanation (C))."""
+    path = Path.forward_seed(
+        graph, _self(graph.log_table, graph.start.attr)
+    ).extend_forward(_self(graph.log_table, graph.end.attr))
+    prior_alias = path.alias_of(1)
+    decoration = Condition(
+        AttrRef("L", "Date"), ">", AttrRef(prior_alias, "Date")
+    )
+    return ExplanationTemplate(
+        path=path,
+        decorations=(decoration,),
+        description=(
+            "[L.User] accessed [L.Patient]'s record because [L.User] "
+            f"previously accessed it on [{prior_alias}.Date]."
+        ),
+        name="repeat-access",
+    )
+
+
+def event_group_template(
+    graph: SchemaGraph,
+    event_table: str,
+    user_col: str,
+    depth: int | None = None,
+    groups_table: str = "Groups",
+) -> ExplanationTemplate:
+    """Length-4 collaborative-group template (paper Example 4.2): the
+    event references a user who shares a group with the accessor.
+
+    With ``depth`` given, the template is decorated with
+    ``Group_Depth = depth`` — the knob swept in Figure 12.
+    """
+    path = (
+        Path.forward_seed(
+            graph, _admin(graph.log_table, graph.start.attr, event_table, "Patient")
+        )
+        .extend_forward(_admin(event_table, user_col, groups_table, "User"))
+        .extend_forward(_self(groups_table, "Group_id"))
+        .extend_forward(_admin(groups_table, "User", graph.log_table, graph.end.attr))
+    )
+    g1 = path.alias_of(2)
+    decorations = ()
+    name = f"{event_table.lower()}-{user_col.lower()}-group"
+    if depth is not None:
+        decorations = (
+            Condition(AttrRef(g1, "Group_Depth"), "=", Literal(depth)),
+        )
+        name += f"-d{depth}"
+    phrase = TABLE_PHRASES.get(event_table, f"a {event_table} record exists")
+    description = (
+        "[L.User] accessed [L.Patient]'s record because "
+        + phrase.format(a=f"{event_table}_1")
+        + f", and [L.User] works with [{g1}.User]."
+    )
+    return ExplanationTemplate(
+        path=path, decorations=decorations, description=description, name=name
+    )
+
+
+def event_same_department_template(
+    graph: SchemaGraph,
+    event_table: str,
+    user_col: str,
+    users_table: str = "Users",
+) -> ExplanationTemplate:
+    """Length-4 department-code template (Example 2.1's template (B)): the
+    event references a user with the accessor's department code."""
+    path = (
+        Path.forward_seed(
+            graph, _admin(graph.log_table, graph.start.attr, event_table, "Patient")
+        )
+        .extend_forward(_admin(event_table, user_col, users_table, "User"))
+        .extend_forward(_self(users_table, "Department"))
+        .extend_forward(_admin(users_table, "User", graph.log_table, graph.end.attr))
+    )
+    u1 = path.alias_of(2)
+    phrase = TABLE_PHRASES.get(event_table, f"a {event_table} record exists")
+    description = (
+        "[L.User] accessed [L.Patient]'s record because "
+        + phrase.format(a=f"{event_table}_1")
+        + f", and [L.User] and [{u1}.User] work in the "
+        + f"[{u1}.Department] department."
+    )
+    return ExplanationTemplate(
+        path=path,
+        description=description,
+        name=f"{event_table.lower()}-{user_col.lower()}-samedept",
+    )
+
+
+# ----------------------------------------------------------------------
+# convenience bundles used by the experiments
+# ----------------------------------------------------------------------
+def dataset_a_doctor_templates(graph: SchemaGraph) -> list[ExplanationTemplate]:
+    """Appt w/Dr., Visit w/Dr., Doc. w/Dr. — the Figure 7/9 hand set."""
+    return [
+        event_user_template(graph, "Appointments", "Doctor"),
+        event_user_template(graph, "Visits", "Doctor"),
+        event_user_template(graph, "Documents", "Author"),
+    ]
+
+
+def all_event_user_templates(graph: SchemaGraph) -> list[ExplanationTemplate]:
+    """One length-2 template per (event table, user column) — data sets
+    A and B combined."""
+    return [
+        event_user_template(graph, table, col)
+        for table, col in USER_COLUMNS
+        if table != graph.log_table and graph.db.has_table(table)
+    ]
+
+
+def group_templates(
+    graph: SchemaGraph,
+    depth: int | None = None,
+    tables: tuple[str, ...] = DATASET_A,
+) -> list[ExplanationTemplate]:
+    """Group templates for the data set A events (the Figure 12 set)."""
+    cols = {t: c for t, c in USER_COLUMNS}
+    return [
+        event_group_template(graph, table, cols[table], depth=depth)
+        for table in tables
+        if graph.db.has_table(table)
+    ]
+
+
+def same_department_templates(
+    graph: SchemaGraph, tables: tuple[str, ...] = DATASET_A
+) -> list[ExplanationTemplate]:
+    """Same-department templates for the data set A events (Fig 12's baseline)."""
+    cols = {t: c for t, c in USER_COLUMNS}
+    return [
+        event_same_department_template(graph, table, cols[table])
+        for table in tables
+        if graph.db.has_table(table)
+    ]

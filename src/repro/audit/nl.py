@@ -1,0 +1,83 @@
+"""Natural-language rendering for CareWeb-shaped explanation templates.
+
+The paper converts instances to text through per-template parameterized
+description strings ("[L.Patient] had an appointment with [L.User] on
+[A.Date]").  Hand-crafted templates carry curated strings; for *mined*
+templates this module assembles a description automatically from per-table
+phrase fragments, so the patient portal can narrate any template the miner
+discovers over the CareWeb schema.
+"""
+
+from __future__ import annotations
+
+from ..core.path import Path
+from ..core.template import ExplanationTemplate
+
+#: Per-table phrase fragments; ``{a}`` is replaced by the tuple-variable
+#: alias.  Each fragment reads as one clause of the explanation.
+TABLE_PHRASES: dict[str, str] = {
+    "Appointments": (
+        "[{a}.Patient] had an appointment with [{a}.Doctor] on [{a}.Date]"
+    ),
+    "Visits": "[{a}.Patient] had a visit with [{a}.Doctor] on [{a}.Date]",
+    "Documents": (
+        "[{a}.Author] produced a document for [{a}.Patient] on [{a}.Date]"
+    ),
+    "Labs": (
+        "[{a}.Requester] ordered labs for [{a}.Patient], performed by "
+        "[{a}.Performer]"
+    ),
+    "Medications": (
+        "[{a}.Requester] ordered medication for [{a}.Patient], signed by "
+        "[{a}.Signer] and administered by [{a}.Administrator]"
+    ),
+    "Radiology": (
+        "[{a}.Requester] ordered imaging for [{a}.Patient], read by "
+        "[{a}.Radiologist]"
+    ),
+    "Users": "[{a}.User] works in the [{a}.Department] department",
+    "Groups": "[{a}.User] belongs to collaborative group [{a}.Group_id]",
+    "Log": "[{a}.User] accessed [{a}.Patient]'s record on [{a}.Date]",
+}
+
+
+def describe_careweb_path(path: Path) -> str:
+    """A readable description string for any path over the CareWeb schema.
+
+    One clause per non-log tuple variable, joined in traversal order;
+    unknown tables fall back to a neutral linking clause.
+    """
+    clauses: list[str] = []
+    seen_vars: set[int] = set()
+    for step in path.steps:
+        for var in (step.src_var, step.dst_var):
+            if var == 0 or var in seen_vars:
+                continue
+            seen_vars.add(var)
+            table = path.var_tables[var]
+            alias = path.alias_of(var)
+            phrase = TABLE_PHRASES.get(table)
+            if phrase is None:
+                phrase = f"a {table} record links the access"
+            clauses.append(phrase.format(a=alias))
+    if not clauses:  # pure log self-join (repeat access)
+        clauses.append("[L.User] previously accessed [L.Patient]'s record")
+    return (
+        "[L.User] accessed [L.Patient]'s record because "
+        + ", and ".join(clauses)
+        + "."
+    )
+
+
+def with_careweb_description(template: ExplanationTemplate) -> ExplanationTemplate:
+    """A copy of ``template`` with an auto-generated CareWeb description
+    (no-op when a curated description is already present)."""
+    if template.description is not None:
+        return template
+    return ExplanationTemplate(
+        path=template.path,
+        decorations=template.decorations,
+        description=describe_careweb_path(template.path),
+        name=template.name,
+        log_id_attr=template.log_id_attr,
+    )

@@ -1,0 +1,293 @@
+"""Command-line interface: ``python -m repro`` / ``repro-audit``.
+
+Subcommands mirror the system's lifecycle:
+
+* ``generate`` — simulate a CareWeb-like week and save it as CSVs;
+* ``groups``   — infer collaborative groups from a saved database;
+* ``mine``     — mine explanation templates and print them as SQL;
+* ``explain``  — explain one access, or print a patient's access report;
+* ``audit``    — print the compliance summary and the unexplained queue;
+* ``evaluate`` — run the paper's headline coverage measurement.
+
+Example session::
+
+    repro-audit generate --out hospital/ --scale small
+    repro-audit groups --db hospital/
+    repro-audit mine --db hospital/ --support 0.01 --max-length 4
+    repro-audit explain --db hospital/ --patient p00017
+    repro-audit audit --db hospital/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .audit.handcrafted import (
+    all_event_user_templates,
+    dataset_a_doctor_templates,
+    group_templates,
+    repeat_access_template,
+)
+from .audit.nl import with_careweb_description
+from .audit.portal import PatientPortal
+from .audit.report import ComplianceAuditor
+from .core.engine import ExplanationEngine
+from .core.mining import BridgedMiner, MiningConfig, OneWayMiner, TwoWayMiner
+from .db.csvio import load_database, save_database
+from .ehr.config import SimulationConfig
+from .ehr.schema import build_careweb_graph
+from .ehr.simulator import simulate
+from .groups.hierarchy import build_groups_table, hierarchy_from_log
+
+
+def _standard_templates(db, include_groups: bool = True):
+    graph = build_careweb_graph(db)
+    templates = dataset_a_doctor_templates(graph)
+    templates.extend(all_event_user_templates(graph))
+    templates.append(repeat_access_template(graph))
+    if include_groups and db.has_table("Groups"):
+        templates.extend(group_templates(graph, depth=1))
+    return templates
+
+
+def _templates_for(db, templates_path: str | None):
+    """The template set to apply: a reviewed library when given, else the
+    standard hand-crafted set.  From a library, approved templates are
+    used; when nothing is approved yet, suggested ones are (with a note).
+    """
+    if templates_path is None:
+        return _standard_templates(db)
+    from .core.library import ReviewStatus, TemplateLibrary
+
+    library = TemplateLibrary.load(templates_path)
+    approved = library.approved_templates()
+    if approved:
+        return approved
+    print(
+        f"note: no approved templates in {templates_path}; "
+        "using all suggested ones"
+    )
+    return [e.template for e in library.entries(ReviewStatus.SUGGESTED)]
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``generate``: simulate a hospital week and save it as CSVs."""
+    presets = {
+        "tiny": SimulationConfig.tiny,
+        "small": SimulationConfig.small,
+        "benchmark": SimulationConfig.benchmark,
+    }
+    config = presets[args.scale](seed=args.seed)
+    result = simulate(config)
+    save_database(result.db, args.out)
+    print(result.summary())
+    print(f"saved to {args.out}/")
+    return 0
+
+
+def cmd_groups(args: argparse.Namespace) -> int:
+    """``groups``: infer collaborative groups and persist the Groups table."""
+    db = load_database(args.db)
+    hierarchy, access = hierarchy_from_log(db, max_depth=args.max_depth)
+    build_groups_table(db, hierarchy)
+    save_database(db, args.db)
+    print(
+        f"built {len(hierarchy.rows())} group rows over "
+        f"{len(hierarchy.users())} users "
+        f"(hierarchy depth {hierarchy.max_depth}, "
+        f"user-patient density {access.density():.5f})"
+    )
+    for depth in range(min(hierarchy.max_depth, 2) + 1):
+        print(f"  depth {depth}: {len(hierarchy.groups_at(depth))} groups")
+    return 0
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    """``mine``: run a mining algorithm and print/save the templates."""
+    db = load_database(args.db)
+    graph = build_careweb_graph(db)
+    config = MiningConfig(
+        support_fraction=args.support,
+        max_length=args.max_length,
+        max_tables=args.max_tables,
+    )
+    miners = {
+        "one-way": lambda: OneWayMiner(db, graph, config),
+        "two-way": lambda: TwoWayMiner(db, graph, config),
+        "bridge": lambda: BridgedMiner(
+            db, graph, config, bridge_length=args.bridge_length
+        ),
+    }
+    result = miners[args.algorithm]().mine()
+    print(
+        f"{result.algorithm}: {len(result.templates)} templates "
+        f"(support threshold {result.threshold:.1f} accesses); "
+        f"{result.support_stats['queries_run']} support queries, "
+        f"{result.support_stats['skipped']} skipped, "
+        f"{result.support_stats['cache_hits']} cache hits"
+    )
+    for mined in result.templates:
+        print(f"\n-- length {mined.length}, support {mined.support}")
+        print(mined.template.to_sql())
+    if args.save:
+        from .core.library import TemplateLibrary
+
+        TemplateLibrary.from_mining_result(result).save(args.save)
+        print(
+            f"\nsaved {len(result.templates)} suggested templates to "
+            f"{args.save} (review, set '-- status: approved', then pass "
+            f"--templates to explain/audit)"
+        )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``explain``: explain one access or render a patient's report."""
+    db = load_database(args.db)
+    engine = ExplanationEngine(
+        db,
+        [with_careweb_description(t) for t in _templates_for(db, args.templates)],
+    )
+    if args.patient:
+        print(PatientPortal(engine).render(args.patient, limit=args.limit))
+        return 0
+    if args.lid is None:
+        print("provide --lid or --patient", file=sys.stderr)
+        return 2
+    instances = engine.explain(args.lid)
+    if not instances:
+        print(f"access {args.lid}: NO explanation found (flag for review)")
+        return 1
+    print(f"access {args.lid}: {len(instances)} explanation(s)")
+    for inst in instances:
+        print(f"  [len {inst.path_length}] {inst.render()}")
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """``audit``: compliance summary plus the unexplained queue."""
+    db = load_database(args.db)
+    engine = ExplanationEngine(db, _templates_for(db, args.templates))
+    auditor = ComplianceAuditor(engine)
+    print(auditor.summary())
+    queue = auditor.queue()
+    print(f"\ntop unexplained accesses (showing up to {args.limit}):")
+    for entry in queue[: args.limit]:
+        print(f"  {entry.lid}  {entry.date}  {entry.user} -> {entry.patient}")
+    print("\nusers by unexplained-access count:")
+    for user, count in auditor.user_risk_ranking()[: args.limit]:
+        print(f"  {user}: {count}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """``evaluate``: the paper's headline coverage measurement."""
+    db = load_database(args.db)
+    engine = ExplanationEngine(db, _templates_for(db, args.templates))
+    coverage = engine.coverage()
+    print(f"explained {coverage:.1%} of {len(engine.all_lids())} accesses")
+    print("(paper reports over 94% with groups at depth 1)")
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """``reproduce``: run every paper experiment into a markdown report."""
+    from .evalx.reportgen import write_report
+
+    presets = {
+        "tiny": SimulationConfig.tiny,
+        "small": SimulationConfig.small,
+        "benchmark": SimulationConfig.benchmark,
+    }
+    config = presets[args.scale](seed=args.seed)
+    with open(args.out, "w") as fh:
+        write_report(
+            fh,
+            config=config,
+            include_mining_performance=args.with_mining_performance,
+        )
+    print(f"reproduction report written to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (one subparser per subcommand)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-audit",
+        description="Explanation-Based Auditing (VLDB 2011) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="simulate a CareWeb-like hospital week")
+    p.add_argument("--out", required=True, help="output database directory")
+    p.add_argument(
+        "--scale", choices=["tiny", "small", "benchmark"], default="small"
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("groups", help="infer collaborative groups")
+    p.add_argument("--db", required=True, help="database directory")
+    p.add_argument("--max-depth", type=int, default=8)
+    p.set_defaults(func=cmd_groups)
+
+    p = sub.add_parser("mine", help="mine explanation templates")
+    p.add_argument("--db", required=True)
+    p.add_argument("--support", type=float, default=0.01, help="fraction s")
+    p.add_argument("--max-length", type=int, default=4, help="M")
+    p.add_argument("--max-tables", type=int, default=3, help="T")
+    p.add_argument(
+        "--algorithm", choices=["one-way", "two-way", "bridge"], default="one-way"
+    )
+    p.add_argument("--bridge-length", type=int, default=2)
+    p.add_argument(
+        "--save", help="write mined templates to a reviewable SQL library"
+    )
+    p.set_defaults(func=cmd_mine)
+
+    p = sub.add_parser("explain", help="explain an access / patient report")
+    p.add_argument("--db", required=True)
+    p.add_argument("--lid", type=int, help="log id to explain")
+    p.add_argument("--patient", help="print this patient's access report")
+    p.add_argument("--limit", type=int, default=20)
+    p.add_argument("--templates", help="reviewed SQL template library")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("audit", help="compliance summary + unexplained queue")
+    p.add_argument("--db", required=True)
+    p.add_argument("--limit", type=int, default=10)
+    p.add_argument("--templates", help="reviewed SQL template library")
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("evaluate", help="headline coverage measurement")
+    p.add_argument("--db", required=True)
+    p.add_argument("--templates", help="reviewed SQL template library")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser(
+        "reproduce", help="run every paper experiment into a markdown report"
+    )
+    p.add_argument("--out", required=True, help="output markdown path")
+    p.add_argument(
+        "--scale", choices=["tiny", "small", "benchmark"], default="small"
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--with-mining-performance",
+        action="store_true",
+        help="include the (slow) Figure 13 five-algorithm sweep",
+    )
+    p.set_defaults(func=cmd_reproduce)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

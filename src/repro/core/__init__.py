@@ -1,0 +1,68 @@
+"""The paper's primary contribution: explanation templates and mining.
+
+Layout (bottom-up):
+
+* :mod:`.edges`, :mod:`.graph` — the explanation graph over the schema;
+* :mod:`.path` — restricted simple paths, extension and bridging;
+* :mod:`.template`, :mod:`.instance` — explanation templates (simple,
+  decorated, restricted) and their data-specific instances;
+* :mod:`.support` — support queries with the Section 3.2.1 optimizations;
+* :mod:`.mining` — the one-way, two-way, and bridged miners;
+* :mod:`.engine` — the user-facing facade that explains individual
+  accesses and surfaces unexplained ones.
+"""
+
+from .decoration import (
+    DecoratedCandidate,
+    DecorationMiner,
+    DecorationResult,
+    group_depth_attr,
+)
+from .edges import EdgeKind, SchemaAttr, SchemaEdge
+from .engine import ExplanationEngine
+from .graph import SchemaGraph
+from .instance import ExplanationInstance, rank_instances
+from .library import LibraryEntry, ReviewStatus, TemplateLibrary
+from .mining import (
+    BridgedMiner,
+    MinedTemplate,
+    MiningConfig,
+    MiningResult,
+    OneWayMiner,
+    RoundStats,
+    TwoWayMiner,
+)
+from .path import Path, PathStep
+from .support import SupportConfig, SupportEvaluator, SupportStats
+from .template import ExplanationTemplate, dedupe_templates
+
+__all__ = [
+    "BridgedMiner",
+    "DecoratedCandidate",
+    "DecorationMiner",
+    "DecorationResult",
+    "EdgeKind",
+    "group_depth_attr",
+    "ExplanationEngine",
+    "ExplanationInstance",
+    "ExplanationTemplate",
+    "LibraryEntry",
+    "ReviewStatus",
+    "TemplateLibrary",
+    "MinedTemplate",
+    "MiningConfig",
+    "MiningResult",
+    "OneWayMiner",
+    "Path",
+    "PathStep",
+    "RoundStats",
+    "SchemaAttr",
+    "SchemaEdge",
+    "SchemaGraph",
+    "SupportConfig",
+    "SupportEvaluator",
+    "SupportStats",
+    "TwoWayMiner",
+    "dedupe_templates",
+    "rank_instances",
+]

@@ -1,0 +1,220 @@
+"""Decorated-template mining (the paper's stated future work).
+
+Section 5.3.4: length-4 group templates raise recall but drag precision
+down because they match collaborative groups at *every* hierarchy depth;
+the paper closes with "In the future, we will consider how to mine
+decorated explanation templates that restrict the groups that can be
+used to better control precision."  This module implements that step.
+
+Given a mined *simple* template, a decoration candidate is an extra
+selection condition ``attr = value`` over a categorical attribute of one
+of the template's tuple variables (e.g. ``Groups_2.Group_Depth = 2``).
+The miner scores every candidate value against a labeled log (real
+accesses vs. the fake log of Section 5.3.2) and returns the decorated
+variants on the precision/recall frontier, plus a single recommended
+refinement: the decoration with the best precision among those that keep
+at least ``min_recall_ratio`` of the simple template's real recall.
+
+The same machinery handles any low-cardinality attribute — hierarchy
+depths, department codes, event types — making it a general
+precision-control knob for administrators reviewing mined templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..db.database import Database
+from ..db.executor import Executor
+from ..db.query import AttrRef, Condition, Literal
+from .template import ExplanationTemplate
+
+
+@dataclass(frozen=True)
+class DecoratedCandidate:
+    """One scored decoration of a base template."""
+
+    template: ExplanationTemplate
+    value: object
+    explained_real: int
+    explained_fake: int
+
+    @property
+    def precision(self) -> float:
+        """Real fraction of everything this decorated template explains."""
+        explained = self.explained_real + self.explained_fake
+        if explained == 0:
+            return 1.0
+        return self.explained_real / explained
+
+    def recall_vs(self, base_real: int) -> float:
+        """Fraction of the base template's real coverage retained."""
+        if base_real == 0:
+            return 0.0
+        return self.explained_real / base_real
+
+
+@dataclass(frozen=True)
+class DecorationResult:
+    """Everything a decoration-mining pass produced for one template."""
+
+    base: ExplanationTemplate
+    base_real: int
+    base_fake: int
+    candidates: tuple[DecoratedCandidate, ...]
+    recommended: DecoratedCandidate | None
+
+    @property
+    def base_precision(self) -> float:
+        """Precision of the undecorated base template."""
+        explained = self.base_real + self.base_fake
+        if explained == 0:
+            return 1.0
+        return self.base_real / explained
+
+
+class DecorationMiner:
+    """Scores ``attr = value`` decorations against a real/fake log split.
+
+    ``db`` must contain the combined real+fake log (the Section 5.3.2
+    construction); ``real_lids``/``fake_lids`` label it.  Evaluation can
+    be restricted to a test subset (e.g. day-7 first accesses) via
+    ``test_lids``.
+    """
+
+    #: Attributes with more distinct values than this are refused — a
+    #: decoration per value would overfit and explode the search.
+    MAX_VALUES = 64
+
+    def __init__(
+        self,
+        db: Database,
+        real_lids: set,
+        fake_lids: set,
+        test_lids: set | None = None,
+        log_id_attr: str = "Lid",
+    ) -> None:
+        self.db = db
+        self.executor = Executor(db)
+        self.real_lids = set(real_lids) if test_lids is None else (
+            set(real_lids) & set(test_lids)
+        )
+        self.fake_lids = set(fake_lids)
+        self.log_id_attr = log_id_attr
+
+    # ------------------------------------------------------------------
+    def _explained(self, template: ExplanationTemplate) -> set:
+        return self.executor.distinct_values(
+            template.support_query(), AttrRef("L", self.log_id_attr)
+        )
+
+    def candidate_values(self, template: ExplanationTemplate, attr: AttrRef) -> list:
+        """Distinct values of ``attr``'s underlying column (sorted)."""
+        table_name = None
+        for var in template.support_query().tuple_vars:
+            if var.alias == attr.alias:
+                table_name = var.table
+                break
+        if table_name is None:
+            raise ValueError(f"alias {attr.alias!r} not in template")
+        values = sorted(
+            self.db.table(table_name).distinct_values(attr.attr), key=repr
+        )
+        if len(values) > self.MAX_VALUES:
+            raise ValueError(
+                f"{table_name}.{attr.attr} has {len(values)} distinct values "
+                f"(max {self.MAX_VALUES}); decorations would overfit"
+            )
+        return values
+
+    def mine(
+        self,
+        template: ExplanationTemplate,
+        attr: AttrRef,
+        min_recall_ratio: float = 0.85,
+    ) -> DecorationResult:
+        """Score every ``attr = value`` decoration of ``template``.
+
+        The recommended refinement maximizes precision among candidates
+        retaining at least ``min_recall_ratio`` of the base template's
+        real coverage (ties: higher real coverage, then smaller value
+        repr, for determinism).
+        """
+        if not 0 < min_recall_ratio <= 1:
+            raise ValueError("min_recall_ratio must be in (0, 1]")
+        base_explained = self._explained(template)
+        base_real = len(base_explained & self.real_lids)
+        base_fake = len(base_explained & self.fake_lids)
+
+        candidates: list[DecoratedCandidate] = []
+        for value in self.candidate_values(template, attr):
+            decorated = ExplanationTemplate(
+                path=template.path,
+                decorations=template.decorations
+                + (Condition(attr, "=", Literal(value)),),
+                description=template.description,
+                name=(
+                    f"{template.name}+{attr.attr}={value}"
+                    if template.name
+                    else None
+                ),
+                log_id_attr=template.log_id_attr,
+            )
+            explained = self._explained(decorated)
+            candidates.append(
+                DecoratedCandidate(
+                    template=decorated,
+                    value=value,
+                    explained_real=len(explained & self.real_lids),
+                    explained_fake=len(explained & self.fake_lids),
+                )
+            )
+
+        viable = [
+            c
+            for c in candidates
+            if c.recall_vs(base_real) >= min_recall_ratio
+        ]
+        recommended = None
+        if viable:
+            recommended = max(
+                viable,
+                key=lambda c: (c.precision, c.explained_real, repr(c.value)),
+            )
+        return DecorationResult(
+            base=template,
+            base_real=base_real,
+            base_fake=base_fake,
+            candidates=tuple(candidates),
+            recommended=recommended,
+        )
+
+    def refine_all(
+        self,
+        templates: Iterable[ExplanationTemplate],
+        attr_for: "callable",
+        min_recall_ratio: float = 0.85,
+    ) -> list[DecorationResult]:
+        """Run :meth:`mine` over many templates.
+
+        ``attr_for(template)`` returns the decoration attribute for a
+        template, or ``None`` to leave it undecorated.
+        """
+        out = []
+        for template in templates:
+            attr = attr_for(template)
+            if attr is None:
+                continue
+            out.append(self.mine(template, attr, min_recall_ratio))
+        return out
+
+
+def group_depth_attr(template: ExplanationTemplate) -> AttrRef | None:
+    """The canonical ``attr_for`` for CareWeb-style group templates: the
+    ``Group_Depth`` column of the template's first Groups tuple variable
+    (None when the template does not touch a Groups table)."""
+    for var in template.support_query().tuple_vars:
+        if var.table == "Groups":
+            return AttrRef(var.alias, "Group_Depth")
+    return None

@@ -1,0 +1,74 @@
+"""Schema-level nodes and edges of the explanation graph.
+
+Paper Definition 1 models an explanation as a path through a graph *G*
+whose nodes are attributes and whose edges come from (i) attributes
+sharing a tuple variable and (ii) comparison conditions.  At mining time
+(Section 3.1) the admissible *join* edges are restricted to:
+
+* equi-joins along declared key/foreign-key relationships,
+* equi-joins explicitly provided by the administrator
+  (:attr:`EdgeKind.ADMIN`), and
+* self-joins on administrator-approved attributes
+  (:attr:`EdgeKind.SELF_JOIN`).
+
+Intra-tuple-variable movement is implicit and never materialized as an
+edge object.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class SchemaAttr:
+    """A node of the explanation graph: one attribute of one table."""
+
+    table: str
+    attr: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.attr}"
+
+
+class EdgeKind(enum.Enum):
+    """Provenance of a join edge (paper Section 3.1 assumptions 2-3)."""
+
+    FOREIGN_KEY = "fk"
+    ADMIN = "admin"
+    SELF_JOIN = "self_join"
+
+
+@dataclass(frozen=True, order=True)
+class SchemaEdge:
+    """A directed, schema-level equi-join edge ``src -> dst``.
+
+    Direction encodes traversal order along a path, not semantics: for
+    every relationship both directed forms are registered (a path may
+    walk an FK from either side).  A :attr:`EdgeKind.SELF_JOIN` edge has
+    ``src.table == dst.table`` and, when traversed, introduces a second
+    tuple variable over the same table.
+    """
+
+    src: SchemaAttr
+    dst: SchemaAttr
+    kind: EdgeKind
+
+    def __post_init__(self) -> None:
+        if self.kind is EdgeKind.SELF_JOIN and self.src.table != self.dst.table:
+            raise ValueError(
+                f"self-join edge must stay within one table: {self.src} -> {self.dst}"
+            )
+
+    @property
+    def is_self_join(self) -> bool:
+        """True for administrator-permitted self-join edges."""
+        return self.kind is EdgeKind.SELF_JOIN
+
+    def reversed(self) -> "SchemaEdge":
+        """The same relationship traversed in the opposite direction."""
+        return SchemaEdge(self.dst, self.src, self.kind)
+
+    def __str__(self) -> str:
+        return f"{self.src} = {self.dst} [{self.kind.value}]"

@@ -1,0 +1,122 @@
+"""The explanation engine: apply templates to a log and explain accesses.
+
+This is the user-facing facade of the paper's system.  Given a database
+(including its access log) and a set of explanation templates — either
+hand-crafted (Section 5.3.1) or mined (Section 3) — the engine answers:
+
+* *Why did access L100 happen?* — :meth:`ExplanationEngine.explain`
+  returns ranked natural-language instances (paper Example 1.1).
+* *Which accesses does template t explain?* —
+  :meth:`ExplanationEngine.explained_lids`.
+* *Which accesses can nobody explain?* —
+  :meth:`ExplanationEngine.unexplained_lids`, the paper's misuse-detection
+  application (Section 1: "reduce the set of accesses that must be
+  examined to those that are unexplained").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..db.database import Database
+from ..db.executor import Executor
+from ..db.query import AttrRef
+from .instance import ExplanationInstance, rank_instances
+from .template import ExplanationTemplate, dedupe_templates
+
+
+class ExplanationEngine:
+    """Evaluates a set of explanation templates against an access log."""
+
+    def __init__(
+        self,
+        db: Database,
+        templates: Iterable[ExplanationTemplate] = (),
+        log_table: str = "Log",
+        log_id_attr: str = "Lid",
+    ) -> None:
+        self.db = db
+        self.log_table = log_table
+        self.log_id_attr = log_id_attr
+        self.executor = Executor(db)
+        self._templates: list[ExplanationTemplate] = []
+        self._lid_cache: dict[tuple, set] = {}
+        for template in templates:
+            self.add_template(template)
+
+    # ------------------------------------------------------------------
+    # template management
+    # ------------------------------------------------------------------
+    def add_template(self, template: ExplanationTemplate) -> None:
+        """Register one more explanation template."""
+        self._templates.append(template)
+
+    @property
+    def templates(self) -> tuple[ExplanationTemplate, ...]:
+        """The registered templates, deduplicated by condition-set signature."""
+        return tuple(dedupe_templates(self._templates))
+
+    # ------------------------------------------------------------------
+    # whole-log queries
+    # ------------------------------------------------------------------
+    def explained_lids(self, template: ExplanationTemplate) -> set:
+        """Distinct log ids the template explains (cached per template)."""
+        key = template.signature()
+        if key not in self._lid_cache:
+            self._lid_cache[key] = self.executor.distinct_values(
+                template.support_query(), AttrRef("L", self.log_id_attr)
+            )
+        return self._lid_cache[key]
+
+    def all_explained_lids(self) -> set:
+        """Union of explained ids over every registered template."""
+        out: set = set()
+        for template in self.templates:
+            out |= self.explained_lids(template)
+        return out
+
+    def all_lids(self) -> set:
+        """Every log id in the audited log table."""
+        return self.db.table(self.log_table).distinct_values(self.log_id_attr)
+
+    def unexplained_lids(self) -> set:
+        """Accesses no template explains — the candidate-misuse queue."""
+        return self.all_lids() - self.all_explained_lids()
+
+    def coverage(self) -> float:
+        """Fraction of the log explained by at least one template (the
+        paper's headline "over 94% of accesses" number)."""
+        total = len(self.all_lids())
+        if total == 0:
+            return 0.0
+        return len(self.all_explained_lids()) / total
+
+    # ------------------------------------------------------------------
+    # per-access explanation
+    # ------------------------------------------------------------------
+    def explain(self, lid: Any) -> list[ExplanationInstance]:
+        """Every explanation instance for one log record, ranked in
+        ascending order of path length (paper Section 2.1)."""
+        instances: list[ExplanationInstance] = []
+        for template in self.templates:
+            query = template.instance_query(lid=lid)
+            result = self.executor.execute(query)
+            lid_pos = result.column_position(AttrRef("L", self.log_id_attr))
+            names = [str(c) for c in result.columns]
+            for row in result.rows:
+                bindings = dict(zip(names, row))
+                instances.append(
+                    ExplanationInstance(
+                        template=template, lid=row[lid_pos], bindings=bindings
+                    )
+                )
+        return rank_instances(instances)
+
+    def explain_or_flag(self, lid: Any) -> tuple[list[ExplanationInstance], bool]:
+        """Instances plus a *suspicious* flag (True when unexplained)."""
+        instances = self.explain(lid)
+        return instances, not instances
+
+    def invalidate_cache(self) -> None:
+        """Drop cached explained-id sets (call after mutating the log)."""
+        self._lid_cache.clear()

@@ -1,0 +1,153 @@
+"""The explanation schema graph.
+
+:class:`SchemaGraph` assembles the directed edge set the mining
+algorithms traverse (paper Section 3.1):
+
+* both directions of every declared key/foreign-key relationship,
+* both directions of every administrator-specified relationship, and
+* one self-join edge per administrator-approved ``(table, attribute)``.
+
+It also fixes the two distinguished endpoints of every explanation —
+the *start* attribute (the data that was accessed, ``Log.Patient``) and
+the *end* attribute (the user who accessed it, ``Log.User``) — plus the
+audit-log table name itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..db.database import Database
+from ..db.errors import SchemaError, UnknownColumnError
+from .edges import EdgeKind, SchemaAttr, SchemaEdge
+
+
+class SchemaGraph:
+    """Directed join-edge graph over a database schema.
+
+    Parameters
+    ----------
+    db:
+        The database whose catalog supplies FK-derived edges.
+    log_table, start_attr, end_attr:
+        The audit log and the two path endpoints.  Defaults follow the
+        paper's CareWeb log: ``Log.Patient`` (data accessed) to
+        ``Log.User`` (accessor).
+    uncounted_tables:
+        Tables excluded from the *T* table-reference budget of restricted
+        templates, mirroring the paper's treatment of its user-id mapping
+        table ("we did not count this added mapping table").
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        log_table: str = "Log",
+        start_attr: str = "Patient",
+        end_attr: str = "User",
+        uncounted_tables: Iterable[str] = (),
+    ) -> None:
+        if not db.has_table(log_table):
+            raise SchemaError(f"log table {log_table!r} not in database")
+        log_schema = db.table(log_table).schema
+        for attr in (start_attr, end_attr):
+            if not log_schema.has_column(attr):
+                raise UnknownColumnError(log_table, attr)
+        self.db = db
+        self.log_table = log_table
+        self.start = SchemaAttr(log_table, start_attr)
+        self.end = SchemaAttr(log_table, end_attr)
+        self.uncounted_tables = frozenset(uncounted_tables)
+        self._edges: list[SchemaEdge] = []
+        self._edge_set: set[SchemaEdge] = set()
+        self._by_src_table: dict[str, list[SchemaEdge]] = {}
+        self._by_dst_table: dict[str, list[SchemaEdge]] = {}
+        self._self_join_attrs: set[SchemaAttr] = set()
+        self._load_fk_edges()
+
+    # ------------------------------------------------------------------
+    # edge registration
+    # ------------------------------------------------------------------
+    def _register(self, edge: SchemaEdge) -> None:
+        if edge in self._edge_set:
+            return
+        self._validate_attr(edge.src)
+        self._validate_attr(edge.dst)
+        self._edge_set.add(edge)
+        self._edges.append(edge)
+        self._by_src_table.setdefault(edge.src.table, []).append(edge)
+        self._by_dst_table.setdefault(edge.dst.table, []).append(edge)
+
+    def _validate_attr(self, node: SchemaAttr) -> None:
+        schema = self.db.table(node.table).schema  # raises UnknownTableError
+        if not schema.has_column(node.attr):
+            raise UnknownColumnError(node.table, node.attr)
+
+    def _load_fk_edges(self) -> None:
+        for owner, fk in self.db.foreign_keys():
+            a = SchemaAttr(owner, fk.column)
+            b = SchemaAttr(fk.ref_table, fk.ref_column)
+            if a == b:
+                continue  # degenerate self-FK; use allow_self_join instead
+            kind = EdgeKind.FOREIGN_KEY
+            self._register(SchemaEdge(a, b, kind))
+            self._register(SchemaEdge(b, a, kind))
+
+    def add_relationship(self, a: SchemaAttr, b: SchemaAttr) -> None:
+        """Register an administrator-specified equi-join relationship
+        (both directions).  Paper Section 3.1, assumption 2."""
+        if a.table == b.table:
+            raise SchemaError(
+                "relationships within one table are implicit (same tuple "
+                "variable) or self-joins; use allow_self_join() instead"
+            )
+        self._register(SchemaEdge(a, b, EdgeKind.ADMIN))
+        self._register(SchemaEdge(b, a, EdgeKind.ADMIN))
+
+    def allow_self_join(self, table: str, attr: str) -> None:
+        """Permit self-joins on ``table.attr`` (paper Section 3.1,
+        assumption 3) — e.g. ``Groups.Group_id`` or a department code."""
+        node = SchemaAttr(table, attr)
+        self._validate_attr(node)
+        self._self_join_attrs.add(node)
+        self._register(SchemaEdge(node, node, EdgeKind.SELF_JOIN))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> tuple[SchemaEdge, ...]:
+        """Every directed edge (FK both ways, admin both ways, self-joins)."""
+        return tuple(self._edges)
+
+    def edges_from_table(self, table: str) -> tuple[SchemaEdge, ...]:
+        """Edges whose source attribute lives in ``table`` — the candidate
+        continuations of a path whose last tuple variable is ``table``."""
+        return tuple(self._by_src_table.get(table, ()))
+
+    def edges_into_table(self, table: str) -> tuple[SchemaEdge, ...]:
+        """Edges whose destination attribute lives in ``table`` (used by
+        backward extension in the two-way algorithm)."""
+        return tuple(self._by_dst_table.get(table, ()))
+
+    def start_edges(self) -> tuple[SchemaEdge, ...]:
+        """Edges that begin at the start attribute (Algorithm 1, line 2)."""
+        return tuple(e for e in self._edges if e.src == self.start)
+
+    def end_edges(self) -> tuple[SchemaEdge, ...]:
+        """Edges that terminate at the end attribute (two-way seeding)."""
+        return tuple(e for e in self._edges if e.dst == self.end)
+
+    def self_join_allowed(self, table: str, attr: str) -> bool:
+        """Whether the administrator permitted self-joins on ``table.attr``."""
+        return SchemaAttr(table, attr) in self._self_join_attrs
+
+    def counted_tables(self, tables: Iterable[str]) -> int:
+        """Number of distinct tables that count against the *T* budget."""
+        return len(set(tables) - self.uncounted_tables)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SchemaGraph {self.start} => {self.end}, "
+            f"{len(self._edges)} directed edges>"
+        )

@@ -1,0 +1,60 @@
+"""Explanation instances: data-specific results of a template's query.
+
+Paper Section 2.1: "We refer to these data-specific descriptions (query
+results) as explanation instances. ... when there are multiple explanation
+instances for a given log record, we convert each to natural language and
+rank the explanations in ascending order of path length."
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from .template import ExplanationTemplate, _PLACEHOLDER
+
+
+@dataclass(frozen=True)
+class ExplanationInstance:
+    """One concrete explanation of one log record.
+
+    ``bindings`` maps ``"alias.attr"`` strings (e.g. ``"A.Date"``) to the
+    values of the witnessing database tuples.
+    """
+
+    template: ExplanationTemplate
+    lid: Any
+    bindings: Mapping[str, Any]
+
+    @property
+    def path_length(self) -> int:
+        """Join-path length of the originating template (the ranking key)."""
+        return self.template.length
+
+    def render(self) -> str:
+        """Fill the template's description placeholders with this
+        instance's values (paper Example 2.2: "Alice had an appointment
+        with Dave on 1/1/2010")."""
+
+        def substitute(match: re.Match) -> str:
+            key = f"{match.group(1)}.{match.group(2)}"
+            if key in self.bindings:
+                return str(self.bindings[key])
+            return match.group(0)
+
+        return _PLACEHOLDER.sub(substitute, self.template.describe_template())
+
+    def __str__(self) -> str:
+        return f"[lid={self.lid}] {self.render()}"
+
+
+def rank_instances(
+    instances: Iterable[ExplanationInstance],
+) -> list[ExplanationInstance]:
+    """Rank ascending by path length (shorter = more direct explanation),
+    breaking ties by template display name for deterministic output."""
+    return sorted(
+        instances,
+        key=lambda inst: (inst.path_length, inst.template.display_name(), str(inst.lid)),
+    )

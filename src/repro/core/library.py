@@ -1,0 +1,218 @@
+"""Template libraries: persistence and the administrator review loop.
+
+Paper Section 3: "While it is important to keep the administrator in the
+loop, we argue that the system should reduce the administrator's burden
+by automatically suggesting templates from the data.  The administrator
+can then review the suggested set of templates before applying them."
+
+A :class:`TemplateLibrary` holds templates with a review status
+(``suggested`` / ``approved`` / ``rejected``) and round-trips to a plain
+SQL file (one statement per template plus structured comments), so the
+review artifact is human-readable and diff-able:
+
+.. code-block:: sql
+
+    -- name: appointments-doctor
+    -- status: approved
+    -- support: 1021
+    -- description: [L.Patient] had an appointment with [L.User]...
+    SELECT DISTINCT L.Lid
+    FROM Log L, Appointments Appointments_1
+    WHERE L.Patient = Appointments_1.Patient
+      AND Appointments_1.Doctor = L.User;
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator
+
+from ..db.parser import template_from_sql
+from .mining import MiningResult
+from .template import ExplanationTemplate
+
+
+class ReviewStatus(enum.Enum):
+    """Administrator review state of a template (paper Section 3)."""
+    SUGGESTED = "suggested"
+    APPROVED = "approved"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class LibraryEntry:
+    """One template plus its review metadata."""
+
+    template: ExplanationTemplate
+    status: ReviewStatus = ReviewStatus.SUGGESTED
+    support: int | None = None
+
+    @property
+    def key(self) -> tuple:
+        """Signature identity used for dedup inside the library."""
+        return self.template.signature()
+
+
+class TemplateLibrary:
+    """An ordered, signature-deduplicated collection of reviewed templates."""
+
+    def __init__(self, entries: Iterable[LibraryEntry] = ()) -> None:
+        self._entries: dict[tuple, LibraryEntry] = {}
+        for entry in entries:
+            self.add(entry.template, entry.status, entry.support)
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        template: ExplanationTemplate,
+        status: ReviewStatus = ReviewStatus.SUGGESTED,
+        support: int | None = None,
+    ) -> LibraryEntry:
+        """Insert or overwrite a template (identity = condition-set signature)."""
+        entry = LibraryEntry(template=template, status=status, support=support)
+        self._entries[entry.key] = entry
+        return entry
+
+    @classmethod
+    def from_mining_result(cls, result: MiningResult) -> "TemplateLibrary":
+        """Every mined template enters as *suggested* with its support."""
+        library = cls()
+        for mined in result.templates:
+            library.add(mined.template, ReviewStatus.SUGGESTED, mined.support)
+        return library
+
+    # ------------------------------------------------------------------
+    # review actions
+    # ------------------------------------------------------------------
+    def _set_status(self, template: ExplanationTemplate, status: ReviewStatus) -> None:
+        key = template.signature()
+        if key not in self._entries:
+            raise KeyError(f"template not in library: {template.display_name()}")
+        self._entries[key] = replace(self._entries[key], status=status)
+
+    def approve(self, template: ExplanationTemplate) -> None:
+        """Mark a template approved for production use."""
+        self._set_status(template, ReviewStatus.APPROVED)
+
+    def reject(self, template: ExplanationTemplate) -> None:
+        """Mark a template rejected (kept for the audit trail)."""
+        self._set_status(template, ReviewStatus.REJECTED)
+
+    def approve_all_suggested(self) -> int:
+        """Bulk-approve; returns the number newly approved."""
+        n = 0
+        for key, entry in list(self._entries.items()):
+            if entry.status is ReviewStatus.SUGGESTED:
+                self._entries[key] = replace(entry, status=ReviewStatus.APPROVED)
+                n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LibraryEntry]:
+        return iter(self._entries.values())
+
+    def entries(self, status: ReviewStatus | None = None) -> list[LibraryEntry]:
+        """All entries, optionally filtered to one review status."""
+        out = list(self._entries.values())
+        if status is not None:
+            out = [e for e in out if e.status is status]
+        return out
+
+    def approved_templates(self) -> list[ExplanationTemplate]:
+        """What the explanation engine should actually apply."""
+        return [e.template for e in self.entries(ReviewStatus.APPROVED)]
+
+    def counts(self) -> dict[str, int]:
+        """Entry counts per review status."""
+        out = {status.value: 0 for status in ReviewStatus}
+        for entry in self._entries.values():
+            out[entry.status.value] += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # persistence (SQL file with structured comments)
+    # ------------------------------------------------------------------
+    def dumps(self) -> str:
+        """Serialize the library to its SQL-file text form."""
+        blocks = []
+        for entry in self._entries.values():
+            template = entry.template
+            lines = []
+            if template.name:
+                lines.append(f"-- name: {template.name}")
+            lines.append(f"-- status: {entry.status.value}")
+            if entry.support is not None:
+                lines.append(f"-- support: {entry.support}")
+            if template.description is not None:
+                description = template.description.replace("\n", " ")
+                lines.append(f"-- description: {description}")
+            lines.append(template.to_sql() + ";")
+            blocks.append("\n".join(lines))
+        return "\n\n".join(blocks) + ("\n" if blocks else "")
+
+    def save(self, path: str) -> None:
+        """Write the SQL-file form to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.dumps())
+
+    @classmethod
+    def loads(
+        cls,
+        text: str,
+        log_table: str = "Log",
+        start_attr: str = "Patient",
+        end_attr: str = "User",
+        log_id_attr: str = "Lid",
+    ) -> "TemplateLibrary":
+        """Parse a library from its SQL-file text form."""
+        library = cls()
+        for raw_block in text.split(";"):
+            block = raw_block.strip()
+            if not block:
+                continue
+            name = description = None
+            status = ReviewStatus.SUGGESTED
+            support = None
+            sql_lines = []
+            for line in block.splitlines():
+                stripped = line.strip()
+                if stripped.startswith("-- name:"):
+                    name = stripped[len("-- name:"):].strip()
+                elif stripped.startswith("-- status:"):
+                    status = ReviewStatus(stripped[len("-- status:"):].strip())
+                elif stripped.startswith("-- support:"):
+                    support = int(stripped[len("-- support:"):].strip())
+                elif stripped.startswith("-- description:"):
+                    description = stripped[len("-- description:"):].strip()
+                elif stripped.startswith("--"):
+                    continue
+                else:
+                    sql_lines.append(line)
+            sql = "\n".join(sql_lines).strip()
+            if not sql:
+                continue
+            template = template_from_sql(
+                sql,
+                log_table=log_table,
+                start_attr=start_attr,
+                end_attr=end_attr,
+                description=description,
+                name=name,
+                log_id_attr=log_id_attr,
+            )
+            library.add(template, status, support)
+        return library
+
+    @classmethod
+    def load(cls, path: str, **kwargs) -> "TemplateLibrary":
+        """Read a library from a file written by :meth:`save`."""
+        with open(path) as fh:
+            return cls.loads(fh.read(), **kwargs)

@@ -1,0 +1,402 @@
+"""Mining frequent explanation templates (paper Section 3).
+
+Three algorithms, all sharing the same candidate space and support
+semantics, so they provably return the same template set (the paper
+observes exactly this: "Each algorithm produced the same set of
+explanation templates"):
+
+* :class:`OneWayMiner` — Algorithm 1: grow start-anchored paths left to
+  right, pruning by support monotonicity.
+* :class:`TwoWayMiner` — grow start-anchored paths forward *and*
+  end-anchored paths backward simultaneously; explanations are found from
+  both directions (and deduplicated).
+* :class:`BridgedMiner` — Section 3.3.1: run the two-way algorithm only up
+  to length ``l``, then *bridge* the two frontiers: lengths
+  ``l+1 .. 2l-1`` share a bridge edge; lengths ``>= 2l`` are joined
+  through explicit middle-edge combinations.  Bridging pushes the
+  start/end constraints down, so no partial-path support query is ever
+  issued beyond length ``l``.
+
+Every miner applies the Section 3.2.1 optimizations through
+:class:`~repro.core.support.SupportEvaluator`: support caching by
+canonical condition set, multiplicity reduction, and optimizer-estimate
+skipping (never applied to explanation candidates).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from ..db.database import Database
+from .graph import SchemaGraph
+from .path import Path
+from .support import SupportConfig, SupportEvaluator
+from .template import ExplanationTemplate
+
+
+@dataclass(frozen=True)
+class MiningConfig:
+    """Knobs of Definition 5 plus the optimization toggles.
+
+    ``support_fraction`` is the paper's *s* (default 1%); ``max_length``
+    is *M*; ``max_tables`` is *T* (self-joined tables count once;
+    the graph's ``uncounted_tables`` are free).
+    """
+
+    support_fraction: float = 0.01
+    max_length: int = 5
+    max_tables: int = 3
+    support: SupportConfig = field(default_factory=SupportConfig)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.support_fraction <= 1:
+            raise ValueError("support_fraction must be in (0, 1]")
+        if self.max_length < 1:
+            raise ValueError("max_length must be >= 1")
+        if self.max_tables < 1:
+            raise ValueError("max_tables must be >= 1")
+
+
+@dataclass(frozen=True)
+class MinedTemplate:
+    """A supported explanation template with its measured support."""
+
+    template: ExplanationTemplate
+    support: int
+
+    @property
+    def length(self) -> int:
+        """Join-path length of the mined template."""
+        return self.template.length
+
+
+@dataclass
+class RoundStats:
+    """Per-length progress counters (feeds the Figure 13 benchmark)."""
+
+    length: int
+    candidates: int = 0
+    supported_paths: int = 0
+    explanations: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class MiningResult:
+    """Everything a mining run produced."""
+
+    algorithm: str
+    templates: list[MinedTemplate]
+    rounds: list[RoundStats]
+    support_stats: dict
+    threshold: float
+
+    def templates_by_length(self) -> dict[int, list[MinedTemplate]]:
+        """Mined templates grouped by join-path length."""
+        out: dict[int, list[MinedTemplate]] = {}
+        for mined in self.templates:
+            out.setdefault(mined.length, []).append(mined)
+        return out
+
+    def cumulative_time_by_length(self) -> dict[int, float]:
+        """Cumulative run time after finishing each path length — the
+        series plotted in the paper's Figure 13."""
+        out: dict[int, float] = {}
+        total = 0.0
+        for stats in sorted(self.rounds, key=lambda r: r.length):
+            total += stats.seconds
+            out[stats.length] = total
+        return out
+
+    def signatures(self) -> set:
+        """Condition-set signatures of every mined template."""
+        return {m.template.signature() for m in self.templates}
+
+
+class _MinerBase:
+    """Shared plumbing: threshold, dedup, candidate acceptance."""
+
+    algorithm = "base"
+
+    def __init__(
+        self,
+        db: Database,
+        graph: SchemaGraph,
+        config: MiningConfig | None = None,
+        log_id_attr: str = "Lid",
+        _share_state_with: "_MinerBase | None" = None,
+    ) -> None:
+        self.db = db
+        self.graph = graph
+        self.config = config or MiningConfig()
+        self.log_id_attr = log_id_attr
+        if _share_state_with is not None:
+            # Used by BridgedMiner to run the two-way phase as a subroutine
+            # over its own evaluator, dedup set, template list, and rounds.
+            self.evaluator = _share_state_with.evaluator
+            self.threshold = _share_state_with.threshold
+            self._seen = _share_state_with._seen
+            self._templates = _share_state_with._templates
+            self._rounds = _share_state_with._rounds
+        else:
+            self.evaluator = SupportEvaluator(db, log_id_attr, self.config.support)
+            log_size = len(db.table(graph.log_table))
+            self.threshold = self.config.support_fraction * log_size
+            self._seen = set()
+            self._templates = []
+            self._rounds = {}
+
+    # ------------------------------------------------------------------
+    def _round(self, length: int) -> RoundStats:
+        if length not in self._rounds:
+            self._rounds[length] = RoundStats(length=length)
+        return self._rounds[length]
+
+    def _admissible(self, path: Path | None) -> bool:
+        """Structural admission: valid extension within the T budget."""
+        return (
+            path is not None
+            and path.counted_tables(self.graph) <= self.config.max_tables
+        )
+
+    def _fresh(self, path: Path) -> bool:
+        """Candidate-level dedup by canonical condition-set signature."""
+        sig = path.signature()
+        if sig in self._seen:
+            return False
+        self._seen.add(sig)
+        return True
+
+    def _consider(self, path: Path, stats: RoundStats) -> Path | None:
+        """Support-test one candidate.
+
+        Returns the path when it should join the next frontier (partial
+        paths only); records explanations internally.
+        """
+        stats.candidates += 1
+        if path.is_explanation:
+            support = self.evaluator.support(path)  # never skipped
+            if support >= self.threshold:
+                stats.explanations += 1
+                template = ExplanationTemplate(path=path, log_id_attr=self.log_id_attr)
+                self._templates.append(MinedTemplate(template, support))
+            return None  # closed paths are never extended
+        support = self.evaluator.support_or_skip(path, self.threshold)
+        if support is None or support >= self.threshold:
+            stats.supported_paths += 1
+            return path
+        return None
+
+    def _result(self) -> MiningResult:
+        templates = sorted(
+            self._templates,
+            key=lambda m: (m.length, m.template.display_name()),
+        )
+        return MiningResult(
+            algorithm=self.algorithm,
+            templates=templates,
+            rounds=[self._rounds[k] for k in sorted(self._rounds)],
+            support_stats=self.evaluator.stats.snapshot(),
+            threshold=self.threshold,
+        )
+
+
+class OneWayMiner(_MinerBase):
+    """Algorithm 1: bottom-up, left-to-right template mining."""
+
+    algorithm = "one-way"
+
+    def mine(self) -> MiningResult:
+        """Run the algorithm; returns the full MiningResult."""
+        frontier: list[Path] = []
+        stats = self._round(1)
+        started = time.perf_counter()
+        for edge in self.graph.start_edges():
+            seed = Path.forward_seed(self.graph, edge)
+            if not self._admissible(seed) or not self._fresh(seed):
+                continue
+            kept = self._consider(seed, stats)
+            if kept is not None:
+                frontier.append(kept)
+        stats.seconds += time.perf_counter() - started
+
+        for length in range(2, self.config.max_length + 1):
+            stats = self._round(length)
+            started = time.perf_counter()
+            next_frontier: list[Path] = []
+            for path in frontier:
+                for edge in self.graph.edges_from_table(path.last_table()):
+                    candidate = path.extend_forward(edge)
+                    if not self._admissible(candidate) or not self._fresh(candidate):
+                        continue
+                    kept = self._consider(candidate, stats)
+                    if kept is not None:
+                        next_frontier.append(kept)
+            frontier = next_frontier
+            stats.seconds += time.perf_counter() - started
+        return self._result()
+
+
+class TwoWayMiner(_MinerBase):
+    """Grow paths from both endpoints simultaneously (Section 3.3).
+
+    Exposes the per-length frontiers so :class:`BridgedMiner` can reuse the
+    phase as a subroutine.
+    """
+
+    algorithm = "two-way"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.forward_by_length: dict[int, list[Path]] = {}
+        self.backward_by_length: dict[int, list[Path]] = {}
+
+    def run_to_length(self, max_length: int) -> None:
+        """Populate frontiers (and explanations) up to ``max_length``."""
+        stats = self._round(1)
+        started = time.perf_counter()
+        fwd: list[Path] = []
+        bwd: list[Path] = []
+        for edge in self.graph.start_edges():
+            seed = Path.forward_seed(self.graph, edge)
+            if not self._admissible(seed) or not self._fresh(seed):
+                continue
+            kept = self._consider(seed, stats)
+            if kept is not None:
+                fwd.append(kept)
+        for edge in self.graph.end_edges():
+            seed = Path.backward_seed(self.graph, edge)
+            if not self._admissible(seed) or not self._fresh(seed):
+                continue
+            kept = self._consider(seed, stats)
+            if kept is not None:
+                bwd.append(kept)
+        self.forward_by_length[1] = fwd
+        self.backward_by_length[1] = bwd
+        stats.seconds += time.perf_counter() - started
+
+        for length in range(2, max_length + 1):
+            stats = self._round(length)
+            started = time.perf_counter()
+            new_fwd: list[Path] = []
+            new_bwd: list[Path] = []
+            for path in self.forward_by_length[length - 1]:
+                for edge in self.graph.edges_from_table(path.last_table()):
+                    candidate = path.extend_forward(edge)
+                    if not self._admissible(candidate) or not self._fresh(candidate):
+                        continue
+                    kept = self._consider(candidate, stats)
+                    if kept is not None:
+                        new_fwd.append(kept)
+            for path in self.backward_by_length[length - 1]:
+                for edge in self.graph.edges_into_table(path.first_table()):
+                    candidate = path.extend_backward(edge)
+                    if not self._admissible(candidate) or not self._fresh(candidate):
+                        continue
+                    kept = self._consider(candidate, stats)
+                    if kept is not None:
+                        new_bwd.append(kept)
+            self.forward_by_length[length] = new_fwd
+            self.backward_by_length[length] = new_bwd
+            stats.seconds += time.perf_counter() - started
+
+    def mine(self) -> MiningResult:
+        """Run the algorithm; returns the full MiningResult."""
+        self.run_to_length(self.config.max_length)
+        return self._result()
+
+
+class BridgedMiner(_MinerBase):
+    """Bridge-``l``: two-way to length ``l``, then bridge the frontiers
+    (paper Section 3.3.1 and the Bridge-2/3/4 series of Figure 13)."""
+
+    def __init__(
+        self,
+        db: Database,
+        graph: SchemaGraph,
+        config: MiningConfig | None = None,
+        log_id_attr: str = "Lid",
+        bridge_length: int = 2,
+    ) -> None:
+        if bridge_length < 1:
+            raise ValueError("bridge_length must be >= 1")
+        super().__init__(db, graph, config, log_id_attr)
+        self.bridge_length = bridge_length
+        self.algorithm = f"bridge-{bridge_length}"
+
+    def mine(self) -> MiningResult:
+        """Run the algorithm; returns the full MiningResult."""
+        ell = min(self.bridge_length, self.config.max_length)
+        # Phase 1: two-way exploration up to the bridge length, sharing
+        # this miner's dedup set, evaluator, templates, and round stats.
+        twoway = TwoWayMiner(
+            self.db,
+            self.graph,
+            replace(self.config, max_length=ell),
+            self.log_id_attr,
+            _share_state_with=self,
+        )
+        twoway.run_to_length(ell)
+        fwd_by_len = twoway.forward_by_length
+        bwd_by_len = twoway.backward_by_length
+
+        # Phase 2: lengths l+1 .. 2l-1 — connect a forward path of length l
+        # to a backward path of length n-l+1 over a shared bridge edge.
+        bwd_by_first_edge: dict = {}
+        for blen, paths in bwd_by_len.items():
+            for path in paths:
+                bwd_by_first_edge.setdefault(
+                    (blen, path.steps[0].edge), []
+                ).append(path)
+        for n in range(ell + 1, min(self.config.max_length, 2 * ell - 1) + 1):
+            stats = self._round(n)
+            started = time.perf_counter()
+            blen = n - ell + 1
+            for fwd in fwd_by_len.get(ell, ()):
+                key = (blen, fwd.steps[-1].edge)
+                for bwd in bwd_by_first_edge.get(key, ()):
+                    candidate = Path.bridge(fwd, bwd)
+                    if not self._admissible(candidate) or not self._fresh(candidate):
+                        continue
+                    self._consider(candidate, stats)
+            stats.seconds += time.perf_counter() - started
+
+        # Phase 3: lengths >= 2l — all combinations of middle edges between
+        # a length-l forward path and a length-l backward path.
+        bwd_by_first_table: dict[str, list[Path]] = {}
+        for path in bwd_by_len.get(ell, ()):
+            bwd_by_first_table.setdefault(path.first_table(), []).append(path)
+        for n in range(max(ell + 1, 2 * ell), self.config.max_length + 1):
+            stats = self._round(n)
+            started = time.perf_counter()
+            middles = n - 2 * ell
+            for fwd in fwd_by_len.get(ell, ()):
+                self._bridge_through_middles(
+                    fwd, middles, bwd_by_first_table, stats
+                )
+            stats.seconds += time.perf_counter() - started
+        return self._result()
+
+    def _bridge_through_middles(
+        self,
+        extended: Path,
+        remaining: int,
+        bwd_by_first_table: dict[str, list[Path]],
+        stats: RoundStats,
+    ) -> None:
+        """DFS over middle-edge combinations, closing with backward paths."""
+        if remaining == 0:
+            for bwd in bwd_by_first_table.get(extended.last_table(), ()):
+                candidate = Path.bridge_with_middle(extended, (), bwd)
+                if not self._admissible(candidate) or not self._fresh(candidate):
+                    continue
+                self._consider(candidate, stats)
+            return
+        for edge in self.graph.edges_from_table(extended.last_table()):
+            longer = extended.extend_forward(edge)
+            if not self._admissible(longer):
+                continue
+            self._bridge_through_middles(
+                longer, remaining - 1, bwd_by_first_table, stats
+            )

@@ -1,0 +1,152 @@
+"""Support computation with the paper's three optimizations (Section 3.2.1).
+
+Support of a path/template = the number of distinct log ids returned by
+
+.. code-block:: sql
+
+    SELECT COUNT(DISTINCT Log.Lid) FROM Log, T_1, ..., T_n WHERE C
+
+The evaluator layers the paper's optimizations over the raw executor:
+
+1. **Caching selection conditions and support values** — paths whose
+   condition sets are equal (up to alias renaming) share one evaluation.
+2. **Reducing result multiplicity** — delegated to the executor's
+   distinct-projection pipeline (toggleable for the ablation bench).
+3. **Skipping non-selective paths** — when the optimizer expects more than
+   ``S × c`` distinct log ids, the support computation is deferred and the
+   path is passed to the next mining round unverified.  Explanation
+   (fully-anchored) paths are never skipped.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..db.database import Database
+from ..db.executor import Executor
+from ..db.optimizer import CardinalityEstimator
+from ..db.query import AttrRef, ConjunctiveQuery, canonical_query_signature
+from .path import Path
+
+
+@dataclass
+class SupportStats:
+    """Counters the mining benchmarks report."""
+
+    queries_run: int = 0
+    cache_hits: int = 0
+    skipped: int = 0
+    query_time: float = 0.0
+
+    def snapshot(self) -> dict:
+        """The counters as a plain dict (for reports and benchmarks)."""
+        return {
+            "queries_run": self.queries_run,
+            "cache_hits": self.cache_hits,
+            "skipped": self.skipped,
+            "query_time": self.query_time,
+        }
+
+
+@dataclass
+class SupportConfig:
+    """Optimization toggles (paper Section 3.2.1).
+
+    ``skip_constant`` is the paper's *c*: the optimizer-estimate slack
+    factor accounting for estimation error (default 10).
+    """
+
+    use_cache: bool = True
+    use_skip: bool = True
+    skip_constant: float = 10.0
+    distinct_reduction: bool = True
+    estimator_error_factor: float = 1.0
+
+
+class SupportEvaluator:
+    """Computes (and caches) the support of candidate paths."""
+
+    def __init__(
+        self,
+        db: Database,
+        log_id_attr: str = "Lid",
+        config: SupportConfig | None = None,
+    ) -> None:
+        self.db = db
+        self.log_id_attr = log_id_attr
+        self.config = config or SupportConfig()
+        self.executor = Executor(db, distinct_reduction=self.config.distinct_reduction)
+        self.estimator = CardinalityEstimator(
+            db, error_factor=self.config.estimator_error_factor
+        )
+        self.stats = SupportStats()
+        self._cache: dict = {}
+
+    # ------------------------------------------------------------------
+    def support_of_query(self, query: ConjunctiveQuery, count_attr: AttrRef) -> int:
+        """Cached ``COUNT(DISTINCT count_attr)`` of ``query``."""
+        key = None
+        if self.config.use_cache:
+            key = (canonical_query_signature(query), count_attr.attr)
+            if key in self._cache:
+                self.stats.cache_hits += 1
+                return self._cache[key]
+        started = time.perf_counter()
+        value = self.executor.count_distinct(query, count_attr)
+        self.stats.query_time += time.perf_counter() - started
+        self.stats.queries_run += 1
+        if key is not None:
+            self._cache[key] = value
+        return value
+
+    def support(self, path: Path) -> int:
+        """Exact support of a path (number of log entries it explains)."""
+        query = path.to_query(log_id_attr=self.log_id_attr)
+        return self.support_of_query(query, AttrRef("L", self.log_id_attr))
+
+    def support_or_skip(self, path: Path, threshold: float) -> int | None:
+        """Support with the skip-non-selective-paths optimization.
+
+        Returns ``None`` when the path's support computation was skipped
+        (the optimizer expects it to be comfortably supported); the caller
+        must treat a ``None`` as "passes for now" and re-derive pruning
+        from the path's descendants.  Explanations are never skipped
+        (paper: "In the special case when the path is also an explanation,
+        the path is not skipped").
+        """
+        if (
+            self.config.use_skip
+            and not path.is_explanation
+            and not self._cached(path)
+        ):
+            query = path.to_query(log_id_attr=self.log_id_attr)
+            estimate = self.estimator.estimate_distinct(
+                query, AttrRef("L", self.log_id_attr)
+            )
+            if estimate > threshold * self.config.skip_constant:
+                self.stats.skipped += 1
+                return None
+        return self.support(path)
+
+    def explained_lids(self, query: ConjunctiveQuery, count_attr: AttrRef | None = None) -> set:
+        """The distinct set of explained log ids (used by the evaluation
+        harness for recall/precision, where the set itself is needed)."""
+        attr = count_attr or AttrRef("L", self.log_id_attr)
+        started = time.perf_counter()
+        values = self.executor.distinct_values(query, attr)
+        self.stats.query_time += time.perf_counter() - started
+        self.stats.queries_run += 1
+        return values
+
+    # ------------------------------------------------------------------
+    def _cached(self, path: Path) -> bool:
+        if not self.config.use_cache:
+            return False
+        query = path.to_query(log_id_attr=self.log_id_attr)
+        key = (canonical_query_signature(query), self.log_id_attr)
+        return key in self._cache
+
+    def reset_stats(self) -> None:
+        """Zero the counters (the cache itself is retained)."""
+        self.stats = SupportStats()

@@ -1,0 +1,73 @@
+"""In-memory relational substrate for explanation-based auditing.
+
+This subpackage stands in for the PostgreSQL instance the paper runs on
+(Section 5.1).  It provides exactly the capabilities the auditing system
+needs from its DBMS:
+
+* a catalog of typed tables with primary/foreign keys (:mod:`.schema`,
+  :mod:`.database`);
+* hash-join evaluation of conjunctive path queries with
+  ``COUNT(DISTINCT …)`` support counting (:mod:`.executor`);
+* optimizer cardinality estimates for the skip-non-selective-paths
+  optimization (:mod:`.optimizer`);
+* SQL rendering of templates for display (:mod:`.sql`) and CSV interchange
+  (:mod:`.csvio`).
+"""
+
+from .database import Database
+from .errors import (
+    DatabaseError,
+    IntegrityError,
+    QueryError,
+    SchemaError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from .executor import Executor, QueryResult, explain_query
+from .optimizer import CardinalityEstimator
+from .query import (
+    AttrRef,
+    Condition,
+    ConjunctiveQuery,
+    Literal,
+    TupleVar,
+    canonical_query_signature,
+)
+from .schema import Column, ColumnType, ForeignKey, TableSchema
+from .parser import parse_query, template_from_sql
+from .sql import render_query, render_query_reduced
+from .table import Table
+from .csvio import load_database, read_table_csv, save_database, write_table_csv
+
+__all__ = [
+    "AttrRef",
+    "CardinalityEstimator",
+    "Column",
+    "ColumnType",
+    "Condition",
+    "ConjunctiveQuery",
+    "Database",
+    "DatabaseError",
+    "Executor",
+    "ForeignKey",
+    "IntegrityError",
+    "Literal",
+    "QueryError",
+    "QueryResult",
+    "SchemaError",
+    "Table",
+    "TableSchema",
+    "TupleVar",
+    "UnknownColumnError",
+    "UnknownTableError",
+    "canonical_query_signature",
+    "explain_query",
+    "load_database",
+    "parse_query",
+    "read_table_csv",
+    "render_query",
+    "template_from_sql",
+    "render_query_reduced",
+    "save_database",
+    "write_table_csv",
+]

@@ -1,0 +1,120 @@
+"""CSV import/export for tables and whole databases.
+
+The paper's study ships de-identified CSV extracts of the CareWeb tables;
+this module provides the equivalent interchange format so users can load
+their own access logs and event tables into the auditing system, and so
+the synthetic generator can persist datasets for repeated experiments.
+
+Layout of a database directory::
+
+    mydb/
+      _schema.json          # table definitions (names, types, keys)
+      Log.csv
+      Appointments.csv
+      ...
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+
+from .database import Database
+from .errors import SchemaError
+from .schema import Column, ColumnType, ForeignKey, TableSchema
+from .table import Table
+
+
+def write_table_csv(table: Table, path: str) -> int:
+    """Write one table to ``path``; returns the number of rows written."""
+    schema = table.schema
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(schema.column_names)
+        for row in table.rows():
+            writer.writerow(
+                [col.ctype.render(v) for col, v in zip(schema.columns, row)]
+            )
+    return len(table)
+
+
+def read_table_csv(schema: TableSchema, path: str) -> Table:
+    """Load a CSV (with header) into a new table conforming to ``schema``."""
+    table = Table(schema)
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None:
+            return table
+        if tuple(header) != schema.column_names:
+            raise SchemaError(
+                f"CSV header {header} does not match schema "
+                f"{list(schema.column_names)} for table {schema.name!r}"
+            )
+        for raw in reader:
+            values = [
+                col.ctype.parse(cell) for col, cell in zip(schema.columns, raw)
+            ]
+            table.insert(values)
+    return table
+
+
+def _schema_to_json(schema: TableSchema) -> dict:
+    return {
+        "name": schema.name,
+        "columns": [
+            {"name": c.name, "type": c.ctype.value, "nullable": c.nullable}
+            for c in schema.columns
+        ],
+        "primary_key": list(schema.primary_key),
+        "foreign_keys": [
+            {"column": fk.column, "ref_table": fk.ref_table, "ref_column": fk.ref_column}
+            for fk in schema.foreign_keys
+        ],
+    }
+
+
+def _schema_from_json(blob: dict) -> TableSchema:
+    return TableSchema(
+        name=blob["name"],
+        columns=tuple(
+            Column(c["name"], ColumnType(c["type"]), c.get("nullable", True))
+            for c in blob["columns"]
+        ),
+        primary_key=tuple(blob.get("primary_key", [])),
+        foreign_keys=tuple(
+            ForeignKey(fk["column"], fk["ref_table"], fk["ref_column"])
+            for fk in blob.get("foreign_keys", [])
+        ),
+    )
+
+
+def save_database(db: Database, directory: str) -> None:
+    """Persist every table of ``db`` under ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    manifest = {
+        "name": db.name,
+        "tables": [_schema_to_json(t.schema) for t in db.tables()],
+    }
+    with open(os.path.join(directory, "_schema.json"), "w") as fh:
+        json.dump(manifest, fh, indent=2)
+    for table in db.tables():
+        write_table_csv(table, os.path.join(directory, f"{table.schema.name}.csv"))
+
+
+def load_database(directory: str) -> Database:
+    """Load a database previously written by :func:`save_database`."""
+    with open(os.path.join(directory, "_schema.json")) as fh:
+        manifest = json.load(fh)
+    db = Database(manifest.get("name", "db"))
+    # two passes so FK targets exist before FK owners are validated
+    schemas = [_schema_from_json(blob) for blob in manifest["tables"]]
+    for schema in schemas:
+        db.add_table(Table(schema))
+    for schema in schemas:
+        path = os.path.join(directory, f"{schema.name}.csv")
+        loaded = read_table_csv(schema, path)
+        target = db.table(schema.name)
+        target.insert_many(loaded.rows())
+    return db

@@ -1,0 +1,127 @@
+"""The database catalog: a named collection of tables.
+
+Mirrors the substrate the paper runs on (a PostgreSQL schema holding the
+access log plus the clinical event tables), reduced to the operations the
+explanation-auditing system actually needs: create/drop/list tables,
+foreign-key introspection (feeding the schema graph), and referential
+validation for the synthetic data generator's self-checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .errors import SchemaError, UnknownTableError
+from .schema import ForeignKey, TableSchema
+from .table import Table
+
+
+class Database:
+    """A named collection of :class:`Table` objects."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    # ------------------------------------------------------------------
+    # catalog operations
+    # ------------------------------------------------------------------
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create an empty table; errors if the name is taken or a declared
+        foreign key references a table that is not in the catalog yet."""
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        for fk in schema.foreign_keys:
+            if fk.ref_table != schema.name and fk.ref_table not in self._tables:
+                raise SchemaError(
+                    f"table {schema.name!r} declares FK to missing table "
+                    f"{fk.ref_table!r}"
+                )
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def add_table(self, table: Table) -> None:
+        """Register an existing :class:`Table` (used by CSV loading)."""
+        if table.schema.name in self._tables:
+            raise SchemaError(f"table {table.schema.name!r} already exists")
+        self._tables[table.schema.name] = table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            raise UnknownTableError(name)
+        del self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table of this name exists."""
+        return name in self._tables
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name (raises :class:`UnknownTableError`)."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def table_names(self) -> list[str]:
+        """Names of all catalog tables, in creation order."""
+        return list(self._tables)
+
+    def tables(self) -> Iterator[Table]:
+        """Iterate over all tables."""
+        return iter(self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    # ------------------------------------------------------------------
+    # introspection / validation
+    # ------------------------------------------------------------------
+    def foreign_keys(self) -> list[tuple[str, ForeignKey]]:
+        """All declared FKs as ``(owning_table, fk)`` pairs."""
+        out: list[tuple[str, ForeignKey]] = []
+        for table in self._tables.values():
+            for fk in table.schema.foreign_keys:
+                out.append((table.schema.name, fk))
+        return out
+
+    def validate_referential_integrity(self) -> list[str]:
+        """Check every FK value appears in the referenced column.
+
+        Returns a list of human-readable violation descriptions (empty when
+        the database is consistent).  The synthetic generator uses this as a
+        self-check; it is also handy when loading external CSV data.
+        """
+        violations: list[str] = []
+        for owner, fk in self.foreign_keys():
+            if fk.ref_table not in self._tables:
+                violations.append(f"{owner}.{fk.column}: missing table {fk.ref_table}")
+                continue
+            ref_values = self._tables[fk.ref_table].distinct_values(fk.ref_column)
+            col_idx = self._tables[owner].schema.column_index(fk.column)
+            for row in self._tables[owner].rows():
+                value = row[col_idx]
+                if value is not None and value not in ref_values:
+                    violations.append(
+                        f"{owner}.{fk.column}={value!r} not found in "
+                        f"{fk.ref_table}.{fk.ref_column}"
+                    )
+        return violations
+
+    def total_rows(self) -> int:
+        """Sum of row counts across every table."""
+        return sum(len(t) for t in self._tables.values())
+
+    def summary(self) -> str:
+        """One line per table: name and row count."""
+        lines = [f"database {self.name!r}: {len(self._tables)} tables"]
+        for name, table in sorted(self._tables.items()):
+            lines.append(f"  {name:<16} {len(table):>8} rows")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Database {self.name!r} tables={len(self._tables)}>"

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro.db` relational substrate.
+
+The engine raises narrowly-typed errors so callers (the mining layer, the
+CLI, tests) can distinguish schema problems from data problems from query
+problems without string matching.
+"""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for every error raised by :mod:`repro.db`."""
+
+
+class SchemaError(DatabaseError):
+    """A table/column definition is invalid or inconsistent.
+
+    Raised for duplicate column names, unknown primary-key columns,
+    foreign keys that reference missing tables/columns, and similar
+    catalog-level mistakes.
+    """
+
+
+class UnknownTableError(SchemaError):
+    """A query or catalog operation referenced a table that does not exist."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown table: {name!r}")
+        self.name = name
+
+
+class UnknownColumnError(SchemaError):
+    """A query or row operation referenced a column that does not exist."""
+
+    def __init__(self, table: str, column: str) -> None:
+        super().__init__(f"unknown column {column!r} in table {table!r}")
+        self.table = table
+        self.column = column
+
+
+class IntegrityError(DatabaseError):
+    """A row violates a declared constraint (arity, type, nullability)."""
+
+
+class QueryError(DatabaseError):
+    """A query is malformed: unknown alias, unbound attribute, bad operator,
+    or a disconnected join graph that would require a cartesian product."""

@@ -1,0 +1,331 @@
+"""Parsing explanation templates from SQL text.
+
+The paper presents every template as SQL (Section 2.1); administrators
+review and author templates in that form.  This module accepts the same
+dialect the renderer in :mod:`repro.db.sql` emits:
+
+.. code-block:: sql
+
+    SELECT [DISTINCT] L.Lid, ...      -- or SELECT COUNT(DISTINCT L.Lid)
+    FROM Log L, Appointments A, ...
+    WHERE L.Patient = A.Patient
+      AND A.Doctor = L.User
+      AND A.Date > 5                  -- decorations: literals/inequalities
+
+and returns a :class:`~repro.db.query.ConjunctiveQuery`.  The companion
+:func:`template_from_sql` goes one step further: it reconstructs the
+underlying explanation *path* (the chain from ``Log.Patient`` back to
+``Log.User``) and wraps it as an :class:`ExplanationTemplate`, with any
+non-chain conditions attached as decorations.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from .errors import QueryError
+from .query import AttrRef, Condition, ConjunctiveQuery, Literal, TupleVar
+
+_TOKEN = re.compile(
+    r"""
+    \s*(
+        (?P<string>'(?:[^']|'')*')
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<op><=|>=|!=|<>|=|<|>)
+      | (?P<punct>[(),.])
+      | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(sql: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN.match(sql, pos)
+        if not match:
+            if sql[pos:].strip() == "":
+                break
+            raise QueryError(f"cannot tokenize SQL at: {sql[pos:pos + 20]!r}")
+        pos = match.end()
+        for kind in ("string", "number", "op", "punct", "word"):
+            text = match.group(kind)
+            if text is not None:
+                tokens.append((kind, text))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise QueryError("unexpected end of SQL")
+        self.pos += 1
+        return tok
+
+    def expect_word(self, *words: str) -> str:
+        kind, text = self.next()
+        if kind != "word" or text.upper() not in words:
+            raise QueryError(f"expected {'/'.join(words)}, got {text!r}")
+        return text.upper()
+
+    def expect_punct(self, punct: str) -> None:
+        kind, text = self.next()
+        if kind != "punct" or text != punct:
+            raise QueryError(f"expected {punct!r}, got {text!r}")
+
+    def accept_word(self, *words: str) -> bool:
+        tok = self.peek()
+        if tok and tok[0] == "word" and tok[1].upper() in words:
+            self.pos += 1
+            return True
+        return False
+
+    def accept_punct(self, punct: str) -> bool:
+        tok = self.peek()
+        if tok and tok[0] == "punct" and tok[1] == punct:
+            self.pos += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def attr_ref(self) -> AttrRef:
+        kind, alias = self.next()
+        if kind != "word":
+            raise QueryError(f"expected alias, got {alias!r}")
+        self.expect_punct(".")
+        kind, attr = self.next()
+        if kind != "word":
+            raise QueryError(f"expected attribute, got {attr!r}")
+        return AttrRef(alias, attr)
+
+    def operand(self) -> Any:
+        kind, text = self.next()
+        if kind == "string":
+            return Literal(text[1:-1].replace("''", "'"))
+        if kind == "number":
+            value = float(text) if "." in text else int(text)
+            return Literal(value)
+        if kind == "word":
+            self.expect_punct(".")
+            k2, attr = self.next()
+            if k2 != "word":
+                raise QueryError(f"expected attribute, got {attr!r}")
+            return AttrRef(text, attr)
+        raise QueryError(f"unexpected operand: {text!r}")
+
+    def parse(self) -> ConjunctiveQuery:
+        self.expect_word("SELECT")
+        distinct = False
+        projection: list[AttrRef] = []
+        if self.accept_word("COUNT"):
+            self.expect_punct("(")
+            self.expect_word("DISTINCT")
+            projection.append(self.attr_ref())
+            self.expect_punct(")")
+            distinct = True
+        else:
+            distinct = self.accept_word("DISTINCT")
+            projection.append(self.attr_ref())
+            while self.accept_punct(","):
+                projection.append(self.attr_ref())
+
+        self.expect_word("FROM")
+        tuple_vars: list[TupleVar] = []
+        while True:
+            kind, table = self.next()
+            if kind != "word":
+                raise QueryError(f"expected table name, got {table!r}")
+            kind, alias = self.next()
+            if kind != "word":
+                raise QueryError(f"expected alias, got {alias!r}")
+            tuple_vars.append(TupleVar(alias, table))
+            if not self.accept_punct(","):
+                break
+
+        conditions: list[Condition] = []
+        if self.accept_word("WHERE"):
+            while True:
+                left = self.operand()
+                if not isinstance(left, AttrRef):
+                    raise QueryError("condition must start with alias.attr")
+                kind, op = self.next()
+                if kind != "op":
+                    raise QueryError(f"expected operator, got {op!r}")
+                if op == "<>":
+                    op = "!="
+                right = self.operand()
+                conditions.append(Condition(left, op, right))
+                if not self.accept_word("AND"):
+                    break
+        if self.peek() is not None:
+            raise QueryError(f"trailing tokens after query: {self.peek()!r}")
+        return ConjunctiveQuery.build(tuple_vars, conditions, projection, distinct)
+
+
+def parse_query(sql: str) -> ConjunctiveQuery:
+    """Parse an explanation-template query from SQL text."""
+    return _Parser(_tokenize(sql)).parse()
+
+
+# ----------------------------------------------------------------------
+# template reconstruction
+# ----------------------------------------------------------------------
+def template_from_sql(
+    sql: str,
+    log_table: str = "Log",
+    start_attr: str = "Patient",
+    end_attr: str = "User",
+    description: str | None = None,
+    name: str | None = None,
+    log_id_attr: str = "Lid",
+):
+    """Parse SQL and reconstruct the explanation template it denotes.
+
+    The cross-variable equality conditions must form a chain from
+    ``log.start_attr`` back to ``log.end_attr`` (Definition 1); remaining
+    conditions (literals, inequalities, same-variable comparisons) become
+    decorations.  Raises :class:`QueryError` when no valid chain exists.
+    """
+    from ..core.edges import EdgeKind, SchemaAttr, SchemaEdge
+    from ..core.path import Path
+    from ..core.template import ExplanationTemplate
+
+    query = parse_query(sql)
+    table_of = {v.alias: v.table for v in query.tuple_vars}
+    log_aliases = [v.alias for v in query.tuple_vars if v.table == log_table]
+    if not log_aliases:
+        raise QueryError(f"no {log_table!r} tuple variable in query")
+
+    join_conds = [
+        c
+        for c in query.conditions
+        if c.op == "=" and isinstance(c.right, AttrRef) and c.left.alias != c.right.alias
+    ]
+    decoration_conds = [c for c in query.conditions if c not in join_conds]
+
+    def make_edge(src: AttrRef, dst: AttrRef) -> SchemaEdge:
+        kind = (
+            EdgeKind.SELF_JOIN
+            if table_of[src.alias] == table_of[dst.alias]
+            else EdgeKind.ADMIN
+        )
+        return SchemaEdge(
+            SchemaAttr(table_of[src.alias], src.attr),
+            SchemaAttr(table_of[dst.alias], dst.attr),
+            kind,
+        )
+
+    class _Endpoints:
+        """The slice of SchemaGraph that Path.forward_seed consumes."""
+
+        def __init__(self) -> None:
+            self.log_table = log_table
+            self.start = SchemaAttr(log_table, start_attr)
+            self.end = SchemaAttr(log_table, end_attr)
+
+    endpoints = _Endpoints()
+
+    def search(root_alias: str):
+        """DFS over orderings of the join conditions, building the Path
+        incrementally; returns (path, alias_map) or None."""
+
+        def dfs(path, alias_map, remaining):
+            if not remaining:
+                return (path, alias_map) if path.is_explanation else None
+            current_alias = next(
+                (a for a, v in alias_map.items() if v == path.last_var()), None
+            )
+            for cond in list(remaining):
+                for left, right in (
+                    (cond.left, cond.right),
+                    (cond.right, cond.left),
+                ):
+                    if left.alias != current_alias:
+                        continue
+                    closing = (
+                        right.alias == root_alias and right.attr == end_attr
+                    )
+                    nxt = path.extend_forward(make_edge(left, right))
+                    if nxt is None:
+                        continue
+                    new_map = dict(alias_map)
+                    if closing:
+                        if alias_map.get(root_alias) != 0:
+                            continue
+                    elif right.alias not in new_map:
+                        new_map[right.alias] = nxt.last_var()
+                    elif new_map[right.alias] != nxt.last_var():
+                        continue
+                    rest = list(remaining)
+                    rest.remove(cond)
+                    found = dfs(nxt, new_map, rest)
+                    if found:
+                        return found
+            return None
+
+        # seed: any join condition touching root.start_attr
+        for cond in join_conds:
+            for left, right in ((cond.left, cond.right), (cond.right, cond.left)):
+                if left.alias == root_alias and left.attr == start_attr:
+                    seed_path = Path.forward_seed(endpoints, make_edge(left, right))
+                    if seed_path is None:
+                        continue
+                    alias_map = {root_alias: 0}
+                    if right.alias == root_alias and right.attr == end_attr:
+                        pass  # degenerate single-edge explanation
+                    else:
+                        alias_map[right.alias] = seed_path.last_var()
+                    rest = list(join_conds)
+                    rest.remove(cond)
+                    found = dfs(seed_path, alias_map, rest)
+                    if found:
+                        return found
+        return None
+
+    found = None
+    for root in log_aliases:
+        found = search(root)
+        if found:
+            break
+    if not found:
+        raise QueryError(
+            "the query's equality joins do not form an explanation path "
+            f"from {log_table}.{start_attr} to {log_table}.{end_attr}"
+        )
+    path, alias_map = found
+
+    # rewrite decoration conditions into the path's alias space
+    def remap(ref: AttrRef) -> AttrRef:
+        if ref.alias not in alias_map:
+            raise QueryError(
+                f"decoration references alias {ref.alias!r} outside the path"
+            )
+        return AttrRef(path.alias_of(alias_map[ref.alias]), ref.attr)
+
+    decorations = []
+    for cond in decoration_conds:
+        left = remap(cond.left)
+        right = (
+            remap(cond.right) if isinstance(cond.right, AttrRef) else cond.right
+        )
+        decorations.append(Condition(left, cond.op, right))
+
+    return ExplanationTemplate(
+        path=path,
+        decorations=tuple(decorations),
+        description=description,
+        name=name,
+        log_id_attr=log_id_attr,
+    )

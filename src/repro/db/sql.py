@@ -1,0 +1,78 @@
+"""SQL rendering for explanation-template queries.
+
+Templates are stored internally as :class:`~repro.db.query.ConjunctiveQuery`
+objects; this module renders them into the SQL text the paper prints
+(Section 2.1) — both the straightforward form and the paper's
+*multiplicity-reduced* rewrite that replaces each base table with a
+``SELECT DISTINCT`` subquery over only the attributes the path touches
+(Section 3.2.1).
+
+The renderer is used by the CLI, the examples, and the docs; the engine
+itself executes the structured form directly.
+"""
+
+from __future__ import annotations
+
+from .query import AttrRef, ConjunctiveQuery, cond_attr_refs
+
+
+def render_query(query: ConjunctiveQuery, count_distinct: AttrRef | None = None) -> str:
+    """Render a query as standard SQL.
+
+    With ``count_distinct`` set, renders the paper's support-counting form
+    ``SELECT COUNT(DISTINCT attr) ...`` instead of the projection.
+    """
+    if count_distinct is not None:
+        select = f"SELECT COUNT(DISTINCT {count_distinct})"
+    else:
+        head = "SELECT DISTINCT" if query.distinct else "SELECT"
+        select = f"{head} " + ", ".join(str(ref) for ref in query.projection)
+    frm = "FROM " + ", ".join(f"{v.table} {v.alias}" for v in query.tuple_vars)
+    if query.conditions:
+        where = "WHERE " + "\n  AND ".join(str(c) for c in query.conditions)
+        return f"{select}\n{frm}\n{where}"
+    return f"{select}\n{frm}"
+
+
+def render_query_reduced(
+    query: ConjunctiveQuery, count_distinct: AttrRef | None = None
+) -> str:
+    """Render the multiplicity-reduced rewrite (paper Section 3.2.1).
+
+    Every non-Log tuple variable becomes a ``(SELECT DISTINCT needed-attrs
+    FROM table)`` subquery, mirroring the example rewrite in the paper:
+
+    .. code-block:: sql
+
+        SELECT COUNT(DISTINCT L.Lid)
+        FROM Log L,
+             (SELECT DISTINCT Patient, Doctor FROM Appointments) A
+        WHERE L.Patient = A.Patient AND A.Doctor = L.User
+    """
+    needed: dict[str, set[str]] = {v.alias: set() for v in query.tuple_vars}
+    for cond in query.conditions:
+        for ref in cond_attr_refs(cond):
+            needed[ref.alias].add(ref.attr)
+    for ref in query.projection:
+        needed[ref.alias].add(ref.attr)
+    if count_distinct is not None:
+        needed[count_distinct.alias].add(count_distinct.attr)
+
+    from_parts = []
+    for var in query.tuple_vars:
+        attrs = ", ".join(sorted(needed[var.alias]))
+        if var.table.lower() == "log" or not attrs:
+            from_parts.append(f"{var.table} {var.alias}")
+        else:
+            from_parts.append(f"(SELECT DISTINCT {attrs} FROM {var.table}) {var.alias}")
+
+    if count_distinct is not None:
+        select = f"SELECT COUNT(DISTINCT {count_distinct})"
+    else:
+        head = "SELECT DISTINCT" if query.distinct else "SELECT"
+        select = f"{head} " + ", ".join(str(ref) for ref in query.projection)
+    frm = "FROM " + ",\n     ".join(from_parts)
+    if query.conditions:
+        where = "WHERE " + "\n  AND ".join(str(c) for c in query.conditions)
+        return f"{select}\n{frm}\n{where}"
+    return f"{select}\n{frm}"

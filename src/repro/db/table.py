@@ -1,0 +1,155 @@
+"""Row storage with lazy hash indexes and distinct projections.
+
+A :class:`Table` stores rows as plain tuples in insertion order.  Two access
+structures matter for the auditing workload:
+
+* **hash indexes** (``value -> [row positions]``) on single columns, built
+  lazily the first time a column is used as a join key; and
+* **distinct projections** (``set of value tuples``), which implement the
+  paper's *Reducing Result Multiplicity* optimization (Section 3.2.1): the
+  support of a path only needs the distinct combinations of the attributes
+  the path touches, so each tuple variable is reduced to a deduplicated
+  projection before joining.
+
+Both structures are cached and invalidated on mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from .errors import IntegrityError, UnknownColumnError
+from .schema import TableSchema
+
+
+class Table:
+    """A mutable, in-memory relation conforming to a :class:`TableSchema`."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: list[tuple] = []
+        self._indexes: dict[str, dict[Any, list[int]]] = {}
+        self._distinct_cache: dict[tuple[str, ...], set[tuple]] = {}
+        self._ndv_cache: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Sequence[Any] | Mapping[str, Any]) -> None:
+        """Insert one row, given positionally or as a column->value mapping.
+
+        Raises :class:`IntegrityError` on arity, type, or nullability
+        violations.
+        """
+        if isinstance(row, Mapping):
+            values = []
+            for col in self.schema.columns:
+                if col.name in row:
+                    values.append(row[col.name])
+                else:
+                    values.append(None)
+            extra = set(row) - set(self.schema.column_names)
+            if extra:
+                raise UnknownColumnError(self.schema.name, sorted(extra)[0])
+            tup = tuple(values)
+        else:
+            tup = tuple(row)
+            if len(tup) != self.schema.arity():
+                raise IntegrityError(
+                    f"table {self.schema.name!r} expects {self.schema.arity()} "
+                    f"values, got {len(tup)}"
+                )
+        for col, value in zip(self.schema.columns, tup):
+            if value is None and not col.nullable:
+                raise IntegrityError(
+                    f"column {self.schema.name}.{col.name} is NOT NULL"
+                )
+            if not col.ctype.validate(value):
+                raise IntegrityError(
+                    f"column {self.schema.name}.{col.name} expects "
+                    f"{col.ctype.value}, got {type(value).__name__}: {value!r}"
+                )
+        self._rows.append(tup)
+        self._invalidate()
+
+    def insert_many(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        n = 0
+        for row in rows:
+            self.insert(row)
+            n += 1
+        return n
+
+    def clear(self) -> None:
+        """Remove all rows."""
+        self._rows.clear()
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._indexes.clear()
+        self._distinct_cache.clear()
+        self._ndv_cache.clear()
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def rows(self) -> list[tuple]:
+        """All rows (the live list; treat as read-only)."""
+        return self._rows
+
+    def row(self, position: int) -> tuple:
+        """The row tuple at a storage position."""
+        return self._rows[position]
+
+    def column_values(self, column: str) -> list[Any]:
+        """All values of one column, in row order."""
+        idx = self.schema.column_index(column)
+        return [r[idx] for r in self._rows]
+
+    def distinct_values(self, column: str) -> set:
+        """Distinct values of one column (NULLs excluded)."""
+        return {t[0] for t in self.project_distinct((column,)) if t[0] is not None}
+
+    def ndv(self, column: str) -> int:
+        """Number of distinct non-NULL values; cached (optimizer statistic)."""
+        if column not in self._ndv_cache:
+            self._ndv_cache[column] = len(self.distinct_values(column))
+        return self._ndv_cache[column]
+
+    def index_for(self, column: str) -> dict[Any, list[int]]:
+        """Hash index ``value -> [row positions]``, built lazily and cached."""
+        if column not in self._indexes:
+            idx = self.schema.column_index(column)
+            mapping: dict[Any, list[int]] = {}
+            for pos, row in enumerate(self._rows):
+                mapping.setdefault(row[idx], []).append(pos)
+            self._indexes[column] = mapping
+        return self._indexes[column]
+
+    def project_distinct(self, columns: Sequence[str]) -> set[tuple]:
+        """Distinct combinations of ``columns``, cached.
+
+        This is the engine-level realization of the paper's multiplicity
+        reduction: ``SELECT DISTINCT a, b FROM T`` evaluated once and
+        reused across all candidate paths that touch the same attributes.
+        """
+        key = tuple(columns)
+        if key not in self._distinct_cache:
+            idxs = [self.schema.column_index(c) for c in columns]
+            self._distinct_cache[key] = {
+                tuple(row[i] for i in idxs) for row in self._rows
+            }
+        return self._distinct_cache[key]
+
+    def lookup(self, column: str, value: Any) -> list[tuple]:
+        """Rows where ``column == value`` (via the hash index)."""
+        return [self._rows[p] for p in self.index_for(column).get(value, ())]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Table {self.schema.name} rows={len(self._rows)}>"

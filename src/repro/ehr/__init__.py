@@ -1,0 +1,55 @@
+"""Synthetic CareWeb-like EHR substrate (substitute for the paper's data).
+
+The University of Michigan Health System data used in Section 5 is not
+available, so this package generates a miniature hospital whose log has
+the same structural properties the paper's evaluation relies on; see
+:mod:`.config` for the property-by-property correspondence and DESIGN.md
+for the substitution rationale.
+"""
+
+from .config import SimulationConfig
+from .fakelog import (
+    FAKE_LID_BASE,
+    combined_log_db,
+    generate_fake_accesses,
+    is_fake_lid,
+)
+from .hospital import SPECIALTIES, build_hospital
+from .models import CareTeam, Hospital, PatientRecord, Role, UserRecord
+from .schema import (
+    DATASET_A,
+    DATASET_B,
+    EVENT_TABLES,
+    PATIENT_COLUMNS,
+    USER_COLUMNS,
+    build_careweb_graph,
+    build_empty_careweb_db,
+    careweb_schemas,
+)
+from .simulator import EPOCH, SimulationResult, simulate
+
+__all__ = [
+    "DATASET_A",
+    "DATASET_B",
+    "EPOCH",
+    "EVENT_TABLES",
+    "FAKE_LID_BASE",
+    "PATIENT_COLUMNS",
+    "Role",
+    "SPECIALTIES",
+    "SimulationConfig",
+    "SimulationResult",
+    "USER_COLUMNS",
+    "UserRecord",
+    "PatientRecord",
+    "CareTeam",
+    "Hospital",
+    "build_careweb_graph",
+    "build_empty_careweb_db",
+    "build_hospital",
+    "careweb_schemas",
+    "combined_log_db",
+    "generate_fake_accesses",
+    "is_fake_lid",
+    "simulate",
+]

@@ -1,0 +1,151 @@
+"""Configuration of the synthetic CareWeb-like hospital simulation.
+
+The real study (paper Section 5.2) uses one de-identified week of CareWeb
+data: ~4.5M accesses, 124K patients, 12K users, 51K appointments, 3K
+visits, 76K documents, 45K labs, 242K medications, 17K radiology records,
+291 department codes, user-patient density ~0.0003.  That data cannot be
+shipped, so :mod:`repro.ehr` generates a miniature hospital whose *shape*
+matches the properties the paper's results depend on:
+
+* almost every access traces to a clinical event recorded in the database
+  (Figure 6's ~97% "All" bar), with a small unexplainable residue;
+* repeat accesses form the majority of the log;
+* events reference only the primary doctor, while care-team colleagues
+  (nurses, consult services) also access the record — which is exactly why
+  hand-crafted "w/Dr." templates explain only a small share of *first*
+  accesses (Figure 9) until collaborative groups are added (Figure 12);
+* collaborative teams span department codes (the paper's Cancer Center
+  group mixes Hem/Onc physicians, radiology, pathology, pharmacy, ...);
+* user-patient density is very low, which is what makes short mined
+  templates precise against a random fake log (Figure 14).
+
+All rates below are per-encounter/day probabilities; sizes default to a
+roughly 1:100 scale-down of CareWeb.  Every run is fully determined by
+``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of the synthetic hospital; see module docstring for intent."""
+
+    seed: int = 7
+    #: Simulated days; the paper uses one week (7 days), training on days
+    #: 1-6 and testing on day 7.
+    n_days: int = 7
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    n_teams: int = 16
+    doctors_per_team: tuple[int, int] = (2, 4)
+    nurses_per_team: tuple[int, int] = (4, 7)
+    students_per_team: tuple[int, int] = (1, 2)
+    clerks_per_team: tuple[int, int] = (1, 2)
+    #: Service staff shared across teams (radiology/pathology/pharmacy/lab).
+    n_radiologists: int = 10
+    n_pathologists: int = 8
+    n_pharmacists: int = 10
+    n_lab_techs: int = 10
+    #: How many teams each service user works with.
+    teams_per_service_user: tuple[int, int] = (2, 4)
+    patients_per_team: tuple[int, int] = (150, 250)
+
+    # ------------------------------------------------------------------
+    # clinical events per day
+    # ------------------------------------------------------------------
+    #: Fraction of a team's patient panel encountered per day.
+    daily_encounter_rate: float = 0.07
+    p_visit: float = 0.30
+    p_document: float = 0.55
+    p_labs: float = 0.35
+    p_medication: float = 0.50
+    p_radiology: float = 0.20
+    #: Chance an encounter's appointment row is *missing* from the extract
+    #: (the paper's incomplete-data effect: "appointments outside of the
+    #: study's timeframe were not considered").
+    p_event_dropout: float = 0.05
+    #: Chance a *patient's* events are entirely absent from the extract
+    #: even though staff access the chart (e.g. care driven by last
+    #: month's encounter).  Directly produces the paper's ~25% of first
+    #: accesses with no corresponding event (Figure 8).
+    p_patient_unrecorded: float = 0.22
+
+    # ------------------------------------------------------------------
+    # access behaviour
+    # ------------------------------------------------------------------
+    doctor_accesses_per_encounter: tuple[int, int] = (1, 3)
+    #: Probability each team nurse opens the chart around an encounter.
+    p_nurse_access: float = 0.55
+    p_student_access: float = 0.35
+    p_clerk_access: float = 0.25
+    #: Consult staff (lab performer / med signer / radiologist) access their
+    #: referenced charts with this probability.
+    p_consult_access: float = 0.85
+    #: Mean number of *repeat* accesses each active user makes per day to
+    #: patients they already know (drives the repeat-majority shape).
+    repeat_rate_per_user_day: float = 11.0
+    #: Fraction of accesses that are inexplicable noise (snooping or data
+    #: missing from the extract): uniform random user-patient pairs.
+    noise_fraction: float = 0.015
+
+    # ------------------------------------------------------------------
+    # misuse-detection demo
+    # ------------------------------------------------------------------
+    #: Scripted snooping incidents (a user opens the chart of an unrelated
+    #: patient), tagged in the ground truth for the examples.
+    n_snooping_incidents: int = 4
+
+    def scaled(self, **overrides) -> "SimulationConfig":
+        """A copy with selected fields overridden."""
+        return replace(self, **overrides)
+
+    @staticmethod
+    def small(seed: int = 7) -> "SimulationConfig":
+        """Test-sized hospital (~60 users, ~300 patients, ~2-3K accesses)."""
+        return SimulationConfig(
+            seed=seed,
+            n_teams=4,
+            doctors_per_team=(1, 2),
+            nurses_per_team=(2, 3),
+            students_per_team=(0, 1),
+            clerks_per_team=(1, 1),
+            n_radiologists=3,
+            n_pathologists=2,
+            n_pharmacists=3,
+            n_lab_techs=3,
+            teams_per_service_user=(1, 2),
+            patients_per_team=(40, 60),
+            daily_encounter_rate=0.08,
+        )
+
+    @staticmethod
+    def tiny(seed: int = 7) -> "SimulationConfig":
+        """Micro hospital for fast unit tests (~25 users, ~80 patients)."""
+        return SimulationConfig(
+            seed=seed,
+            n_teams=2,
+            doctors_per_team=(1, 2),
+            nurses_per_team=(2, 2),
+            students_per_team=(0, 0),
+            clerks_per_team=(1, 1),
+            n_radiologists=2,
+            n_pathologists=1,
+            n_pharmacists=2,
+            n_lab_techs=2,
+            teams_per_service_user=(1, 2),
+            patients_per_team=(30, 50),
+            daily_encounter_rate=0.08,
+            n_snooping_incidents=2,
+        )
+
+    @staticmethod
+    def benchmark(seed: int = 7) -> "SimulationConfig":
+        """Benchmark-sized hospital (~170 users, ~1.7K patients, ~25K
+        accesses) — large enough for the paper's shapes to be stable,
+        small enough that full mining sweeps finish in minutes."""
+        return SimulationConfig(seed=seed)

@@ -1,0 +1,87 @@
+"""Fake-log construction for precision experiments (paper Section 5.3.2).
+
+"We constructed a fake log that contains the same number of accesses as
+the real log.  We generated each access in the fake log by selecting a
+user and a patient uniformly at random from the set of users and patients
+in the database. ... We then combined the real and fake logs, and
+evaluated the explanation templates on the combined log."
+
+Fake entries receive lids starting at :data:`FAKE_LID_BASE` so the
+evaluation can separate real from fake without side tables.
+"""
+
+from __future__ import annotations
+
+
+
+import numpy as np
+
+from ..db.database import Database
+from ..db.table import Table
+
+#: Fake log ids start here; anything >= this is synthetic.
+FAKE_LID_BASE = 10_000_000
+
+
+def is_fake_lid(lid: int) -> bool:
+    """Whether a log id belongs to the synthetic fake log."""
+    return lid >= FAKE_LID_BASE
+
+
+def generate_fake_accesses(
+    db: Database,
+    n: int | None = None,
+    seed: int = 0,
+    log_table: str = "Log",
+) -> list[tuple]:
+    """``n`` uniformly random ``(lid, date, user, patient)`` rows.
+
+    Users and patients are drawn from the sets present in the database
+    (users from the Users table when available, else from the log); dates
+    are drawn uniformly from the real log's date range.  ``n`` defaults to
+    the size of the real log, per the paper's protocol.
+    """
+    rng = np.random.default_rng(seed)
+    log = db.table(log_table)
+    if n is None:
+        n = len(log)
+    if db.has_table("Users"):
+        users = sorted(db.table("Users").distinct_values("User"))
+    else:
+        users = sorted(log.distinct_values("User"))
+    patients = sorted(log.distinct_values("Patient"))
+    dates = sorted(d for d in log.distinct_values("Date"))
+    if not users or not patients or not dates:
+        return []
+    rows = []
+    for i in range(n):
+        user = users[int(rng.integers(0, len(users)))]
+        patient = patients[int(rng.integers(0, len(patients)))]
+        date = dates[int(rng.integers(0, len(dates)))]
+        rows.append((FAKE_LID_BASE + i, date, user, patient))
+    return rows
+
+
+def combined_log_db(
+    db: Database,
+    n_fake: int | None = None,
+    seed: int = 0,
+    log_table: str = "Log",
+) -> tuple[Database, set, set]:
+    """A derived database whose log is real + fake, sharing every other
+    table with ``db``.  Returns ``(combined_db, real_lids, fake_lids)``."""
+    combined = Database(f"{db.name}+fake")
+    log = db.table(log_table)
+    new_log = Table(log.schema)
+    new_log.insert_many(log.rows())
+    fake_rows = generate_fake_accesses(db, n=n_fake, seed=seed, log_table=log_table)
+    new_log.insert_many(fake_rows)
+    for table in db.tables():
+        if table.schema.name == log_table:
+            combined.add_table(new_log)
+        else:
+            combined.add_table(table)
+    lid_idx = log.schema.column_index("Lid")
+    real_lids = {row[lid_idx] for row in log.rows()}
+    fake_lids = {row[0] for row in fake_rows}
+    return combined, real_lids, fake_lids

@@ -1,0 +1,152 @@
+"""Hospital topology generation: departments, care teams, users, patients.
+
+Department codes deliberately echo the paper's Figures 10-11: a clinical
+specialty has *separate* physician and nursing codes ("as we found in our
+data set, the nurse and doctor are assigned different department codes
+based on their job title"), and service departments (Radiology, Pathology,
+Pharmacy, ...) span many teams — which is why department codes alone are a
+poor proxy for collaborative groups (Figure 12's "Same Dept." bars).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import SimulationConfig
+from .models import CareTeam, Hospital, PatientRecord, Role, UserRecord
+
+#: Clinical specialties: (team name, physician dept code, nursing dept code).
+SPECIALTIES = [
+    ("Cancer Center", "UMHS Int Med - Hem/Onc (Physicians)", "Nursing - Oncology"),
+    ("Psychiatric Care", "UMHS Psychiatry (Physicians)", "Nursing - Psych 9C/D"),
+    ("Pediatrics", "Pediatrics (Physicians)", "Nursing - Pediatrics"),
+    ("Cardiology", "Cardiology (Physicians)", "Nursing - Cardiology"),
+    ("Emergency", "Emergency Medicine (Physicians)", "Nursing - Emergency"),
+    ("Surgery", "General Surgery (Physicians)", "Nursing - Surgery"),
+    ("Obstetrics", "Obstetrics (Physicians)", "Nursing - Obstetrics"),
+    ("Neurology", "Neurology (Physicians)", "Nursing - Neurology"),
+    ("Internal Medicine", "Internal Medicine (Physicians)", "Nursing - Int Med"),
+    ("Orthopedics", "Orthopedics (Physicians)", "Nursing - Orthopedics"),
+    ("Dermatology", "Dermatology (Physicians)", "Nursing - Dermatology"),
+    ("Geriatrics", "Geriatrics (Physicians)", "Nursing - Geriatrics"),
+]
+
+DEPT_RADIOLOGY = "Radiology"
+DEPT_PATHOLOGY = "Pathology"
+DEPT_PHARMACY = "Pharmacy"
+DEPT_LAB = "Clinical Labs"
+DEPT_STUDENTS = "Medical Students"
+DEPT_CLERKS = "Health Information Management"
+
+
+def _randint(rng: np.random.Generator, bounds: tuple[int, int]) -> int:
+    lo, hi = bounds
+    return int(rng.integers(lo, hi + 1))
+
+
+def build_hospital(config: SimulationConfig) -> Hospital:
+    """Generate the full topology deterministically from ``config.seed``."""
+    rng = np.random.default_rng(config.seed)
+    hospital = Hospital()
+    next_uid = 0
+
+    def new_user(role: Role, department: str, team_ids: tuple[int, ...]) -> str:
+        nonlocal next_uid
+        user_id = f"u{next_uid:04d}"
+        next_uid += 1
+        hospital.users[user_id] = UserRecord(
+            user_id=user_id, role=role, department=department, team_ids=team_ids
+        )
+        return user_id
+
+    # --- service pools (attached to teams below) ----------------------
+    service_pools: dict[Role, list[str]] = {
+        Role.RADIOLOGIST: [
+            new_user(Role.RADIOLOGIST, DEPT_RADIOLOGY, ())
+            for _ in range(config.n_radiologists)
+        ],
+        Role.PATHOLOGIST: [
+            new_user(Role.PATHOLOGIST, DEPT_PATHOLOGY, ())
+            for _ in range(config.n_pathologists)
+        ],
+        Role.PHARMACIST: [
+            new_user(Role.PHARMACIST, DEPT_PHARMACY, ())
+            for _ in range(config.n_pharmacists)
+        ],
+        Role.LAB_TECH: [
+            new_user(Role.LAB_TECH, DEPT_LAB, ())
+            for _ in range(config.n_lab_techs)
+        ],
+    }
+
+    # --- clinical teams ------------------------------------------------
+    service_assignment: dict[str, list[int]] = {
+        uid: [] for pool in service_pools.values() for uid in pool
+    }
+    for team_id in range(config.n_teams):
+        name, phys_dept, nurse_dept = SPECIALTIES[team_id % len(SPECIALTIES)]
+        if team_id >= len(SPECIALTIES):
+            name = f"{name} {team_id // len(SPECIALTIES) + 1}"
+        doctors = tuple(
+            new_user(Role.DOCTOR, phys_dept, (team_id,))
+            for _ in range(_randint(rng, config.doctors_per_team))
+        )
+        nurses = tuple(
+            new_user(Role.NURSE, nurse_dept, (team_id,))
+            for _ in range(_randint(rng, config.nurses_per_team))
+        )
+        students = tuple(
+            new_user(Role.STUDENT, DEPT_STUDENTS, (team_id,))
+            for _ in range(_randint(rng, config.students_per_team))
+        )
+        clerks = tuple(
+            new_user(Role.CLERK, DEPT_CLERKS, (team_id,))
+            for _ in range(_randint(rng, config.clerks_per_team))
+        )
+        # attach one service user of each kind, preferring the least-loaded
+        attached: list[str] = []
+        for role, pool in service_pools.items():
+            pool_sorted = sorted(
+                pool, key=lambda uid: (len(service_assignment[uid]), uid)
+            )
+            capacity = _randint(rng, config.teams_per_service_user)
+            candidates = [
+                uid
+                for uid in pool_sorted
+                if len(service_assignment[uid]) < capacity
+            ] or pool_sorted
+            choice = candidates[0]
+            service_assignment[choice].append(team_id)
+            attached.append(choice)
+        hospital.teams[team_id] = CareTeam(
+            team_id=team_id,
+            name=name,
+            specialty=phys_dept,
+            doctor_ids=doctors,
+            nurse_ids=nurses,
+            student_ids=students,
+            clerk_ids=clerks,
+            service_ids=tuple(attached),
+        )
+
+    # record final team memberships on the service users
+    for uid, team_ids in service_assignment.items():
+        old = hospital.users[uid]
+        hospital.users[uid] = UserRecord(
+            user_id=uid,
+            role=old.role,
+            department=old.department,
+            team_ids=tuple(team_ids),
+        )
+
+    # --- patients -------------------------------------------------------
+    next_pid = 0
+    for team_id, team in hospital.teams.items():
+        for _ in range(_randint(rng, config.patients_per_team)):
+            patient_id = f"p{next_pid:05d}"
+            next_pid += 1
+            pcp = team.doctor_ids[int(rng.integers(0, len(team.doctor_ids)))]
+            hospital.patients[patient_id] = PatientRecord(
+                patient_id=patient_id, team_id=team_id, pcp=pcp
+            )
+    return hospital

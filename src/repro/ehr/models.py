@@ -1,0 +1,112 @@
+"""Entity models of the synthetic hospital.
+
+Only the *behavioural* structure lives here (who works with whom, who
+treats whom); the relational rows the auditing system sees are generated
+from these by :mod:`repro.ehr.simulator`.  Crucially, team membership —
+the ground truth the collaborative-group inference of Section 4 tries to
+recover — is **never** written into the database, mirroring the paper's
+observation that "Dr. Dave and Nurse Nick work together, but this
+information is not recorded anywhere."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Role(Enum):
+    """Job roles of hospital employees."""
+    DOCTOR = "doctor"
+    NURSE = "nurse"
+    STUDENT = "student"
+    CLERK = "clerk"
+    RADIOLOGIST = "radiologist"
+    PATHOLOGIST = "pathologist"
+    PHARMACIST = "pharmacist"
+    LAB_TECH = "lab_tech"
+
+
+@dataclass(frozen=True)
+class UserRecord:
+    """One hospital employee."""
+
+    user_id: str
+    role: Role
+    department: str
+    team_ids: tuple[int, ...]
+
+    def is_clinical(self) -> bool:
+        """True for direct-care roles (doctor/nurse/student)."""
+        return self.role in (Role.DOCTOR, Role.NURSE, Role.STUDENT)
+
+
+@dataclass(frozen=True)
+class PatientRecord:
+    """One patient, attached to a primary care team and physician."""
+
+    patient_id: str
+    team_id: int
+    pcp: str  # primary care physician's user id
+
+
+@dataclass(frozen=True)
+class CareTeam:
+    """A collaborative group: the clinical core plus attached services.
+
+    This is the latent structure behind the access log; the paper's
+    Figures 10-11 show such groups (Cancer Center, Psychiatric Care)
+    recovered from access patterns alone.
+    """
+
+    team_id: int
+    name: str
+    specialty: str
+    doctor_ids: tuple[str, ...]
+    nurse_ids: tuple[str, ...]
+    student_ids: tuple[str, ...]
+    clerk_ids: tuple[str, ...]
+    service_ids: tuple[str, ...]  # radiologist/pathologist/pharmacist/lab
+
+    def members(self) -> tuple[str, ...]:
+        """Every member's user id, clinical core first."""
+        return (
+            self.doctor_ids
+            + self.nurse_ids
+            + self.student_ids
+            + self.clerk_ids
+            + self.service_ids
+        )
+
+
+@dataclass
+class Hospital:
+    """The generated topology: users, patients, teams, departments."""
+
+    users: dict[str, UserRecord] = field(default_factory=dict)
+    patients: dict[str, PatientRecord] = field(default_factory=dict)
+    teams: dict[int, CareTeam] = field(default_factory=dict)
+
+    def team_of_patient(self, patient_id: str) -> CareTeam:
+        """The care team responsible for a patient."""
+        return self.teams[self.patients[patient_id].team_id]
+
+    def department_of(self, user_id: str) -> str:
+        """Department code of one employee."""
+        return self.users[user_id].department
+
+    def departments(self) -> set[str]:
+        """All department codes present in the hospital."""
+        return {u.department for u in self.users.values()}
+
+    def users_by_role(self, role: Role) -> list[str]:
+        """Sorted user ids holding one role."""
+        return sorted(u.user_id for u in self.users.values() if u.role is role)
+
+    def summary(self) -> str:
+        """One-line size summary of the topology."""
+        return (
+            f"hospital: {len(self.users)} users, {len(self.patients)} "
+            f"patients, {len(self.teams)} teams, "
+            f"{len(self.departments())} departments"
+        )

@@ -1,0 +1,159 @@
+"""The CareWeb-like relational schema and its explanation graph.
+
+Tables mirror the paper's data sets A and B (Section 5.2):
+
+* ``Log(Lid, Date, User, Patient)`` — the access log;
+* data set A: ``Appointments``, ``Visits``, ``Documents``;
+* data set B: ``Labs``, ``Medications``, ``Radiology`` (the consult-request
+  tables added when radiology/pathology/pharmacy accesses proved
+  unexplainable from data set A alone);
+* ``Users(User, Department)`` — the paper's 291 descriptive department
+  codes;
+* ``Groups(Group_Depth, Group_id, User)`` — added by the Section 4
+  pipeline.
+
+The explanation graph declares the administrator relationships the paper
+uses: every patient-typed column is joinable to every other (the paper's
+key/FK patient links), every user-typed column to every other (the paper
+routed these through a free caregiver/audit id mapping table; we model the
+equivalent direct relationships), self-joins on ``Groups.Group_id`` and on
+``Users.Department`` (the department-code self-join of template (B)).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..core.edges import SchemaAttr
+from ..core.graph import SchemaGraph
+from ..db.database import Database
+from ..db.schema import ColumnType, ForeignKey, TableSchema
+
+#: Every (table, column) holding a patient id.
+PATIENT_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("Log", "Patient"),
+    ("Appointments", "Patient"),
+    ("Visits", "Patient"),
+    ("Documents", "Patient"),
+    ("Labs", "Patient"),
+    ("Medications", "Patient"),
+    ("Radiology", "Patient"),
+)
+
+#: Every (table, column) holding a user id (Groups included when present).
+USER_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("Log", "User"),
+    ("Appointments", "Doctor"),
+    ("Visits", "Doctor"),
+    ("Documents", "Author"),
+    ("Labs", "Requester"),
+    ("Labs", "Performer"),
+    ("Medications", "Requester"),
+    ("Medications", "Signer"),
+    ("Medications", "Administrator"),
+    ("Radiology", "Requester"),
+    ("Radiology", "Radiologist"),
+)
+
+#: Tables belonging to the paper's data set A / data set B.
+DATASET_A = ("Appointments", "Visits", "Documents")
+DATASET_B = ("Labs", "Medications", "Radiology")
+EVENT_TABLES = DATASET_A + DATASET_B
+
+
+def careweb_schemas() -> list[TableSchema]:
+    """All table definitions, in creation (FK-dependency) order."""
+    users = TableSchema.build("Users", ["User", "Department"], primary_key=["User"])
+
+    def fk(column: str) -> ForeignKey:
+        return ForeignKey(column, "Users", "User")
+
+    log = TableSchema.build(
+        "Log",
+        [("Lid", ColumnType.INT), ("Date", ColumnType.DATE), "User", "Patient"],
+        primary_key=["Lid"],
+        foreign_keys=[fk("User")],
+    )
+    appointments = TableSchema.build(
+        "Appointments",
+        ["Patient", "Doctor", ("Date", ColumnType.DATE)],
+        foreign_keys=[fk("Doctor")],
+    )
+    visits = TableSchema.build(
+        "Visits",
+        ["Patient", "Doctor", ("Date", ColumnType.DATE)],
+        foreign_keys=[fk("Doctor")],
+    )
+    documents = TableSchema.build(
+        "Documents",
+        ["Patient", "Author", ("Date", ColumnType.DATE)],
+        foreign_keys=[fk("Author")],
+    )
+    labs = TableSchema.build(
+        "Labs",
+        ["Patient", "Requester", "Performer", ("Date", ColumnType.DATE)],
+        foreign_keys=[fk("Requester"), fk("Performer")],
+    )
+    medications = TableSchema.build(
+        "Medications",
+        [
+            "Patient",
+            "Requester",
+            "Signer",
+            "Administrator",
+            ("Date", ColumnType.DATE),
+        ],
+        foreign_keys=[fk("Requester"), fk("Signer"), fk("Administrator")],
+    )
+    radiology = TableSchema.build(
+        "Radiology",
+        ["Patient", "Requester", "Radiologist", ("Date", ColumnType.DATE)],
+        foreign_keys=[fk("Requester"), fk("Radiologist")],
+    )
+    return [users, log, appointments, visits, documents, labs, medications, radiology]
+
+
+def build_empty_careweb_db(name: str = "careweb") -> Database:
+    """A database with every CareWeb-shaped table, empty."""
+    db = Database(name)
+    for schema in careweb_schemas():
+        db.create_table(schema)
+    return db
+
+
+def build_careweb_graph(
+    db: Database,
+    allow_log_self_joins: bool = False,
+    max_tables_uncounted: tuple[str, ...] = (),
+) -> SchemaGraph:
+    """The mining edge set for a CareWeb-shaped database.
+
+    ``allow_log_self_joins`` additionally permits self-joins on
+    ``Log.Patient`` and ``Log.User``, which makes the (vacuously supported)
+    undecorated repeat-access template minable; the paper's configuration —
+    and our default — leaves them to hand-crafted decorated templates.
+    """
+    graph = SchemaGraph(db, uncounted_tables=max_tables_uncounted)
+
+    patient_columns = [
+        (t, c) for t, c in PATIENT_COLUMNS if db.has_table(t)
+    ]
+    user_columns = [(t, c) for t, c in USER_COLUMNS if db.has_table(t)]
+    if db.has_table("Groups"):
+        user_columns.append(("Groups", "User"))
+
+    for (t1, c1), (t2, c2) in combinations(patient_columns, 2):
+        if t1 != t2:
+            graph.add_relationship(SchemaAttr(t1, c1), SchemaAttr(t2, c2))
+    for (t1, c1), (t2, c2) in combinations(user_columns, 2):
+        if t1 != t2:
+            graph.add_relationship(SchemaAttr(t1, c1), SchemaAttr(t2, c2))
+
+    if db.has_table("Groups"):
+        graph.allow_self_join("Groups", "Group_id")
+    if db.has_table("Users"):
+        graph.allow_self_join("Users", "Department")
+    if allow_log_self_joins:
+        graph.allow_self_join("Log", "Patient")
+        graph.allow_self_join("Log", "User")
+    return graph

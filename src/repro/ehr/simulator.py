@@ -1,0 +1,270 @@
+"""The CareWeb access-log simulator.
+
+Generates one (or more) weeks of clinical events and the accesses they
+cause, plus repeat accesses and an unexplainable residue.  Each access
+carries a hidden ground-truth *reason tag* (returned beside the database,
+never stored in it) so tests and examples can check what the auditing
+system recovers:
+
+===============  ======================================================
+tag              meaning
+===============  ======================================================
+``appt-doctor``  the treating doctor opened the chart around an encounter
+``care-team``    a nurse/student/clerk on the patient's team opened it
+``consult``      lab/pharmacy/radiology staff served a recorded request
+``repeat``       the user re-opened a chart they had opened before
+``noise``        residue: data outside the extract (unexplainable)
+``snoop``        scripted misuse incident (unexplainable, flagged)
+===============  ======================================================
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..db.database import Database
+from .config import SimulationConfig
+from .hospital import build_hospital
+from .models import Hospital, Role
+from .schema import build_empty_careweb_db
+
+#: Simulation epoch: Monday, Jan 4th 2010 (the paper's log is from
+#: January 2010).
+EPOCH = dt.datetime(2010, 1, 4)
+
+
+@dataclass
+class SimulationResult:
+    """The generated database plus everything the DB doesn't tell you."""
+
+    db: Database
+    hospital: Hospital
+    config: SimulationConfig
+    #: lid -> ground-truth reason tag (see module docstring).
+    reasons: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def log_size(self) -> int:
+        """Number of generated accesses."""
+        return len(self.db.table("Log"))
+
+    def lids_tagged(self, *tags: str) -> set[int]:
+        """Log ids whose hidden ground-truth reason is among ``tags``."""
+        wanted = set(tags)
+        return {lid for lid, tag in self.reasons.items() if tag in wanted}
+
+    def summary(self) -> str:
+        """One-line description of the generated world and log mix."""
+        counts: dict[str, int] = {}
+        for tag in self.reasons.values():
+            counts[tag] = counts.get(tag, 0) + 1
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        return (
+            f"{self.hospital.summary()}; log={self.log_size} accesses "
+            f"({parts})"
+        )
+
+
+def _time_in_day(rng: np.random.Generator, day: int) -> dt.datetime:
+    """A clock time on simulated ``day`` (1-based), 07:00-19:00."""
+    minutes = int(rng.integers(7 * 60, 19 * 60))
+    return EPOCH + dt.timedelta(days=day - 1, minutes=minutes)
+
+
+def simulate(config: SimulationConfig | None = None) -> SimulationResult:
+    """Run the full simulation; deterministic in ``config.seed``."""
+    config = config or SimulationConfig()
+    rng = np.random.default_rng(config.seed + 1)
+    hospital = build_hospital(config)
+    db = build_empty_careweb_db()
+
+    users_table = db.table("Users")
+    for user in sorted(hospital.users.values(), key=lambda u: u.user_id):
+        users_table.insert((user.user_id, user.department))
+
+    appointments: list[tuple] = []
+    visits: list[tuple] = []
+    documents: list[tuple] = []
+    labs: list[tuple] = []
+    medications: list[tuple] = []
+    radiology: list[tuple] = []
+    #: (timestamp, user, patient, reason)
+    accesses: list[tuple[dt.datetime, str, str, str]] = []
+    #: patients each user has already accessed (for repeat generation);
+    #: ``recorded_history`` holds only patients under active *recorded*
+    #: care — repeats concentrate there, which is why the paper's Figure 6
+    #: (all accesses) shows higher event coverage than Figure 8 (firsts).
+    history: dict[str, list[str]] = {}
+    history_sets: dict[str, set[str]] = {}
+    recorded_history: dict[str, list[str]] = {}
+
+    def record_access(ts: dt.datetime, user: str, patient: str, reason: str) -> None:
+        accesses.append((ts, user, patient, reason))
+        seen = history_sets.setdefault(user, set())
+        if patient not in seen:
+            seen.add(patient)
+            history.setdefault(user, []).append(patient)
+            if patient not in unrecorded_patients:
+                recorded_history.setdefault(user, []).append(patient)
+
+    def service_member(team, role: Role) -> str | None:
+        for uid in team.service_ids:
+            if hospital.users[uid].role is role:
+                return uid
+        return None
+
+    patients_by_team: dict[int, list[str]] = {}
+    for patient in hospital.patients.values():
+        patients_by_team.setdefault(patient.team_id, []).append(patient.patient_id)
+    for panel in patients_by_team.values():
+        panel.sort()
+
+    # Patients whose clinical events fall outside the extract entirely
+    # (care continues from un-extracted earlier encounters) — the paper's
+    # "we attribute this result in large part to the incomplete data set".
+    unrecorded_patients = {
+        pid
+        for pid in sorted(hospital.patients)
+        if rng.random() < config.p_patient_unrecorded
+    }
+
+    for day in range(1, config.n_days + 1):
+        for team_id in sorted(hospital.teams):
+            team = hospital.teams[team_id]
+            panel = patients_by_team.get(team_id, [])
+            if not panel:
+                continue
+            n_enc = rng.binomial(len(panel), config.daily_encounter_rate)
+            if n_enc == 0:
+                continue
+            encounter_patients = rng.choice(panel, size=n_enc, replace=False)
+            for patient_id in encounter_patients:
+                record = hospital.patients[str(patient_id)]
+                if rng.random() < 0.8:
+                    doctor = record.pcp
+                else:
+                    doctor = str(rng.choice(team.doctor_ids))
+                ts = _time_in_day(rng, day)
+                dropout = (
+                    rng.random() < config.p_event_dropout
+                    or str(patient_id) in unrecorded_patients
+                )
+
+                # ---- clinical event rows (data sets A and B) ----------
+                if not dropout:
+                    appointments.append((str(patient_id), doctor, ts))
+                if rng.random() < config.p_visit and not dropout:
+                    visits.append((str(patient_id), doctor, ts))
+                if rng.random() < config.p_document and not dropout:
+                    author = (
+                        doctor
+                        if rng.random() < 0.7 or not team.nurse_ids
+                        else str(rng.choice(team.nurse_ids))
+                    )
+                    documents.append((str(patient_id), author, ts))
+                lab_performer = med_signer = med_admin = rad_radiologist = None
+                if rng.random() < config.p_labs:
+                    lab_performer = service_member(team, Role.LAB_TECH)
+                    if lab_performer and not dropout:
+                        labs.append((str(patient_id), doctor, lab_performer, ts))
+                if rng.random() < config.p_medication:
+                    med_signer = service_member(team, Role.PHARMACIST)
+                    med_admin = (
+                        str(rng.choice(team.nurse_ids)) if team.nurse_ids else None
+                    )
+                    if med_signer and med_admin and not dropout:
+                        medications.append(
+                            (str(patient_id), doctor, med_signer, med_admin, ts)
+                        )
+                if rng.random() < config.p_radiology:
+                    rad_radiologist = service_member(team, Role.RADIOLOGIST)
+                    if rad_radiologist and not dropout:
+                        radiology.append(
+                            (str(patient_id), doctor, rad_radiologist, ts)
+                        )
+
+                # ---- accesses caused by the encounter ------------------
+                lo, hi = config.doctor_accesses_per_encounter
+                for _ in range(int(rng.integers(lo, hi + 1))):
+                    record_access(
+                        _time_in_day(rng, day), doctor, str(patient_id), "appt-doctor"
+                    )
+                for nurse in team.nurse_ids:
+                    if rng.random() < config.p_nurse_access:
+                        record_access(
+                            _time_in_day(rng, day), nurse, str(patient_id), "care-team"
+                        )
+                for student in team.student_ids:
+                    if rng.random() < config.p_student_access:
+                        record_access(
+                            _time_in_day(rng, day),
+                            student,
+                            str(patient_id),
+                            "care-team",
+                        )
+                for clerk in team.clerk_ids:
+                    if rng.random() < config.p_clerk_access:
+                        record_access(
+                            _time_in_day(rng, day), clerk, str(patient_id), "care-team"
+                        )
+                for consult in (lab_performer, med_signer, med_admin, rad_radiologist):
+                    if consult and rng.random() < config.p_consult_access:
+                        record_access(
+                            _time_in_day(rng, day), consult, str(patient_id), "consult"
+                        )
+
+        # ---- repeat accesses: users revisit charts they know ----------
+        for user in sorted(history):
+            known = history[user]
+            known_recorded = recorded_history.get(user, [])
+            n_rep = rng.poisson(config.repeat_rate_per_user_day)
+            for _ in range(min(n_rep, len(known) * 2)):
+                if known_recorded and rng.random() < 0.85:
+                    pool = known_recorded
+                else:
+                    pool = known
+                patient = pool[int(rng.integers(0, len(pool)))]
+                record_access(_time_in_day(rng, day), user, patient, "repeat")
+
+    # ---- unexplainable residue ----------------------------------------
+    all_users = sorted(hospital.users)
+    all_patients = sorted(hospital.patients)
+    n_noise = int(len(accesses) * config.noise_fraction)
+    for _ in range(n_noise):
+        user = all_users[int(rng.integers(0, len(all_users)))]
+        patient = all_patients[int(rng.integers(0, len(all_patients)))]
+        day = int(rng.integers(1, config.n_days + 1))
+        record_access(_time_in_day(rng, day), user, patient, "noise")
+
+    # ---- scripted snooping incidents (misuse-detection demo) ----------
+    for _ in range(config.n_snooping_incidents):
+        user_id = all_users[int(rng.integers(0, len(all_users)))]
+        user = hospital.users[user_id]
+        strangers = [
+            pid
+            for pid in all_patients
+            if hospital.patients[pid].team_id not in user.team_ids
+        ]
+        if not strangers:
+            continue
+        patient = strangers[int(rng.integers(0, len(strangers)))]
+        day = int(rng.integers(1, config.n_days + 1))
+        record_access(_time_in_day(rng, day), user_id, patient, "snoop")
+
+    # ---- materialize tables --------------------------------------------
+    accesses.sort(key=lambda a: (a[0], a[1], a[2]))
+    result = SimulationResult(db=db, hospital=hospital, config=config)
+    log_table = db.table("Log")
+    for lid, (ts, user, patient, reason) in enumerate(accesses, start=1):
+        log_table.insert((lid, ts, user, patient))
+        result.reasons[lid] = reason
+    db.table("Appointments").insert_many(appointments)
+    db.table("Visits").insert_many(visits)
+    db.table("Documents").insert_many(documents)
+    db.table("Labs").insert_many(labs)
+    db.table("Medications").insert_many(medications)
+    db.table("Radiology").insert_many(radiology)
+    return result

@@ -1,0 +1,56 @@
+"""Evaluation harness: metrics, log slicing, and per-figure experiments."""
+
+from .accesses import (
+    first_access_lids,
+    lids_on_days,
+    lids_with_events,
+    log_day_of,
+    log_epoch,
+    patients_with_events,
+    repeat_access_lids,
+    restrict_log,
+)
+from .experiments import (
+    DepthRow,
+    GroupProfile,
+    LengthRow,
+    StabilityResult,
+    event_frequency,
+    group_composition,
+    group_predictive_power,
+    handcrafted_recall,
+    mined_predictive_power,
+    mining_performance,
+    overall_coverage,
+    template_stability,
+)
+from .metrics import PrecisionRecall, score_explained
+from .reportgen import write_report
+from .study import CareWebStudy
+
+__all__ = [
+    "CareWebStudy",
+    "DepthRow",
+    "GroupProfile",
+    "LengthRow",
+    "PrecisionRecall",
+    "StabilityResult",
+    "event_frequency",
+    "first_access_lids",
+    "group_composition",
+    "group_predictive_power",
+    "handcrafted_recall",
+    "lids_on_days",
+    "lids_with_events",
+    "log_day_of",
+    "log_epoch",
+    "mined_predictive_power",
+    "mining_performance",
+    "overall_coverage",
+    "patients_with_events",
+    "repeat_access_lids",
+    "restrict_log",
+    "score_explained",
+    "template_stability",
+    "write_report",
+]

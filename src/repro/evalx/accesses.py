@@ -1,0 +1,131 @@
+"""Access-log slicing: first accesses, day windows, derived databases.
+
+The paper's evaluation repeatedly needs three log views:
+
+* **first accesses** — the first time a given user touched a given
+  patient's record ("it is more challenging and interesting to explain why
+  a user accesses a record for the first time", Section 5.3.1);
+* **day windows** — templates are mined on days 1-6 and tested on day 7;
+* **derived databases** — a database identical to the original except the
+  log is restricted to a chosen lid set (mining and engines operate on
+  whatever ``Log`` table they see).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Iterable
+
+from ..db.database import Database
+from ..db.table import Table
+
+
+def first_access_lids(db: Database, log_table: str = "Log") -> set:
+    """Lids that are the first access of their (user, patient) pair,
+    ordered by (Date, Lid)."""
+    log = db.table(log_table)
+    schema = log.schema
+    lid_i = schema.column_index("Lid")
+    date_i = schema.column_index("Date")
+    user_i = schema.column_index("User")
+    patient_i = schema.column_index("Patient")
+    best: dict[tuple, tuple] = {}
+    for row in log.rows():
+        key = (row[user_i], row[patient_i])
+        stamp = (row[date_i], row[lid_i])
+        if key not in best or stamp < best[key]:
+            best[key] = stamp
+    return {lid for _, lid in best.values()}
+
+
+def repeat_access_lids(db: Database, log_table: str = "Log") -> set:
+    """Complement of :func:`first_access_lids` — structurally repeated."""
+    log = db.table(log_table)
+    all_lids = log.distinct_values("Lid")
+    return all_lids - first_access_lids(db, log_table)
+
+
+def log_day_of(date: dt.datetime, epoch: dt.datetime) -> int:
+    """1-based simulated day of a timestamp."""
+    return (date.date() - epoch.date()).days + 1
+
+
+def log_epoch(db: Database, log_table: str = "Log") -> dt.datetime:
+    """The log's first calendar day (day 1) — no external epoch needed."""
+    dates = db.table(log_table).column_values("Date")
+    if not dates:
+        raise ValueError("empty log has no epoch")
+    return min(d for d in dates if d is not None)
+
+
+def lids_on_days(
+    db: Database, days: Iterable[int], log_table: str = "Log"
+) -> set:
+    """Lids whose timestamp falls on any of the given 1-based days."""
+    wanted = set(days)
+    log = db.table(log_table)
+    epoch = log_epoch(db, log_table)
+    lid_i = log.schema.column_index("Lid")
+    date_i = log.schema.column_index("Date")
+    return {
+        row[lid_i]
+        for row in log.rows()
+        if row[date_i] is not None and log_day_of(row[date_i], epoch) in wanted
+    }
+
+
+def restrict_log(
+    db: Database, lids: set, log_table: str = "Log", name: str | None = None
+) -> Database:
+    """A derived database sharing all non-log tables, with ``Log``
+    restricted to ``lids``.  The original database is untouched."""
+    derived = Database(name or f"{db.name}|{len(lids)}lids")
+    log = db.table(log_table)
+    lid_i = log.schema.column_index("Lid")
+    new_log = Table(log.schema)
+    new_log.insert_many(row for row in log.rows() if row[lid_i] in lids)
+    for table in db.tables():
+        if table.schema.name == log_table:
+            derived.add_table(new_log)
+        else:
+            derived.add_table(table)
+    return derived
+
+
+#: Default event tables: the union of the paper's data sets A and B.
+DEFAULT_EVENT_TABLES = (
+    "Appointments",
+    "Visits",
+    "Documents",
+    "Labs",
+    "Medications",
+    "Radiology",
+)
+
+
+def patients_with_events(
+    db: Database, event_tables: Iterable[str] = DEFAULT_EVENT_TABLES
+) -> set:
+    """Patients having at least one row in any of the given event tables."""
+    out: set = set()
+    for name in event_tables:
+        if db.has_table(name):
+            out |= db.table(name).distinct_values("Patient")
+    return out
+
+
+def lids_with_events(
+    db: Database,
+    event_tables: Iterable[str] = DEFAULT_EVENT_TABLES,
+    log_table: str = "Log",
+) -> set:
+    """Lids whose patient has some recorded event — the denominator of the
+    paper's *normalized recall* ("the proportion of real accesses returned
+    ... from the set of accesses we have information on")."""
+    covered = patients_with_events(db, event_tables)
+    log = db.table(log_table)
+    lid_i = log.schema.column_index("Lid")
+    patient_i = log.schema.column_index("Patient")
+    return {
+        row[lid_i] for row in log.rows() if row[patient_i] in covered
+    }

@@ -1,0 +1,82 @@
+"""Precision / recall / normalized recall (paper Section 5.3.2).
+
+Definitions, verbatim from the paper:
+
+* ``Recall = |Real Accesses Explained| / |Real Log|``
+* ``Precision = |Real Accesses Explained| / |Real+Fake Accesses Explained|``
+* ``Normalized Recall = |Real Accesses Explained| /
+  |Real Accesses With Events|`` — recall against only the accesses we
+  actually have data about, compensating for the partial extract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """One evaluation row (e.g. one bar group of Figure 12 / 14)."""
+
+    explained_real: int
+    explained_fake: int
+    total_real: int
+    total_real_with_events: int
+
+    @property
+    def recall(self) -> float:
+        """|real explained| / |real log| (paper Section 5.3.2)."""
+        if self.total_real == 0:
+            return 0.0
+        return self.explained_real / self.total_real
+
+    @property
+    def precision(self) -> float:
+        """|real explained| / |real+fake explained|."""
+        explained = self.explained_real + self.explained_fake
+        if explained == 0:
+            return 1.0  # nothing claimed, nothing wrong — the vacuous case
+        return self.explained_real / explained
+
+    @property
+    def normalized_recall(self) -> float:
+        """|real explained| / |real accesses with events|."""
+        if self.total_real_with_events == 0:
+            return 0.0
+        return self.explained_real / self.total_real_with_events
+
+    def as_row(self) -> dict[str, float]:
+        """The three metrics as a plain dict (for tables)."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "recall_normalized": self.normalized_recall,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} "
+            f"Rn={self.normalized_recall:.3f} "
+            f"({self.explained_real}/{self.total_real} real, "
+            f"{self.explained_fake} fake)"
+        )
+
+
+def score_explained(
+    explained: set,
+    real_lids: set,
+    fake_lids: set,
+    real_with_events: set | None = None,
+) -> PrecisionRecall:
+    """Score an explained-lid set against the real/fake split.
+
+    ``real_with_events`` defaults to all real lids (normalized recall then
+    equals recall).
+    """
+    events = real_with_events if real_with_events is not None else real_lids
+    return PrecisionRecall(
+        explained_real=len(explained & real_lids),
+        explained_fake=len(explained & fake_lids),
+        total_real=len(real_lids),
+        total_real_with_events=len(events),
+    )

@@ -1,0 +1,148 @@
+"""One-shot reproduction report: every experiment into one markdown file.
+
+``repro-audit reproduce --out report.md`` (or :func:`write_report`) runs
+the full study — simulation, group inference, all figure/table
+experiments, the headline coverage — and renders a self-contained
+markdown report with paper-vs-measured context. The heavyweight mining
+sweep of Figure 13 is optional (``include_mining_performance``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TextIO
+
+from ..core.mining import MiningConfig, OneWayMiner
+from ..ehr.config import SimulationConfig
+from .experiments import (
+    event_frequency,
+    group_composition,
+    group_predictive_power,
+    handcrafted_recall,
+    mined_predictive_power,
+    mining_performance,
+    overall_coverage,
+    template_stability,
+)
+from .study import CareWebStudy
+
+
+def _bars(fh: TextIO, values: dict) -> None:
+    fh.write("| bar | value |\n|---|---|\n")
+    for label, value in values.items():
+        fh.write(f"| {label} | {value:.3f} |\n")
+    fh.write("\n")
+
+
+def _pr_rows(fh: TextIO, rows) -> None:
+    fh.write("| label | precision | recall | normalized recall |\n")
+    fh.write("|---|---|---|---|\n")
+    for row in rows:
+        s = row.scores
+        fh.write(
+            f"| {row.label} | {s.precision:.3f} | {s.recall:.3f} | "
+            f"{s.normalized_recall:.3f} |\n"
+        )
+    fh.write("\n")
+
+
+def write_report(
+    fh: TextIO,
+    config: SimulationConfig | None = None,
+    include_mining_performance: bool = False,
+) -> CareWebStudy:
+    """Run every experiment and write the markdown report to ``fh``.
+
+    Returns the prepared study so callers can continue interrogating it.
+    """
+    started = time.perf_counter()
+    study = CareWebStudy.prepare(config)
+    sim = study.sim
+
+    fh.write("# Explanation-Based Auditing — reproduction report\n\n")
+    fh.write(f"*Workload*: {sim.summary()}\n\n")
+    fh.write(
+        f"*Protocol*: groups trained on days {study.train_days}; templates "
+        f"mined from training-day first accesses (s=1%, T=3); predictive "
+        f"power tested on day-{study.test_day} first accesses with a "
+        f"uniform fake log.\n\n"
+    )
+
+    fh.write("## Figure 6 — event frequency, all accesses (paper All≈0.97)\n\n")
+    _bars(fh, event_frequency(study.db))
+
+    fh.write("## Figure 7 — hand-crafted recall, all accesses (paper All≈0.90)\n\n")
+    _bars(fh, handcrafted_recall(study.db))
+
+    fh.write("## Figure 8 — event frequency, first accesses (paper All≈0.75)\n\n")
+    _bars(
+        fh,
+        event_frequency(study.db, lids=study.first_lids(), include_repeat=False),
+    )
+
+    fh.write("## Figure 9 — hand-crafted recall, first accesses (paper All≈0.11)\n\n")
+    _bars(
+        fh,
+        handcrafted_recall(study.db, lids=study.first_lids(), include_repeat=False),
+    )
+
+    fh.write("## Figures 10-11 — largest collaborative groups (depth 1)\n\n")
+    for profile in group_composition(study, depth=1, top_groups=2):
+        fh.write(f"**Group {profile.group_id}** ({profile.size} members):\n\n")
+        for dept, count in profile.top_departments(8):
+            fh.write(f"- {dept}: {count}\n")
+        fh.write("\n")
+
+    fh.write("## Figure 12 — group predictive power by depth\n\n")
+    _pr_rows(fh, group_predictive_power(study))
+
+    if include_mining_performance:
+        fh.write("## Figure 13 — mining performance (cumulative seconds)\n\n")
+        results = mining_performance(study)
+        fh.write("| algorithm | " + " | ".join(f"len {k}" for k in range(1, 6)) + " |\n")
+        fh.write("|---|" + "---|" * 5 + "\n")
+        for name, result in results.items():
+            series = result.cumulative_time_by_length()
+            cells = " | ".join(f"{series.get(k, 0.0):.2f}" for k in range(1, 6))
+            fh.write(f"| {name} | {cells} |\n")
+        fh.write("\n")
+
+    fh.write("## Figure 14 — mined templates' predictive power\n\n")
+    mining_config = MiningConfig(support_fraction=0.01, max_length=4, max_tables=3)
+    mined = OneWayMiner(study.mining_db(), study.mining_graph(), mining_config).mine()
+    fh.write(
+        f"Mined {len(mined.templates)} templates from "
+        f"{len(study.mining_db().table('Log'))} training first accesses.\n\n"
+    )
+    fh.write("| length | #templates | precision | recall | normalized |\n")
+    fh.write("|---|---|---|---|---|\n")
+    for row in mined_predictive_power(study, mining_result=mined):
+        s = row.scores
+        fh.write(
+            f"| {row.label} | {row.n_templates} | {s.precision:.3f} | "
+            f"{s.recall:.3f} | {s.normalized_recall:.3f} |\n"
+        )
+    fh.write("\n")
+
+    fh.write("## Table 1 — template stability across periods\n\n")
+    stability = template_stability(study, config=mining_config)
+    fh.write("| length | " + " | ".join(stability.periods) + " | common |\n")
+    fh.write("|---|" + "---|" * (len(stability.periods) + 1) + "\n")
+    for length in stability.lengths():
+        cells = " | ".join(
+            str(stability.counts.get((p, length), 0)) for p in stability.periods
+        )
+        fh.write(f"| {length} | {cells} | {stability.common.get(length, 0)} |\n")
+    fh.write("\n")
+
+    coverage = overall_coverage(study)
+    fh.write("## Headline\n\n")
+    fh.write(
+        f"Appointments + visits + documents + repeat accesses + depth-1 "
+        f"groups explain **{coverage:.1%}** of all accesses "
+        f"(paper: over 94%).\n\n"
+    )
+    fh.write(
+        f"*Report generated in {time.perf_counter() - started:.0f}s.*\n"
+    )
+    return study

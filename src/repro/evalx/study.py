@@ -1,0 +1,133 @@
+"""The prepared CareWeb study context shared by all experiments.
+
+Reproduces the paper's experimental setup end to end:
+
+1. simulate (or load) a week of CareWeb-like data;
+2. infer collaborative groups from the **training days'** accesses
+   (Section 4.1 — "using the first six days of accesses in the log") and
+   materialize the Groups table;
+3. build the mining edge set over the full schema;
+4. expose the standard log slices (training first accesses, test-day first
+   accesses) and the combined real+fake log database for precision
+   experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.graph import SchemaGraph
+from ..db.database import Database
+from ..ehr.config import SimulationConfig
+from ..ehr.fakelog import combined_log_db
+from ..ehr.schema import build_careweb_graph
+from ..ehr.simulator import SimulationResult, simulate
+from ..groups.hierarchy import GroupHierarchy, build_groups_table, hierarchy_from_log
+from .accesses import first_access_lids, lids_on_days, restrict_log
+
+
+@dataclass
+class CareWebStudy:
+    """Everything the Figure/Table experiments need, built once."""
+
+    sim: SimulationResult
+    db: Database  # full database incl. Groups
+    graph: SchemaGraph
+    hierarchy: GroupHierarchy
+    train_days: tuple[int, ...]
+    test_day: int
+    fake_seed: int = 0
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def prepare(
+        cls,
+        config: SimulationConfig | None = None,
+        train_days: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
+        test_day: int = 7,
+        group_max_depth: int = 8,
+        fake_seed: int = 0,
+    ) -> "CareWebStudy":
+        """Simulate, infer groups, build the mining graph — the full setup."""
+        sim = simulate(config)
+        db = sim.db
+        train_lids = lids_on_days(db, train_days)
+        train_db = restrict_log(db, train_lids, name="train")
+        hierarchy, _ = hierarchy_from_log(train_db, max_depth=group_max_depth)
+        build_groups_table(db, hierarchy)
+        graph = build_careweb_graph(db)
+        return cls(
+            sim=sim,
+            db=db,
+            graph=graph,
+            hierarchy=hierarchy,
+            train_days=tuple(train_days),
+            test_day=test_day,
+            fake_seed=fake_seed,
+        )
+
+    # ------------------------------------------------------------------
+    # standard log slices (cached)
+    # ------------------------------------------------------------------
+    def first_lids(self) -> set:
+        """First accesses over the whole log (cached)."""
+        if "first" not in self._cache:
+            self._cache["first"] = first_access_lids(self.db)
+        return self._cache["first"]
+
+    def train_lids(self) -> set:
+        """Accesses on the training days (cached)."""
+        if "train" not in self._cache:
+            self._cache["train"] = lids_on_days(self.db, self.train_days)
+        return self._cache["train"]
+
+    def test_lids(self) -> set:
+        """Accesses on the test day (cached)."""
+        if "test" not in self._cache:
+            self._cache["test"] = lids_on_days(self.db, [self.test_day])
+        return self._cache["test"]
+
+    def train_first_lids(self) -> set:
+        """Training-day first accesses (the mining input)."""
+        return self.train_lids() & self.first_lids()
+
+    def test_first_lids(self) -> set:
+        """Test-day first accesses (the evaluation target)."""
+        return self.test_lids() & self.first_lids()
+
+    # ------------------------------------------------------------------
+    # derived databases
+    # ------------------------------------------------------------------
+    def mining_db(self) -> Database:
+        """Training-days first accesses only — the paper's mining input
+        ("ran the algorithms on the first accesses from the first six
+        days", Section 5.3.3)."""
+        if "mining_db" not in self._cache:
+            self._cache["mining_db"] = restrict_log(
+                self.db, self.train_first_lids(), name="mining"
+            )
+        return self._cache["mining_db"]
+
+    def mining_graph(self) -> SchemaGraph:
+        """The mining edge set over the mining database (cached)."""
+        if "mining_graph" not in self._cache:
+            self._cache["mining_graph"] = build_careweb_graph(self.mining_db())
+        return self._cache["mining_graph"]
+
+    def combined_db(self, n_fake: int | None = None) -> tuple[Database, set, set]:
+        """Real log + uniform fake log (Section 5.3.2).
+
+        The paper sizes the fake log like the real log and tests on the
+        seventh day; for the precision numbers to be comparable, the fake
+        population must match the *test* population, so ``n_fake``
+        defaults to the size of the day-``test_day`` first-access set.
+        """
+        if n_fake is None:
+            n_fake = max(1, len(self.test_first_lids()))
+        key = ("combined", n_fake)
+        if key not in self._cache:
+            self._cache[key] = combined_log_db(
+                self.db, n_fake=n_fake, seed=self.fake_seed
+            )
+        return self._cache[key]

@@ -1,0 +1,51 @@
+"""Collaborative-group inference (paper Section 4).
+
+Pipeline: access log -> patient-user matrix ``A`` -> user-similarity
+``W = AᵀA`` -> weighted-modularity clustering (from scratch) -> recursive
+hierarchy -> the relational ``Groups(Group_Depth, Group_id, User)`` table
+that mining self-joins against.
+"""
+
+from .baselines import (
+    department_grouping,
+    pair_scores,
+    partition_sizes,
+    threshold_components,
+)
+from .clustering import cluster_graph
+from .hierarchy import (
+    GROUPS_SCHEMA,
+    GroupHierarchy,
+    build_groups_table,
+    build_hierarchy,
+    hierarchy_from_log,
+)
+from .matrix import (
+    AccessMatrix,
+    access_matrix_from_log,
+    build_access_matrix,
+    node_weights,
+    similarity_graph,
+)
+from .modularity import degrees, modularity, total_weight
+
+__all__ = [
+    "GROUPS_SCHEMA",
+    "AccessMatrix",
+    "GroupHierarchy",
+    "access_matrix_from_log",
+    "build_access_matrix",
+    "build_groups_table",
+    "build_hierarchy",
+    "cluster_graph",
+    "degrees",
+    "department_grouping",
+    "hierarchy_from_log",
+    "modularity",
+    "node_weights",
+    "pair_scores",
+    "partition_sizes",
+    "similarity_graph",
+    "threshold_components",
+    "total_weight",
+]

@@ -1,0 +1,93 @@
+"""Alternative group-inference baselines.
+
+The paper (Section 4) treats the clustering step as a black box: "there
+has been extensive work on clustering [13, 27], and alternative
+approaches are possible."  This module provides two simple alternatives
+so the modularity algorithm can be compared like-for-like:
+
+* **threshold components** — drop similarity edges below a weight
+  threshold and take connected components (the simplest co-access
+  grouping);
+* **department grouping** — one group per department code (the paper's
+  Same-Dept. strawman of Figure 12, expressed in the same interface).
+
+All three produce ``{user: group_index}`` partitions interchangeable with
+:func:`repro.groups.cluster_graph`, so they can feed
+:func:`repro.groups.build_hierarchy`-style pipelines or be scored with
+:func:`repro.groups.modularity`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+
+def threshold_components(
+    adjacency: Mapping[Any, Mapping[Any, float]],
+    threshold: float = 0.0,
+) -> dict:
+    """Connected components of the similarity graph after dropping edges
+    with weight <= ``threshold``.  Labels are dense, in sorted-node order
+    of first appearance (same convention as ``cluster_graph``)."""
+    nodes = sorted(adjacency, key=repr)
+    label: dict = {}
+    next_label = 0
+    for root in nodes:
+        if root in label:
+            continue
+        label[root] = next_label
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for nbr, weight in adjacency.get(node, {}).items():
+                if nbr == node or weight <= threshold:
+                    continue
+                if nbr not in label:
+                    label[nbr] = next_label
+                    stack.append(nbr)
+        next_label += 1
+    return label
+
+
+def department_grouping(department_of: Mapping[Any, Any]) -> dict:
+    """One group per department code (the paper's Same-Dept. baseline)."""
+    labels: dict = {}
+    out: dict = {}
+    for user in sorted(department_of, key=repr):
+        dept = department_of[user]
+        if dept not in labels:
+            labels[dept] = len(labels)
+        out[user] = labels[dept]
+    return out
+
+
+def partition_sizes(partition: Mapping[Any, int]) -> dict[int, int]:
+    """Group-size histogram of a partition."""
+    out: dict[int, int] = {}
+    for label in partition.values():
+        out[label] = out.get(label, 0) + 1
+    return out
+
+
+def pair_scores(
+    partition: Mapping[Any, int],
+    ground_truth: Mapping[Any, frozenset],
+) -> tuple[float, float]:
+    """Pair-level (precision, recall) of a partition against overlapping
+    ground-truth memberships (``user -> set of true team ids``).
+
+    A user pair counts as truly-together when their team sets intersect;
+    as predicted-together when they share a partition label.
+    """
+    users = sorted(set(partition) & set(ground_truth), key=repr)
+    together = predicted = both = 0
+    for i, u in enumerate(users):
+        for v in users[i + 1:]:
+            true_pair = bool(ground_truth[u] & ground_truth[v])
+            pred_pair = partition[u] == partition[v]
+            together += true_pair
+            predicted += pred_pair
+            both += true_pair and pred_pair
+    precision = both / predicted if predicted else 0.0
+    recall = both / together if together else 0.0
+    return precision, recall

@@ -1,0 +1,147 @@
+"""Greedy weighted-modularity clustering (Louvain-style), from scratch.
+
+Two-phase iteration (Blondel et al.'s method applied to Newman's weighted
+modularity, which is what the paper's Java implementation optimized):
+
+1. **Local moving** — repeatedly sweep the nodes; move each node to the
+   neighbouring community with the largest positive modularity gain.
+2. **Aggregation** — collapse communities into supernodes (intra-community
+   weight becomes a self-loop) and repeat on the coarser graph.
+
+The algorithm is parameter-free — it picks the number of clusters itself —
+matching the paper's "the algorithm ... selects the number of clusters
+automatically".  Determinism: nodes are swept in sorted order and ties
+break towards the first (smallest-keyed) candidate community, so repeated
+runs agree exactly; pass a seeded RNG to randomize sweep order instead.
+
+Graph convention: ``adjacency[u][v]`` is the symmetric edge weight; a
+self-loop is stored once under ``adjacency[u][u]`` and contributes twice
+to the weighted degree, so ``2m == sum(degrees)`` always holds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from .modularity import degrees, total_weight
+
+
+def _local_move(
+    nodes: list,
+    adjacency: Mapping[Any, Mapping[Any, float]],
+    m: float,
+    community: dict,
+    deg: Mapping[Any, float],
+) -> bool:
+    """One local-moving phase (sweeps until stable); True if anything moved."""
+    community_degree: dict = {}
+    for node, label in community.items():
+        community_degree[label] = community_degree.get(label, 0.0) + deg[node]
+
+    improved_any = False
+    moved = True
+    while moved:
+        moved = False
+        for node in nodes:
+            home = community[node]
+            k_i = deg[node]
+            link: dict = {}
+            for nbr, w in adjacency[node].items():
+                if nbr == node:
+                    continue
+                link[community[nbr]] = link.get(community[nbr], 0.0) + w
+            community_degree[home] -= k_i
+            stay_gain = link.get(home, 0.0) - community_degree[home] * k_i / (2.0 * m)
+            best_label, best_delta = home, 0.0
+            for label, w_in in sorted(link.items(), key=lambda kv: repr(kv[0])):
+                if label == home:
+                    continue
+                gain = w_in - community_degree.get(label, 0.0) * k_i / (2.0 * m)
+                delta = gain - stay_gain
+                if delta > best_delta + 1e-12:
+                    best_delta = delta
+                    best_label = label
+            community_degree[best_label] = (
+                community_degree.get(best_label, 0.0) + k_i
+            )
+            if best_label != home:
+                community[node] = best_label
+                moved = True
+                improved_any = True
+    return improved_any
+
+
+def _fold(
+    adjacency: Mapping[Any, Mapping[Any, float]], community: Mapping[Any, Any]
+) -> dict:
+    """Collapse communities into supernodes.
+
+    Inter-community weight sums edge weights; intra-community weight
+    becomes a self-loop holding each distinct-pair edge once plus any
+    original loops, which preserves total weight and degrees.
+    """
+    coarse: dict = {}
+    for u, nbrs in adjacency.items():
+        cu = community[u]
+        row = coarse.setdefault(cu, {})
+        for v, w in nbrs.items():
+            cv = community[v]
+            if u == v:
+                row[cu] = row.get(cu, 0.0) + w
+            elif cu == cv:
+                # the symmetric dict yields this edge from both endpoints
+                row[cu] = row.get(cu, 0.0) + w / 2.0
+            else:
+                row[cv] = row.get(cv, 0.0) + w
+    return coarse
+
+
+def cluster_graph(
+    adjacency: Mapping[Any, Mapping[Any, float]],
+    rng: np.random.Generator | None = None,
+) -> dict:
+    """Partition ``adjacency`` by greedy modularity maximization.
+
+    Returns ``{node: community_index}`` with indices densely renumbered
+    ``0..k-1`` in sorted-node order of first appearance.  Nodes with no
+    incident weight become singleton communities.
+    """
+    nodes = sorted(adjacency, key=repr)
+    if not nodes:
+        return {}
+    m = total_weight(adjacency)
+    if m <= 0:
+        return {node: i for i, node in enumerate(nodes)}
+
+    node_to_label = {node: node for node in nodes}
+    current: dict = {u: dict(nbrs) for u, nbrs in adjacency.items()}
+
+    while True:
+        level_nodes = sorted(current, key=repr)
+        if rng is not None:
+            shuffled = list(level_nodes)
+            rng.shuffle(shuffled)
+            level_nodes = shuffled
+        deg = degrees(current)
+        community = {node: node for node in current}
+        improved = _local_move(level_nodes, current, m, community, deg)
+        if not improved:
+            break
+        node_to_label = {
+            node: community[label] for node, label in node_to_label.items()
+        }
+        folded = _fold(current, community)
+        if len(folded) == len(current):
+            break
+        current = folded
+
+    labels: dict = {}
+    result: dict = {}
+    for node in nodes:
+        label = node_to_label[node]
+        if label not in labels:
+            labels[label] = len(labels)
+        result[node] = labels[label]
+    return result

@@ -1,0 +1,171 @@
+"""Hierarchical collaborative groups and the Groups table (Section 4.1).
+
+"After running the clustering algorithm once, the algorithm outputs a set
+of clusters ... We can recursively apply the clustering algorithm on each
+cluster to produce a hierarchical clustering."  Depth 0 is the naive
+everyone-in-one-group baseline of Figure 12; depth 1 is the first real
+clustering; deeper levels recursively re-cluster each group's induced
+subgraph until groups stop splitting (or ``max_depth`` is hit — the
+paper's study "ended up with an 8-level hierarchy").
+
+The result is materialized as the relational table
+``Groups(Group_Depth, Group_id, User)`` with *globally unique* group ids,
+so the mining self-join ``G1.Group_id = G2.Group_id`` can never relate
+users across depths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..db.database import Database
+from ..db.schema import ColumnType, TableSchema
+from ..db.table import Table
+from .clustering import cluster_graph
+from .matrix import AccessMatrix, access_matrix_from_log, similarity_graph
+
+
+@dataclass
+class GroupHierarchy:
+    """Per-depth user-to-group assignments with globally unique group ids."""
+
+    #: ``levels[d][user] -> group id`` for depth d (0 = everyone together).
+    levels: list[dict[Any, int]] = field(default_factory=list)
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest level materialized (0 = single all-users group)."""
+        return len(self.levels) - 1
+
+    def users(self) -> set:
+        """Every user assigned anywhere in the hierarchy."""
+        return set(self.levels[0]) if self.levels else set()
+
+    def group_of(self, user: Any, depth: int) -> int | None:
+        """Group id of ``user`` at ``depth`` (None when out of range)."""
+        if depth < 0 or depth > self.max_depth:
+            return None
+        return self.levels[depth].get(user)
+
+    def groups_at(self, depth: int) -> dict[int, list]:
+        """``{group id: sorted members}`` at one depth."""
+        out: dict[int, list] = {}
+        for user, gid in self.levels[depth].items():
+            out.setdefault(gid, []).append(user)
+        return {gid: sorted(members, key=repr) for gid, members in out.items()}
+
+    def rows(self) -> list[tuple[int, int, Any]]:
+        """All ``(Group_Depth, Group_id, User)`` rows."""
+        out = []
+        for depth, level in enumerate(self.levels):
+            for user, gid in sorted(level.items(), key=lambda kv: repr(kv[0])):
+                out.append((depth, gid, user))
+        return out
+
+
+def build_hierarchy(
+    adjacency: Mapping[Any, Mapping[Any, float]],
+    max_depth: int = 8,
+    min_group_size: int = 2,
+    rng: np.random.Generator | None = None,
+) -> GroupHierarchy:
+    """Recursively cluster ``adjacency`` into a group hierarchy.
+
+    Depth 0 puts every user in one group; each deeper level re-clusters
+    every group of the previous level on its induced subgraph.  Recursion
+    stops per-group when the group no longer splits or falls below
+    ``min_group_size``; globally when ``max_depth`` is reached or no group
+    split anywhere.  Once a group stops splitting it is carried down
+    unchanged so every user has an assignment at every depth.
+    """
+    users = sorted(adjacency, key=repr)
+    hierarchy = GroupHierarchy()
+    next_gid = 0
+
+    level0 = {user: 0 for user in users}
+    next_gid = 1
+    hierarchy.levels.append(level0)
+
+    frozen: set[int] = set()  # groups that stopped splitting
+    for _depth in range(1, max_depth + 1):
+        previous = hierarchy.levels[-1]
+        members_of: dict[int, list] = {}
+        for user, gid in previous.items():
+            members_of.setdefault(gid, []).append(user)
+        new_level: dict[Any, int] = {}
+        split_any = False
+        new_frozen: set[int] = set()
+        for gid, members in sorted(members_of.items()):
+            if gid in frozen or len(members) < min_group_size:
+                kept = next_gid
+                next_gid += 1
+                for user in members:
+                    new_level[user] = kept
+                new_frozen.add(kept)
+                continue
+            sub = {
+                u: {
+                    v: w
+                    for v, w in adjacency[u].items()
+                    if v in members or v == u
+                }
+                for u in members
+            }
+            # keep only intra-group edges
+            sub = {
+                u: {v: w for v, w in nbrs.items() if v in sub}
+                for u, nbrs in sub.items()
+            }
+            partition = cluster_graph(sub, rng=rng)
+            n_parts = len(set(partition.values()))
+            base = next_gid
+            next_gid += n_parts
+            for user in members:
+                new_level[user] = base + partition[user]
+            if n_parts <= 1:
+                new_frozen.add(base)
+            else:
+                split_any = True
+        hierarchy.levels.append(new_level)
+        frozen = new_frozen
+        if not split_any:
+            break
+    return hierarchy
+
+
+def hierarchy_from_log(
+    db: Database,
+    log_table: str = "Log",
+    max_depth: int = 8,
+    rng: np.random.Generator | None = None,
+) -> tuple[GroupHierarchy, AccessMatrix]:
+    """End-to-end: access matrix -> W = AᵀA -> recursive clustering."""
+    access = access_matrix_from_log(db, log_table)
+    adjacency = similarity_graph(access)
+    return build_hierarchy(adjacency, max_depth=max_depth, rng=rng), access
+
+
+GROUPS_SCHEMA = TableSchema.build(
+    "Groups",
+    [("Group_Depth", ColumnType.INT), ("Group_id", ColumnType.INT), "User"],
+)
+
+
+def build_groups_table(
+    db: Database, hierarchy: GroupHierarchy, table_name: str = "Groups"
+) -> Table:
+    """Materialize the hierarchy as ``Groups(Group_Depth, Group_id, User)``
+    inside ``db`` (replacing any existing table of that name), so the
+    mining algorithms can self-join on ``Group_id`` (paper Example 4.2)."""
+    if db.has_table(table_name):
+        db.drop_table(table_name)
+    schema = TableSchema.build(
+        table_name,
+        [("Group_Depth", ColumnType.INT), ("Group_id", ColumnType.INT), "User"],
+    )
+    table = db.create_table(schema)
+    table.insert_many(hierarchy.rows())
+    return table

@@ -1,0 +1,118 @@
+"""Shared fixtures: the paper's running-example databases.
+
+``fig3_db``     — exactly Figure 3 (Log, Appointments, Doctor_Info).
+``fig3_graph``  — its explanation graph with the Example 3.2 edge set.
+``hospital_db`` — a slightly larger hand-built hospital with groups,
+                  used by template/engine/mining tests that need richer
+                  structure without the full synthetic generator.
+"""
+
+import pytest
+
+from repro.core import SchemaAttr, SchemaGraph
+from repro.db import ColumnType, Database, TableSchema
+
+
+@pytest.fixture
+def fig3_db():
+    db = Database("fig3")
+    log = db.create_table(
+        TableSchema.build(
+            "Log",
+            [("Lid", ColumnType.INT), ("Date", ColumnType.INT), "User", "Patient"],
+            primary_key=["Lid"],
+        )
+    )
+    appts = db.create_table(
+        TableSchema.build(
+            "Appointments", ["Patient", "Doctor", ("Date", ColumnType.INT)]
+        )
+    )
+    info = db.create_table(TableSchema.build("Doctor_Info", ["Doctor", "Department"]))
+    log.insert_many([(1, 1, "Dave", "Alice"), (2, 2, "Dave", "Bob")])
+    appts.insert_many([("Alice", "Dave", 1), ("Bob", "Mike", 2)])
+    info.insert_many([("Mike", "Pediatrics"), ("Dave", "Pediatrics")])
+    return db
+
+
+@pytest.fixture
+def fig3_graph(fig3_db):
+    graph = SchemaGraph(fig3_db)
+    graph.add_relationship(
+        SchemaAttr("Log", "Patient"), SchemaAttr("Appointments", "Patient")
+    )
+    graph.add_relationship(
+        SchemaAttr("Appointments", "Doctor"), SchemaAttr("Log", "User")
+    )
+    graph.add_relationship(
+        SchemaAttr("Appointments", "Doctor"), SchemaAttr("Doctor_Info", "Doctor")
+    )
+    graph.add_relationship(
+        SchemaAttr("Doctor_Info", "Doctor"), SchemaAttr("Log", "User")
+    )
+    graph.allow_self_join("Doctor_Info", "Department")
+    return graph
+
+
+@pytest.fixture
+def hospital_db():
+    """Log + Appointments + Groups, with repeat accesses and group links."""
+    db = Database("hospital")
+    log = db.create_table(
+        TableSchema.build(
+            "Log",
+            [("Lid", ColumnType.INT), ("Date", ColumnType.INT), "User", "Patient"],
+            primary_key=["Lid"],
+        )
+    )
+    appts = db.create_table(
+        TableSchema.build(
+            "Appointments", ["Patient", "Doctor", ("Date", ColumnType.INT)]
+        )
+    )
+    groups = db.create_table(
+        TableSchema.build(
+            "Groups", [("Group_Depth", ColumnType.INT), ("Group_id", ColumnType.INT), "User"]
+        )
+    )
+    # Dr. Dave sees Alice (appt); Nurse Nick is in Dave's group and also
+    # accesses Alice; Dave re-reads Alice later; Eve snoops on Bob.
+    log.insert_many(
+        [
+            (100, 1, "Nick", "Alice"),
+            (116, 2, "Dave", "Alice"),
+            (127, 3, "Ron", "Alice"),
+            (130, 9, "Dave", "Alice"),
+            (900, 4, "Eve", "Bob"),
+        ]
+    )
+    appts.insert_many([("Alice", "Dave", 1), ("Bob", "Sam", 2)])
+    groups.insert_many(
+        [
+            (1, 10, "Dave"),
+            (1, 10, "Nick"),
+            (1, 10, "Ron"),
+            (1, 11, "Sam"),
+            (1, 12, "Eve"),
+        ]
+    )
+    return db
+
+
+@pytest.fixture
+def hospital_graph(hospital_db):
+    graph = SchemaGraph(hospital_db)
+    graph.add_relationship(
+        SchemaAttr("Log", "Patient"), SchemaAttr("Appointments", "Patient")
+    )
+    graph.add_relationship(
+        SchemaAttr("Appointments", "Doctor"), SchemaAttr("Log", "User")
+    )
+    graph.add_relationship(
+        SchemaAttr("Appointments", "Doctor"), SchemaAttr("Groups", "User")
+    )
+    graph.add_relationship(SchemaAttr("Groups", "User"), SchemaAttr("Log", "User"))
+    graph.allow_self_join("Groups", "Group_id")
+    graph.allow_self_join("Log", "Patient")
+    graph.allow_self_join("Log", "User")
+    return graph

@@ -1,0 +1,146 @@
+"""Tests for the explanation schema graph (edges, endpoints, budgets)."""
+
+import pytest
+
+from repro.core import EdgeKind, SchemaAttr, SchemaEdge, SchemaGraph
+from repro.db import (
+    ColumnType,
+    Database,
+    ForeignKey,
+    SchemaError,
+    TableSchema,
+    UnknownColumnError,
+)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table(TableSchema.build("Users", ["User", "Dept"]))
+    db.create_table(
+        TableSchema.build(
+            "Log",
+            [("Lid", ColumnType.INT), "User", "Patient"],
+            foreign_keys=[ForeignKey("User", "Users", "User")],
+        )
+    )
+    db.create_table(
+        TableSchema.build(
+            "Appointments",
+            ["Patient", "Doctor"],
+            foreign_keys=[ForeignKey("Doctor", "Users", "User")],
+        )
+    )
+    return db
+
+
+class TestSchemaEdge:
+    def test_reversed(self):
+        e = SchemaEdge(
+            SchemaAttr("A", "x"), SchemaAttr("B", "y"), EdgeKind.FOREIGN_KEY
+        )
+        assert e.reversed() == SchemaEdge(
+            SchemaAttr("B", "y"), SchemaAttr("A", "x"), EdgeKind.FOREIGN_KEY
+        )
+
+    def test_self_join_must_stay_in_table(self):
+        with pytest.raises(ValueError):
+            SchemaEdge(SchemaAttr("A", "x"), SchemaAttr("B", "x"), EdgeKind.SELF_JOIN)
+
+    def test_str(self):
+        e = SchemaEdge(SchemaAttr("A", "x"), SchemaAttr("B", "y"), EdgeKind.ADMIN)
+        assert "A.x = B.y" in str(e)
+
+
+class TestSchemaGraph:
+    def test_fk_edges_bidirectional(self, db):
+        graph = SchemaGraph(db)
+        edges = set(graph.edges)
+        fwd = SchemaEdge(
+            SchemaAttr("Log", "User"), SchemaAttr("Users", "User"), EdgeKind.FOREIGN_KEY
+        )
+        assert fwd in edges and fwd.reversed() in edges
+
+    def test_missing_log_table(self):
+        db = Database()
+        db.create_table(TableSchema.build("T", ["a"]))
+        with pytest.raises(SchemaError):
+            SchemaGraph(db)
+
+    def test_bad_endpoint_attr(self, db):
+        with pytest.raises(UnknownColumnError):
+            SchemaGraph(db, start_attr="Nope")
+
+    def test_add_relationship_both_directions(self, db):
+        graph = SchemaGraph(db)
+        a = SchemaAttr("Log", "Patient")
+        b = SchemaAttr("Appointments", "Patient")
+        graph.add_relationship(a, b)
+        assert SchemaEdge(a, b, EdgeKind.ADMIN) in graph.edges
+        assert SchemaEdge(b, a, EdgeKind.ADMIN) in graph.edges
+
+    def test_add_relationship_idempotent(self, db):
+        graph = SchemaGraph(db)
+        a = SchemaAttr("Log", "Patient")
+        b = SchemaAttr("Appointments", "Patient")
+        before = len(graph.edges)
+        graph.add_relationship(a, b)
+        graph.add_relationship(a, b)
+        assert len(graph.edges) == before + 2
+
+    def test_same_table_relationship_rejected(self, db):
+        graph = SchemaGraph(db)
+        with pytest.raises(SchemaError):
+            graph.add_relationship(
+                SchemaAttr("Users", "User"), SchemaAttr("Users", "Dept")
+            )
+
+    def test_relationship_unknown_column_rejected(self, db):
+        graph = SchemaGraph(db)
+        with pytest.raises(UnknownColumnError):
+            graph.add_relationship(
+                SchemaAttr("Log", "Patient"), SchemaAttr("Users", "Nope")
+            )
+
+    def test_allow_self_join(self, db):
+        graph = SchemaGraph(db)
+        graph.allow_self_join("Users", "Dept")
+        assert graph.self_join_allowed("Users", "Dept")
+        assert not graph.self_join_allowed("Users", "User")
+        node = SchemaAttr("Users", "Dept")
+        assert SchemaEdge(node, node, EdgeKind.SELF_JOIN) in graph.edges
+
+    def test_start_and_end_edges(self, db):
+        graph = SchemaGraph(db)
+        graph.add_relationship(
+            SchemaAttr("Log", "Patient"), SchemaAttr("Appointments", "Patient")
+        )
+        starts = graph.start_edges()
+        assert all(e.src == graph.start for e in starts)
+        assert any(e.dst == SchemaAttr("Appointments", "Patient") for e in starts)
+        ends = graph.end_edges()
+        assert all(e.dst == graph.end for e in ends)
+        # FK Log.User -> Users.User reversed terminates at Log.User
+        assert any(e.src == SchemaAttr("Users", "User") for e in ends)
+
+    def test_edges_from_and_into_table(self, db):
+        graph = SchemaGraph(db)
+        assert all(e.src.table == "Log" for e in graph.edges_from_table("Log"))
+        assert all(e.dst.table == "Log" for e in graph.edges_into_table("Log"))
+
+    def test_counted_tables_with_uncounted(self, db):
+        graph = SchemaGraph(db, uncounted_tables=["Users"])
+        assert graph.counted_tables(["Log", "Users", "Appointments"]) == 2
+        assert graph.counted_tables(["Users"]) == 0
+
+    def test_degenerate_self_fk_skipped(self):
+        db = Database()
+        db.create_table(
+            TableSchema.build(
+                "Log",
+                ["Lid", "User", "Patient"],
+                foreign_keys=[ForeignKey("User", "Log", "User")],
+            )
+        )
+        graph = SchemaGraph(db)
+        assert graph.edges == ()

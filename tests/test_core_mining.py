@@ -1,0 +1,217 @@
+"""Tests for the three mining algorithms and the support evaluator.
+
+Key properties from the paper:
+
+* Example 3.1 support values (template A 50%, template B 100%);
+* all three algorithms return the same template set (Section 5.3.3);
+* support monotonicity justifies bottom-up pruning (Section 3.2);
+* the optimizations never change the mined output (Section 3.2.1).
+"""
+
+import pytest
+
+from repro.core import (
+    BridgedMiner,
+    MiningConfig,
+    OneWayMiner,
+    Path,
+    SchemaAttr,
+    SchemaEdge,
+    EdgeKind,
+    SupportConfig,
+    SupportEvaluator,
+    TwoWayMiner,
+)
+
+
+def edge(t1, a1, t2, a2, kind=EdgeKind.ADMIN):
+    return SchemaEdge(SchemaAttr(t1, a1), SchemaAttr(t2, a2), kind)
+
+
+CFG = MiningConfig(support_fraction=0.5, max_length=4, max_tables=3)
+
+
+class TestSupportEvaluator:
+    def test_support_values_match_paper(self, fig3_db, fig3_graph):
+        ev = SupportEvaluator(fig3_db)
+        template_a = Path.forward_seed(
+            fig3_graph, edge("Log", "Patient", "Appointments", "Patient")
+        ).extend_forward(edge("Appointments", "Doctor", "Log", "User"))
+        assert ev.support(template_a) == 1  # 50% of the 2-entry log
+
+    def test_cache_hit_on_reversed_path(self, fig3_db, fig3_graph):
+        ev = SupportEvaluator(fig3_db)
+        fwd = Path.forward_seed(
+            fig3_graph, edge("Log", "Patient", "Appointments", "Patient")
+        ).extend_forward(edge("Appointments", "Doctor", "Log", "User"))
+        bwd = Path.backward_seed(
+            fig3_graph, edge("Appointments", "Doctor", "Log", "User")
+        ).extend_backward(edge("Log", "Patient", "Appointments", "Patient"))
+        ev.support(fwd)
+        assert ev.stats.cache_hits == 0
+        ev.support(bwd)
+        assert ev.stats.cache_hits == 1
+        assert ev.stats.queries_run == 1
+
+    def test_cache_disabled(self, fig3_db, fig3_graph):
+        ev = SupportEvaluator(fig3_db, config=SupportConfig(use_cache=False))
+        p = Path.forward_seed(
+            fig3_graph, edge("Log", "Patient", "Appointments", "Patient")
+        )
+        ev.support(p)
+        ev.support(p)
+        assert ev.stats.queries_run == 2 and ev.stats.cache_hits == 0
+
+    def test_skip_nonselective_partial(self, fig3_db, fig3_graph):
+        # threshold tiny -> estimator expects way more -> skip
+        ev = SupportEvaluator(
+            fig3_db, config=SupportConfig(use_skip=True, skip_constant=1.0)
+        )
+        p = Path.forward_seed(
+            fig3_graph, edge("Log", "Patient", "Appointments", "Patient")
+        )
+        assert ev.support_or_skip(p, threshold=0.01) is None
+        assert ev.stats.skipped == 1
+
+    def test_explanations_never_skipped(self, fig3_db, fig3_graph):
+        ev = SupportEvaluator(
+            fig3_db, config=SupportConfig(use_skip=True, skip_constant=0.001)
+        )
+        closed = Path.forward_seed(
+            fig3_graph, edge("Log", "Patient", "Appointments", "Patient")
+        ).extend_forward(edge("Appointments", "Doctor", "Log", "User"))
+        assert ev.support_or_skip(closed, threshold=0.0001) == 1
+        assert ev.stats.skipped == 0
+
+    def test_support_monotonic_under_extension(self, fig3_db, fig3_graph):
+        ev = SupportEvaluator(fig3_db)
+        p1 = Path.forward_seed(
+            fig3_graph, edge("Log", "Patient", "Appointments", "Patient")
+        )
+        p2 = p1.extend_forward(edge("Appointments", "Doctor", "Log", "User"))
+        assert ev.support(p2) <= ev.support(p1)
+
+
+class TestMinersAgree:
+    def mine_all(self, db, graph, cfg=CFG):
+        miners = [
+            OneWayMiner(db, graph, cfg),
+            TwoWayMiner(db, graph, cfg),
+            BridgedMiner(db, graph, cfg, bridge_length=2),
+            BridgedMiner(db, graph, cfg, bridge_length=3),
+        ]
+        return [m.mine() for m in miners]
+
+    def test_same_template_sets_fig3(self, fig3_db, fig3_graph):
+        results = self.mine_all(fig3_db, fig3_graph)
+        sigs = [r.signatures() for r in results]
+        assert sigs[0] == sigs[1] == sigs[2] == sigs[3]
+        assert len(sigs[0]) == 3
+
+    def test_same_template_sets_hospital(self, hospital_db, hospital_graph):
+        cfg = MiningConfig(support_fraction=0.2, max_length=4, max_tables=3)
+        results = self.mine_all(hospital_db, hospital_graph, cfg)
+        sigs = [r.signatures() for r in results]
+        assert sigs[0] == sigs[1] == sigs[2] == sigs[3]
+        assert sigs[0]  # found something
+
+    def test_supports_agree_across_algorithms(self, fig3_db, fig3_graph):
+        results = self.mine_all(fig3_db, fig3_graph)
+        by_sig = [
+            {m.template.signature(): m.support for m in r.templates}
+            for r in results
+        ]
+        assert by_sig[0] == by_sig[1] == by_sig[2] == by_sig[3]
+
+
+class TestPaperExample31:
+    def test_template_a_and_b_mined_with_supports(self, fig3_db, fig3_graph):
+        result = OneWayMiner(fig3_db, fig3_graph, CFG).mine()
+        by_len = result.templates_by_length()
+        # length 2: template (A), support 1 (50%)
+        assert [m.support for m in by_len[2]] == [1]
+        # length 4: template (B), support 2 (100%)
+        assert [m.support for m in by_len[4]] == [2]
+
+    def test_threshold_prunes(self, fig3_db, fig3_graph):
+        # with s = 100%, template (A) (support 50%) must disappear
+        cfg = MiningConfig(support_fraction=1.0, max_length=4, max_tables=3)
+        result = OneWayMiner(fig3_db, fig3_graph, cfg).mine()
+        assert 2 not in result.templates_by_length()
+        assert 4 in result.templates_by_length()
+
+    def test_max_length_respected(self, fig3_db, fig3_graph):
+        cfg = MiningConfig(support_fraction=0.5, max_length=2, max_tables=3)
+        result = OneWayMiner(fig3_db, fig3_graph, cfg).mine()
+        assert all(m.length <= 2 for m in result.templates)
+
+    def test_max_tables_respected(self, fig3_db, fig3_graph):
+        # T=2 forbids Log+Appointments+Doctor_Info paths
+        cfg = MiningConfig(support_fraction=0.5, max_length=4, max_tables=2)
+        result = OneWayMiner(fig3_db, fig3_graph, cfg).mine()
+        assert all(
+            len(m.template.tables_referenced()) <= 2 for m in result.templates
+        )
+        assert 4 not in result.templates_by_length()
+
+    def test_repeat_access_mined_from_self_joins(
+        self, hospital_db, hospital_graph
+    ):
+        cfg = MiningConfig(support_fraction=0.2, max_length=2, max_tables=3)
+        result = OneWayMiner(hospital_db, hospital_graph, cfg).mine()
+        repeat = [
+            m
+            for m in result.templates
+            if m.template.tables_referenced() == {"Log"}
+        ]
+        assert len(repeat) == 1
+        # Dave accessed Alice twice -> both lids explained by repeat access
+        assert repeat[0].support >= 2
+
+
+class TestOptimizationInvariance:
+    """Section 3.2.1: optimizations change performance, never output."""
+
+    @pytest.mark.parametrize(
+        "support_cfg",
+        [
+            SupportConfig(use_cache=False),
+            SupportConfig(use_skip=False),
+            SupportConfig(distinct_reduction=False),
+            SupportConfig(use_cache=False, use_skip=False, distinct_reduction=False),
+            SupportConfig(use_skip=True, skip_constant=0.5),
+            SupportConfig(estimator_error_factor=25.0),
+            SupportConfig(estimator_error_factor=0.04),
+        ],
+    )
+    def test_output_invariant(self, fig3_db, fig3_graph, support_cfg):
+        baseline = OneWayMiner(fig3_db, fig3_graph, CFG).mine()
+        cfg = MiningConfig(
+            support_fraction=0.5, max_length=4, max_tables=3, support=support_cfg
+        )
+        variant = OneWayMiner(fig3_db, fig3_graph, cfg).mine()
+        assert variant.signatures() == baseline.signatures()
+
+
+class TestMiningResult:
+    def test_cumulative_time_monotone(self, fig3_db, fig3_graph):
+        result = TwoWayMiner(fig3_db, fig3_graph, CFG).mine()
+        series = result.cumulative_time_by_length()
+        values = [series[k] for k in sorted(series)]
+        assert values == sorted(values)
+        assert set(series) == {1, 2, 3, 4}
+
+    def test_round_stats_counts(self, fig3_db, fig3_graph):
+        result = OneWayMiner(fig3_db, fig3_graph, CFG).mine()
+        total_candidates = sum(r.candidates for r in result.rounds)
+        assert total_candidates >= len(result.templates)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MiningConfig(support_fraction=0)
+        with pytest.raises(ValueError):
+            MiningConfig(max_length=0)
+        with pytest.raises(ValueError):
+            MiningConfig(max_tables=0)
+        with pytest.raises(ValueError):
+            BridgedMiner(None, None, bridge_length=0)

@@ -1,0 +1,273 @@
+"""Unit tests for the conjunctive-query executor, including a brute-force
+nested-loop oracle cross-check (the executor must agree with naive SQL
+semantics on every query shape the mining layer generates)."""
+
+import itertools
+
+import pytest
+
+from repro.db import (
+    AttrRef,
+    ColumnType,
+    Condition,
+    ConjunctiveQuery,
+    Database,
+    Executor,
+    Literal,
+    QueryError,
+    TableSchema,
+    TupleVar,
+)
+
+
+@pytest.fixture
+def db():
+    """The paper's Figure 3 database plus a Doctor_Info table."""
+    db = Database("fig3")
+    log = db.create_table(
+        TableSchema.build(
+            "Log",
+            [("Lid", ColumnType.INT), ("Date", ColumnType.INT), "User", "Patient"],
+            primary_key=["Lid"],
+        )
+    )
+    appts = db.create_table(
+        TableSchema.build("Appointments", ["Patient", "Doctor", ("Date", ColumnType.INT)])
+    )
+    info = db.create_table(TableSchema.build("Doctor_Info", ["Doctor", "Department"]))
+    log.insert_many(
+        [
+            (1, 1, "Dave", "Alice"),
+            (2, 2, "Dave", "Bob"),
+        ]
+    )
+    appts.insert_many([("Alice", "Dave", 1), ("Bob", "Mike", 2)])
+    info.insert_many([("Mike", "Pediatrics"), ("Dave", "Pediatrics")])
+    return db
+
+
+def template_a_query(projection=None):
+    """Paper Example 2.2 template (A): appointment with the accessing doctor."""
+    L, A = TupleVar("L", "Log"), TupleVar("A", "Appointments")
+    return ConjunctiveQuery.build(
+        [L, A],
+        [
+            Condition(AttrRef("L", "Patient"), "=", AttrRef("A", "Patient")),
+            Condition(AttrRef("A", "Doctor"), "=", AttrRef("L", "User")),
+        ],
+        projection or [AttrRef("L", "Lid")],
+    )
+
+
+def template_b_query():
+    """Paper Example 2.2 template (B): appointment with a department colleague."""
+    L = TupleVar("L", "Log")
+    A = TupleVar("A", "Appointments")
+    I1 = TupleVar("I1", "Doctor_Info")
+    I2 = TupleVar("I2", "Doctor_Info")
+    return ConjunctiveQuery.build(
+        [L, A, I1, I2],
+        [
+            Condition(AttrRef("L", "Patient"), "=", AttrRef("A", "Patient")),
+            Condition(AttrRef("A", "Doctor"), "=", AttrRef("I1", "Doctor")),
+            Condition(AttrRef("I1", "Department"), "=", AttrRef("I2", "Department")),
+            Condition(AttrRef("I2", "Doctor"), "=", AttrRef("L", "User")),
+        ],
+        [AttrRef("L", "Lid")],
+    )
+
+
+class TestPaperExamples:
+    """The running examples of Sections 2-3 must evaluate exactly."""
+
+    def test_template_a_explains_only_l1(self, db):
+        ex = Executor(db)
+        assert ex.distinct_values(template_a_query()) == {1}
+
+    def test_template_a_support_50pct(self, db):
+        # paper Example 3.1: template (A) has support 50% (1 of 2 accesses)
+        assert Executor(db).count_distinct(template_a_query()) == 1
+
+    def test_template_b_explains_both(self, db):
+        # paper Example 3.1: template (B) has support 100%
+        assert Executor(db).distinct_values(template_b_query()) == {1, 2}
+
+    def test_instance_projection(self, db):
+        q = template_a_query(
+            [AttrRef("L", "Lid"), AttrRef("L", "Patient"), AttrRef("A", "Date")]
+        )
+        result = Executor(db).execute(q)
+        assert result.rows == [(1, "Alice", 1)]
+
+    def test_as_dicts(self, db):
+        q = template_a_query([AttrRef("L", "Lid")])
+        assert Executor(db).execute(q).as_dicts() == [{"L.Lid": 1}]
+
+
+class TestFilters:
+    def test_literal_filter(self, db):
+        L = TupleVar("L", "Log")
+        q = ConjunctiveQuery.build(
+            [L],
+            [Condition(AttrRef("L", "Patient"), "=", Literal("Alice"))],
+            [AttrRef("L", "Lid")],
+        )
+        assert Executor(db).distinct_values(q) == {1}
+
+    def test_inequality_decoration(self, db):
+        # repeat-access decoration: L1.Date > L2.Date
+        db.table("Log").insert((3, 9, "Dave", "Alice"))
+        L1, L2 = TupleVar("L1", "Log"), TupleVar("L2", "Log")
+        q = ConjunctiveQuery.build(
+            [L1, L2],
+            [
+                Condition(AttrRef("L1", "Patient"), "=", AttrRef("L2", "Patient")),
+                Condition(AttrRef("L2", "User"), "=", AttrRef("L1", "User")),
+                Condition(AttrRef("L1", "Date"), ">", AttrRef("L2", "Date")),
+            ],
+            [AttrRef("L1", "Lid")],
+        )
+        assert Executor(db).distinct_values(q) == {3}
+
+    def test_null_never_joins(self, db):
+        db.table("Appointments").insert((None, "Dave", 9))
+        assert Executor(db).count_distinct(template_a_query()) == 1
+
+    def test_null_never_compares(self, db):
+        db.table("Log").insert((4, None, "Dave", "Alice"))
+        L1, L2 = TupleVar("L1", "Log"), TupleVar("L2", "Log")
+        q = ConjunctiveQuery.build(
+            [L1, L2],
+            [
+                Condition(AttrRef("L1", "Patient"), "=", AttrRef("L2", "Patient")),
+                Condition(AttrRef("L2", "User"), "=", AttrRef("L1", "User")),
+                Condition(AttrRef("L1", "Date"), "<", AttrRef("L2", "Date")),
+            ],
+            [AttrRef("L1", "Lid")],
+        )
+        # Lid 4 has NULL date: it can never satisfy the < decoration
+        assert 4 not in Executor(db).distinct_values(q)
+
+
+class TestQueryValidation:
+    def test_unknown_column_rejected(self, db):
+        L = TupleVar("L", "Log")
+        q = ConjunctiveQuery.build(
+            [L],
+            [Condition(AttrRef("L", "Nope"), "=", Literal(1))],
+            [AttrRef("L", "Lid")],
+        )
+        with pytest.raises(QueryError):
+            Executor(db).execute(q)
+
+    def test_unknown_alias_rejected_at_build(self):
+        L = TupleVar("L", "Log")
+        with pytest.raises(QueryError):
+            ConjunctiveQuery.build(
+                [L],
+                [Condition(AttrRef("X", "Lid"), "=", Literal(1))],
+                [AttrRef("L", "Lid")],
+            )
+
+    def test_duplicate_alias_rejected(self):
+        L = TupleVar("L", "Log")
+        with pytest.raises(QueryError):
+            ConjunctiveQuery.build([L, L], [], [AttrRef("L", "Lid")])
+
+    def test_cartesian_rejected_by_default(self, db):
+        L = TupleVar("L", "Log")
+        A = TupleVar("A", "Appointments")
+        q = ConjunctiveQuery.build([L, A], [], [AttrRef("L", "Lid")])
+        with pytest.raises(QueryError):
+            Executor(db).execute(q)
+
+    def test_cartesian_optin(self, db):
+        L = TupleVar("L", "Log")
+        A = TupleVar("A", "Appointments")
+        q = ConjunctiveQuery.build([L, A], [], [AttrRef("L", "Lid")])
+        assert Executor(db, allow_cartesian=True).count_distinct(q) == 2
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(QueryError):
+            Condition(AttrRef("L", "Lid"), "LIKE", Literal("x"))
+
+
+def brute_force(db, query):
+    """Nested-loop oracle: enumerate the full cross product, apply all
+    conditions, project, dedup.  Exponential — only for tiny fixtures."""
+    tables = [list(db.table(v.table).rows()) for v in query.tuple_vars]
+    schemas = [db.table(v.table).schema for v in query.tuple_vars]
+    out = set()
+    for combo in itertools.product(*tables):
+        env = {}
+        for var, schema, row in zip(query.tuple_vars, schemas, combo):
+            for i, col in enumerate(schema.column_names):
+                env[(var.alias, col)] = row[i]
+        ok = True
+        for cond in query.conditions:
+            lval = env[(cond.left.alias, cond.left.attr)]
+            rval = (
+                env[(cond.right.alias, cond.right.attr)]
+                if isinstance(cond.right, AttrRef)
+                else cond.right.value
+            )
+            if lval is None or rval is None:
+                ok = False
+                break
+            if cond.op == "=" and not lval == rval:
+                ok = False
+            elif cond.op == "!=" and not lval != rval:
+                ok = False
+            elif cond.op == "<" and not lval < rval:
+                ok = False
+            elif cond.op == "<=" and not lval <= rval:
+                ok = False
+            elif cond.op == ">" and not lval > rval:
+                ok = False
+            elif cond.op == ">=" and not lval >= rval:
+                ok = False
+            if not ok:
+                break
+        if ok:
+            out.add(tuple(env[(r.alias, r.attr)] for r in query.projection))
+    return out
+
+
+class TestBruteForceOracle:
+    """The hash-join pipeline must match naive nested-loop semantics."""
+
+    def test_template_a(self, db):
+        q = template_a_query()
+        assert set(Executor(db).execute(q).rows) == brute_force(db, q)
+
+    def test_template_b(self, db):
+        q = template_b_query()
+        assert set(Executor(db).execute(q).rows) == brute_force(db, q)
+
+    def test_self_join_with_decoration(self, db):
+        db.table("Log").insert((3, 9, "Dave", "Alice"))
+        db.table("Log").insert((4, 0, "Mike", "Bob"))
+        L1, L2 = TupleVar("L1", "Log"), TupleVar("L2", "Log")
+        q = ConjunctiveQuery.build(
+            [L1, L2],
+            [
+                Condition(AttrRef("L1", "Patient"), "=", AttrRef("L2", "Patient")),
+                Condition(AttrRef("L2", "User"), "=", AttrRef("L1", "User")),
+                Condition(AttrRef("L1", "Date"), ">", AttrRef("L2", "Date")),
+            ],
+            [AttrRef("L1", "Lid")],
+        )
+        assert set(Executor(db).execute(q).rows) == brute_force(db, q)
+
+    def test_wide_projection(self, db):
+        q = template_b_query()
+        wide = ConjunctiveQuery.build(
+            q.tuple_vars,
+            q.conditions,
+            [
+                AttrRef("L", "Lid"),
+                AttrRef("A", "Doctor"),
+                AttrRef("I1", "Department"),
+            ],
+        )
+        assert set(Executor(db).execute(wide).rows) == brute_force(db, wide)

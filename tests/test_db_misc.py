@@ -1,0 +1,273 @@
+"""Tests for database catalog, optimizer estimates, SQL rendering, CSV IO,
+and canonical query signatures."""
+
+import datetime as dt
+import os
+
+import pytest
+
+from repro.db import (
+    AttrRef,
+    CardinalityEstimator,
+    ColumnType,
+    Condition,
+    ConjunctiveQuery,
+    Database,
+    Executor,
+    ForeignKey,
+    Literal,
+    SchemaError,
+    TableSchema,
+    TupleVar,
+    UnknownTableError,
+    canonical_query_signature,
+    load_database,
+    read_table_csv,
+    render_query,
+    render_query_reduced,
+    save_database,
+    write_table_csv,
+)
+
+
+@pytest.fixture
+def db():
+    db = Database("hosp")
+    users = db.create_table(TableSchema.build("Users", ["User", "Dept"]))
+    log = db.create_table(
+        TableSchema.build(
+            "Log",
+            [("Lid", ColumnType.INT), "User", "Patient"],
+            primary_key=["Lid"],
+            foreign_keys=[ForeignKey("User", "Users", "User")],
+        )
+    )
+    users.insert_many([("Dave", "Peds"), ("Mike", "Peds")])
+    log.insert_many([(1, "Dave", "Alice"), (2, "Mike", "Bob")])
+    return db
+
+
+class TestDatabase:
+    def test_create_duplicate_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.create_table(TableSchema.build("Log", ["x"]))
+
+    def test_unknown_table(self, db):
+        with pytest.raises(UnknownTableError):
+            db.table("Nope")
+
+    def test_fk_to_missing_table_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.create_table(
+                TableSchema.build(
+                    "T", ["a"], foreign_keys=[ForeignKey("a", "Missing", "x")]
+                )
+            )
+
+    def test_self_referencing_fk_allowed(self):
+        db = Database()
+        db.create_table(
+            TableSchema.build(
+                "Emp", ["id", "boss"], foreign_keys=[ForeignKey("boss", "Emp", "id")]
+            )
+        )
+
+    def test_drop_table(self, db):
+        db.drop_table("Log")
+        assert not db.has_table("Log")
+
+    def test_contains_len(self, db):
+        assert "Log" in db
+        assert len(db) == 2
+
+    def test_foreign_keys_listing(self, db):
+        fks = db.foreign_keys()
+        assert ("Log", ForeignKey("User", "Users", "User")) in fks
+
+    def test_referential_integrity_ok(self, db):
+        assert db.validate_referential_integrity() == []
+
+    def test_referential_integrity_violation(self, db):
+        db.table("Log").insert((3, "Ghost", "Alice"))
+        violations = db.validate_referential_integrity()
+        assert len(violations) == 1
+        assert "Ghost" in violations[0]
+
+    def test_summary_and_total(self, db):
+        assert db.total_rows() == 4
+        assert "Log" in db.summary()
+
+
+class TestEstimator:
+    def test_join_estimate(self, db):
+        L, U = TupleVar("L", "Log"), TupleVar("U", "Users")
+        q = ConjunctiveQuery.build(
+            [L, U],
+            [Condition(AttrRef("L", "User"), "=", AttrRef("U", "User"))],
+            [AttrRef("L", "Lid")],
+        )
+        est = CardinalityEstimator(db)
+        # 2 * 2 / max(ndv=2, ndv=2) = 2
+        assert est.estimate_rows(q) == pytest.approx(2.0)
+
+    def test_literal_estimate(self, db):
+        L = TupleVar("L", "Log")
+        q = ConjunctiveQuery.build(
+            [L],
+            [Condition(AttrRef("L", "User"), "=", Literal("Dave"))],
+            [AttrRef("L", "Lid")],
+        )
+        assert CardinalityEstimator(db).estimate_rows(q) == pytest.approx(1.0)
+
+    def test_inequality_selectivity(self, db):
+        L = TupleVar("L", "Log")
+        q = ConjunctiveQuery.build(
+            [L],
+            [Condition(AttrRef("L", "Lid"), ">", Literal(0))],
+            [AttrRef("L", "Lid")],
+        )
+        assert CardinalityEstimator(db).estimate_rows(q) == pytest.approx(2 / 3)
+
+    def test_distinct_estimate_bounded_by_ndv(self, db):
+        L, U = TupleVar("L", "Log"), TupleVar("U", "Users")
+        q = ConjunctiveQuery.build(
+            [L, U],
+            [Condition(AttrRef("L", "User"), "=", AttrRef("U", "User"))],
+            [AttrRef("L", "Lid")],
+        )
+        est = CardinalityEstimator(db)
+        assert est.estimate_distinct(q, AttrRef("L", "Lid")) <= 2.0 + 1e-9
+
+    def test_error_factor(self, db):
+        L = TupleVar("L", "Log")
+        q = ConjunctiveQuery.build([L], [], [AttrRef("L", "Lid")])
+        assert CardinalityEstimator(db, error_factor=10).estimate_rows(
+            q
+        ) == pytest.approx(20.0)
+
+    def test_bad_error_factor(self, db):
+        with pytest.raises(ValueError):
+            CardinalityEstimator(db, error_factor=0)
+
+
+class TestSqlRendering:
+    def make_query(self):
+        L, U = TupleVar("L", "Log"), TupleVar("U", "Users")
+        return ConjunctiveQuery.build(
+            [L, U],
+            [Condition(AttrRef("L", "User"), "=", AttrRef("U", "User"))],
+            [AttrRef("L", "Lid")],
+        )
+
+    def test_plain(self):
+        sql = render_query(self.make_query())
+        assert "SELECT DISTINCT L.Lid" in sql
+        assert "FROM Log L, Users U" in sql
+        assert "WHERE L.User = U.User" in sql
+
+    def test_count_form(self):
+        sql = render_query(self.make_query(), count_distinct=AttrRef("L", "Lid"))
+        assert sql.startswith("SELECT COUNT(DISTINCT L.Lid)")
+
+    def test_reduced_subqueries(self):
+        sql = render_query_reduced(self.make_query())
+        assert "(SELECT DISTINCT User FROM Users) U" in sql
+        # the Log itself is never reduced (its Lid multiplicity matters)
+        assert "Log L" in sql
+
+    def test_string_literal_quoting(self):
+        L = TupleVar("L", "Log")
+        q = ConjunctiveQuery.build(
+            [L],
+            [Condition(AttrRef("L", "User"), "=", Literal("O'Hara"))],
+            [AttrRef("L", "Lid")],
+        )
+        assert "'O''Hara'" in render_query(q)
+
+
+class TestCanonicalSignature:
+    def test_alias_permutation_invariance(self):
+        # Groups self-join written in both orders must collide in the cache
+        L = TupleVar("L", "Log")
+        G1, G2 = TupleVar("G1", "Groups"), TupleVar("G2", "Groups")
+        fwd = ConjunctiveQuery.build(
+            [L, G1, G2],
+            [
+                Condition(AttrRef("L", "Patient"), "=", AttrRef("G1", "User")),
+                Condition(AttrRef("G1", "Gid"), "=", AttrRef("G2", "Gid")),
+                Condition(AttrRef("G2", "User"), "=", AttrRef("L", "User")),
+            ],
+            [AttrRef("L", "Lid")],
+        )
+        bwd = ConjunctiveQuery.build(
+            [L, G2, G1],
+            [
+                Condition(AttrRef("G1", "User"), "=", AttrRef("L", "Patient")),
+                Condition(AttrRef("G2", "Gid"), "=", AttrRef("G1", "Gid")),
+                Condition(AttrRef("L", "User"), "=", AttrRef("G2", "User")),
+            ],
+            [AttrRef("L", "Lid")],
+        )
+        assert canonical_query_signature(fwd) == canonical_query_signature(bwd)
+
+    def test_different_conditions_differ(self):
+        L = TupleVar("L", "Log")
+        q1 = ConjunctiveQuery.build(
+            [L], [Condition(AttrRef("L", "User"), "=", Literal("a"))], [AttrRef("L", "Lid")]
+        )
+        q2 = ConjunctiveQuery.build(
+            [L], [Condition(AttrRef("L", "User"), "=", Literal("b"))], [AttrRef("L", "Lid")]
+        )
+        assert canonical_query_signature(q1) != canonical_query_signature(q2)
+
+    def test_inequality_flip_canonicalized(self):
+        L1, L2 = TupleVar("L1", "Log"), TupleVar("L2", "Log")
+        base = [Condition(AttrRef("L1", "Patient"), "=", AttrRef("L2", "Patient"))]
+        q1 = ConjunctiveQuery.build(
+            [L1, L2],
+            base + [Condition(AttrRef("L1", "Lid"), ">", AttrRef("L2", "Lid"))],
+            [AttrRef("L1", "Lid")],
+        )
+        q2 = ConjunctiveQuery.build(
+            [L1, L2],
+            base + [Condition(AttrRef("L2", "Lid"), "<", AttrRef("L1", "Lid"))],
+            [AttrRef("L1", "Lid")],
+        )
+        assert canonical_query_signature(q1) == canonical_query_signature(q2)
+
+
+class TestCsvIO:
+    def test_table_roundtrip(self, db, tmp_path):
+        path = os.path.join(tmp_path, "log.csv")
+        n = write_table_csv(db.table("Log"), path)
+        assert n == 2
+        loaded = read_table_csv(db.table("Log").schema, path)
+        assert loaded.rows() == db.table("Log").rows()
+
+    def test_roundtrip_with_dates_and_nulls(self, tmp_path):
+        schema = TableSchema.build(
+            "T", [("when", ColumnType.DATE), ("n", ColumnType.INT), "s"]
+        )
+        from repro.db import Table
+
+        t = Table(schema)
+        t.insert((dt.datetime(2010, 1, 3, 10, 16, 57), None, "x"))
+        path = os.path.join(tmp_path, "t.csv")
+        write_table_csv(t, path)
+        loaded = read_table_csv(schema, path)
+        assert loaded.rows() == t.rows()
+
+    def test_header_mismatch_rejected(self, db, tmp_path):
+        path = os.path.join(tmp_path, "bad.csv")
+        with open(path, "w") as fh:
+            fh.write("X,Y,Z\n1,2,3\n")
+        with pytest.raises(SchemaError):
+            read_table_csv(db.table("Log").schema, path)
+
+    def test_database_roundtrip(self, db, tmp_path):
+        directory = os.path.join(tmp_path, "dbdir")
+        save_database(db, directory)
+        loaded = load_database(directory)
+        assert set(loaded.table_names()) == {"Users", "Log"}
+        assert loaded.table("Log").rows() == db.table("Log").rows()
+        assert loaded.table("Log").schema.foreign_keys == db.table("Log").schema.foreign_keys

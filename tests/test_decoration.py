@@ -1,0 +1,126 @@
+"""Tests for decorated-template mining (the paper's §5.3.4 future work)."""
+
+import pytest
+
+from repro.audit import event_group_template
+from repro.core import DecorationMiner, group_depth_attr
+from repro.db import AttrRef
+from repro.ehr import SimulationConfig, build_careweb_graph
+from repro.evalx import CareWebStudy
+
+
+@pytest.fixture(scope="module")
+def study():
+    return CareWebStudy.prepare(SimulationConfig.small(seed=3))
+
+
+@pytest.fixture(scope="module")
+def miner(study):
+    combined, real, fake = study.combined_db()
+    return DecorationMiner(
+        combined, real, fake, test_lids=study.test_first_lids()
+    )
+
+
+@pytest.fixture(scope="module")
+def base_template(study):
+    combined, _, _ = study.combined_db()
+    graph = build_careweb_graph(combined)
+    # the undecorated group template matches every hierarchy depth
+    return event_group_template(graph, "Appointments", "Doctor", depth=None)
+
+
+class TestGroupDepthAttr:
+    def test_finds_groups_alias(self, base_template):
+        attr = group_depth_attr(base_template)
+        assert attr is not None
+        assert attr.attr == "Group_Depth"
+
+    def test_none_for_groupless_template(self, study):
+        from repro.audit import event_user_template
+
+        graph = build_careweb_graph(study.db)
+        t = event_user_template(graph, "Appointments", "Doctor")
+        assert group_depth_attr(t) is None
+
+
+class TestDecorationMiner:
+    def test_candidate_values_are_depths(self, miner, base_template):
+        values = miner.candidate_values(
+            base_template, group_depth_attr(base_template)
+        )
+        assert values == list(range(len(values)))  # depths 0..max
+
+    def test_one_candidate_per_value(self, miner, base_template):
+        result = miner.mine(base_template, group_depth_attr(base_template))
+        assert len(result.candidates) == len(
+            miner.candidate_values(base_template, group_depth_attr(base_template))
+        )
+
+    def test_decorations_shrink_coverage(self, miner, base_template):
+        result = miner.mine(base_template, group_depth_attr(base_template))
+        for candidate in result.candidates:
+            assert candidate.explained_real <= result.base_real
+            assert candidate.explained_fake <= result.base_fake
+
+    def test_depth0_candidate_equals_base(self, miner, base_template):
+        # depth 0 = everyone in one group = the base template's coverage
+        result = miner.mine(base_template, group_depth_attr(base_template))
+        by_value = {c.value: c for c in result.candidates}
+        assert by_value[0].explained_real == result.base_real
+
+    def test_recommended_improves_precision(self, miner, base_template):
+        result = miner.mine(
+            base_template, group_depth_attr(base_template), min_recall_ratio=0.5
+        )
+        assert result.recommended is not None
+        assert result.recommended.precision >= result.base_precision
+
+    def test_recommended_respects_recall_floor(self, miner, base_template):
+        result = miner.mine(
+            base_template, group_depth_attr(base_template), min_recall_ratio=0.9
+        )
+        if result.recommended is not None:
+            assert (
+                result.recommended.recall_vs(result.base_real) >= 0.9 - 1e-9
+            )
+
+    def test_recommended_is_decorated_template(self, miner, base_template):
+        result = miner.mine(
+            base_template, group_depth_attr(base_template), min_recall_ratio=0.5
+        )
+        assert result.recommended.template.is_decorated
+        sql = result.recommended.template.to_sql()
+        assert "Group_Depth" in sql
+
+    def test_invalid_recall_ratio(self, miner, base_template):
+        with pytest.raises(ValueError):
+            miner.mine(base_template, group_depth_attr(base_template), 0)
+
+    def test_unknown_alias_rejected(self, miner, base_template):
+        with pytest.raises(ValueError):
+            miner.mine(base_template, AttrRef("Nope", "x"))
+
+    def test_high_cardinality_attr_rejected(self, miner, base_template, monkeypatch):
+        monkeypatch.setattr(DecorationMiner, "MAX_VALUES", 2)
+        with pytest.raises(ValueError):
+            miner.mine(base_template, AttrRef("Groups_2", "User"))
+
+    def test_refine_all_skips_groupless(self, miner, study, base_template):
+        from repro.audit import event_user_template
+
+        graph = build_careweb_graph(study.db)
+        plain = event_user_template(graph, "Visits", "Doctor")
+        results = miner.refine_all(
+            [base_template, plain], group_depth_attr, min_recall_ratio=0.5
+        )
+        assert len(results) == 1
+
+    def test_deterministic(self, miner, base_template):
+        attr = group_depth_attr(base_template)
+        a = miner.mine(base_template, attr, min_recall_ratio=0.5)
+        b = miner.mine(base_template, attr, min_recall_ratio=0.5)
+        assert a.recommended.value == b.recommended.value
+        assert [c.precision for c in a.candidates] == [
+            c.precision for c in b.candidates
+        ]

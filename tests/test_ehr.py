@@ -1,0 +1,205 @@
+"""Tests for the synthetic CareWeb substrate: topology, simulation,
+schema/graph wiring, and fake-log generation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.db import Executor
+from repro.ehr import (
+    DATASET_A,
+    DATASET_B,
+    EPOCH,
+    FAKE_LID_BASE,
+    PATIENT_COLUMNS,
+    Role,
+    SimulationConfig,
+    USER_COLUMNS,
+    build_careweb_graph,
+    build_empty_careweb_db,
+    build_hospital,
+    careweb_schemas,
+    combined_log_db,
+    generate_fake_accesses,
+    is_fake_lid,
+    simulate,
+)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return simulate(SimulationConfig.tiny())
+
+
+class TestHospitalTopology:
+    def test_team_count(self):
+        hospital = build_hospital(SimulationConfig.tiny())
+        assert len(hospital.teams) == 2
+
+    def test_every_team_has_doctor_and_nurse(self):
+        hospital = build_hospital(SimulationConfig.small())
+        for team in hospital.teams.values():
+            assert team.doctor_ids and team.nurse_ids
+
+    def test_doctor_and_nurse_departments_differ(self):
+        hospital = build_hospital(SimulationConfig.small())
+        for team in hospital.teams.values():
+            doc_dept = hospital.department_of(team.doctor_ids[0])
+            nurse_dept = hospital.department_of(team.nurse_ids[0])
+            assert doc_dept != nurse_dept
+            assert "Nursing" in nurse_dept
+
+    def test_service_users_span_teams(self):
+        hospital = build_hospital(SimulationConfig.small())
+        rads = hospital.users_by_role(Role.RADIOLOGIST)
+        assigned = [hospital.users[r].team_ids for r in rads]
+        assert any(len(t) >= 1 for t in assigned)
+
+    def test_patients_have_pcp_in_team(self):
+        hospital = build_hospital(SimulationConfig.tiny())
+        for patient in hospital.patients.values():
+            team = hospital.teams[patient.team_id]
+            assert patient.pcp in team.doctor_ids
+
+    def test_deterministic(self):
+        h1 = build_hospital(SimulationConfig.tiny(seed=3))
+        h2 = build_hospital(SimulationConfig.tiny(seed=3))
+        assert sorted(h1.users) == sorted(h2.users)
+        assert h1.summary() == h2.summary()
+
+    def test_seed_changes_topology(self):
+        h1 = build_hospital(SimulationConfig.tiny(seed=1))
+        h2 = build_hospital(SimulationConfig.tiny(seed=2))
+        assert h1.patients.keys() != h2.patients.keys() or (
+            h1.summary() != h2.summary()
+        )
+
+
+class TestSchemas:
+    def test_all_tables_created(self):
+        db = build_empty_careweb_db()
+        for name in ("Log", "Users") + DATASET_A + DATASET_B:
+            assert db.has_table(name)
+
+    def test_user_columns_exist(self):
+        db = build_empty_careweb_db()
+        for table, column in USER_COLUMNS:
+            assert db.table(table).schema.has_column(column)
+
+    def test_patient_columns_exist(self):
+        db = build_empty_careweb_db()
+        for table, column in PATIENT_COLUMNS:
+            assert db.table(table).schema.has_column(column)
+
+    def test_fk_targets_users(self):
+        db = build_empty_careweb_db()
+        for table, fk in db.foreign_keys():
+            assert fk.ref_table == "Users"
+
+    def test_graph_self_joins(self):
+        db = build_empty_careweb_db()
+        graph = build_careweb_graph(db)
+        assert graph.self_join_allowed("Users", "Department")
+        assert not graph.self_join_allowed("Log", "Patient")
+        graph2 = build_careweb_graph(db, allow_log_self_joins=True)
+        assert graph2.self_join_allowed("Log", "Patient")
+        assert graph2.self_join_allowed("Log", "User")
+
+    def test_graph_start_edges_reach_all_event_tables(self):
+        db = build_empty_careweb_db()
+        graph = build_careweb_graph(db)
+        reached = {e.dst.table for e in graph.start_edges()}
+        for table in DATASET_A + DATASET_B:
+            assert table in reached
+
+
+class TestSimulation:
+    def test_referential_integrity(self, sim):
+        assert sim.db.validate_referential_integrity() == []
+
+    def test_log_sorted_and_sequential(self, sim):
+        log = sim.db.table("Log")
+        lids = log.column_values("Lid")
+        assert lids == list(range(1, len(log) + 1))
+        dates = log.column_values("Date")
+        assert dates == sorted(dates)
+
+    def test_every_access_has_reason(self, sim):
+        assert set(sim.reasons) == set(
+            sim.db.table("Log").distinct_values("Lid")
+        )
+
+    def test_reason_tags_valid(self, sim):
+        valid = {"appt-doctor", "care-team", "consult", "repeat", "noise", "snoop"}
+        assert set(sim.reasons.values()) <= valid
+
+    def test_dates_within_window(self, sim):
+        for date in sim.db.table("Log").column_values("Date"):
+            day = (date.date() - EPOCH.date()).days + 1
+            assert 1 <= day <= sim.config.n_days
+
+    def test_snooping_incidents_present(self, sim):
+        assert len(sim.lids_tagged("snoop")) >= 1
+
+    def test_deterministic(self):
+        a = simulate(SimulationConfig.tiny(seed=11))
+        b = simulate(SimulationConfig.tiny(seed=11))
+        assert a.db.table("Log").rows() == b.db.table("Log").rows()
+        assert a.reasons == b.reasons
+
+    def test_appointments_reference_team_doctors(self, sim):
+        hospital = sim.hospital
+        for patient, doctor, _date in sim.db.table("Appointments").rows():
+            team = hospital.team_of_patient(patient)
+            assert doctor in team.doctor_ids
+
+    def test_repeat_majority_at_benchmark_scale(self):
+        sim = simulate(SimulationConfig.small())
+        log = sim.db.table("Log")
+        seen, repeats = set(), 0
+        for row in log.rows():
+            key = (row[2], row[3])
+            if key in seen:
+                repeats += 1
+            else:
+                seen.add(key)
+        assert repeats / len(log) > 0.5
+
+    def test_summary_mentions_counts(self, sim):
+        assert "log=" in sim.summary()
+
+
+class TestFakeLog:
+    def test_fake_lids_flagged(self, sim):
+        rows = generate_fake_accesses(sim.db, n=10, seed=1)
+        assert len(rows) == 10
+        assert all(is_fake_lid(r[0]) for r in rows)
+
+    def test_fake_defaults_to_log_size(self, sim):
+        rows = generate_fake_accesses(sim.db, seed=1)
+        assert len(rows) == len(sim.db.table("Log"))
+
+    def test_fake_values_from_population(self, sim):
+        users = sim.db.table("Users").distinct_values("User")
+        patients = sim.db.table("Log").distinct_values("Patient")
+        for _lid, _date, user, patient in generate_fake_accesses(sim.db, n=50, seed=2):
+            assert user in users and patient in patients
+
+    def test_combined_db_shares_event_tables(self, sim):
+        combined, real, fake = combined_log_db(sim.db, n_fake=20, seed=3)
+        assert combined.table("Appointments") is sim.db.table("Appointments")
+        assert combined.table("Log") is not sim.db.table("Log")
+        assert len(combined.table("Log")) == len(real) + len(fake)
+        assert len(fake) == 20
+        assert real == sim.db.table("Log").distinct_values("Lid")
+
+    def test_combined_db_queryable(self, sim):
+        combined, _real, _fake = combined_log_db(sim.db, n_fake=5, seed=4)
+        assert Executor(combined)  # construction suffices; no error
+
+    def test_fake_deterministic(self, sim):
+        a = generate_fake_accesses(sim.db, n=25, seed=9)
+        b = generate_fake_accesses(sim.db, n=25, seed=9)
+        assert a == b
+        c = generate_fake_accesses(sim.db, n=25, seed=10)
+        assert a != c

@@ -1,0 +1,211 @@
+"""Tests for the evaluation harness: metrics, log slicing, and the
+per-figure experiment functions on a tiny study."""
+
+import pytest
+
+from repro.core import MiningConfig, OneWayMiner
+from repro.ehr import DATASET_A, SimulationConfig
+from repro.evalx import (
+    CareWebStudy,
+    PrecisionRecall,
+    event_frequency,
+    first_access_lids,
+    group_composition,
+    group_predictive_power,
+    handcrafted_recall,
+    lids_on_days,
+    lids_with_events,
+    log_epoch,
+    mined_predictive_power,
+    mining_performance,
+    overall_coverage,
+    patients_with_events,
+    repeat_access_lids,
+    restrict_log,
+    score_explained,
+    template_stability,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return CareWebStudy.prepare(SimulationConfig.tiny())
+
+
+class TestMetrics:
+    def test_recall(self):
+        pr = PrecisionRecall(50, 5, 100, 80)
+        assert pr.recall == pytest.approx(0.5)
+
+    def test_precision(self):
+        pr = PrecisionRecall(50, 5, 100, 80)
+        assert pr.precision == pytest.approx(50 / 55)
+
+    def test_normalized_recall(self):
+        pr = PrecisionRecall(50, 5, 100, 80)
+        assert pr.normalized_recall == pytest.approx(50 / 80)
+
+    def test_vacuous_precision_is_one(self):
+        assert PrecisionRecall(0, 0, 10, 10).precision == 1.0
+
+    def test_zero_denominators(self):
+        pr = PrecisionRecall(0, 0, 0, 0)
+        assert pr.recall == 0.0 and pr.normalized_recall == 0.0
+
+    def test_score_explained(self):
+        pr = score_explained({1, 2, 99}, real_lids={1, 2, 3}, fake_lids={99})
+        assert pr.explained_real == 2 and pr.explained_fake == 1
+        assert pr.total_real_with_events == 3  # defaults to real set
+
+    def test_str(self):
+        assert "P=" in str(PrecisionRecall(1, 0, 2, 2))
+
+
+class TestAccessSlicing:
+    def test_first_plus_repeat_partition(self, study):
+        first = first_access_lids(study.db)
+        repeat = repeat_access_lids(study.db)
+        all_lids = study.db.table("Log").distinct_values("Lid")
+        assert first | repeat == all_lids
+        assert not (first & repeat)
+
+    def test_first_is_earliest_per_pair(self, study):
+        log = study.db.table("Log")
+        first = first_access_lids(study.db)
+        best = {}
+        for lid, date, user, patient in log.rows():
+            key = (user, patient)
+            if key not in best or (date, lid) < best[key][:2]:
+                best[key] = (date, lid)
+        assert first == {lid for _, lid in best.values()}
+
+    def test_days_partition_log(self, study):
+        total = set()
+        for day in range(1, study.sim.config.n_days + 1):
+            total |= lids_on_days(study.db, [day])
+        assert total == study.db.table("Log").distinct_values("Lid")
+
+    def test_train_test_disjoint(self, study):
+        assert not (study.train_lids() & study.test_lids())
+
+    def test_restrict_log_shares_tables(self, study):
+        derived = restrict_log(study.db, study.test_lids())
+        assert derived.table("Appointments") is study.db.table("Appointments")
+        assert len(derived.table("Log")) == len(study.test_lids())
+
+    def test_log_epoch(self, study):
+        epoch = log_epoch(study.db)
+        assert epoch == min(study.db.table("Log").column_values("Date"))
+
+    def test_patients_with_events(self, study):
+        covered = patients_with_events(study.db, DATASET_A)
+        appts = study.db.table("Appointments").distinct_values("Patient")
+        assert appts <= covered
+
+    def test_lids_with_events_subset(self, study):
+        lids = lids_with_events(study.db, DATASET_A)
+        assert lids <= study.db.table("Log").distinct_values("Lid")
+
+
+class TestStudyContext:
+    def test_mining_db_is_train_firsts(self, study):
+        db = study.mining_db()
+        lids = db.table("Log").distinct_values("Lid")
+        assert lids == study.train_first_lids()
+
+    def test_groups_table_exists(self, study):
+        assert study.db.has_table("Groups")
+        assert len(study.db.table("Groups")) > 0
+
+    def test_combined_db_default_size(self, study):
+        combined, real, fake = study.combined_db()
+        assert len(fake) == len(study.test_first_lids())
+        assert len(combined.table("Log")) == len(real) + len(fake)
+
+    def test_combined_db_cached(self, study):
+        assert study.combined_db() is study.combined_db()
+
+
+class TestExperimentFunctions:
+    def test_event_frequency_bounds(self, study):
+        freqs = event_frequency(study.db)
+        assert set(freqs) == {"Appt", "Visit", "Document", "Repeat Access", "All"}
+        for v in freqs.values():
+            assert 0.0 <= v <= 1.0
+        assert freqs["All"] >= max(
+            freqs["Appt"], freqs["Visit"], freqs["Document"]
+        )
+
+    def test_event_frequency_first_accesses(self, study):
+        freqs = event_frequency(
+            study.db, lids=study.first_lids(), include_repeat=False
+        )
+        assert "Repeat Access" not in freqs
+        # first accesses are strictly harder to cover than all accesses
+        assert freqs["All"] <= event_frequency(study.db)["All"]
+
+    def test_handcrafted_recall_bounds(self, study):
+        recalls = handcrafted_recall(study.db)
+        assert recalls["All w/Dr."] <= 1.0
+        assert recalls["All w/Dr."] >= recalls["Appt w/Dr."]
+
+    def test_handcrafted_first_lower_than_all(self, study):
+        all_r = handcrafted_recall(study.db, include_repeat=False)
+        first_r = handcrafted_recall(
+            study.db, lids=study.first_lids(), include_repeat=False
+        )
+        assert first_r["All w/Dr."] <= all_r["All w/Dr."] + 1e-9
+
+    def test_group_composition_profiles(self, study):
+        profiles = group_composition(study, depth=1, top_groups=2)
+        assert profiles
+        for prof in profiles:
+            assert prof.size == sum(n for _, n in prof.departments)
+            counts = [n for _, n in prof.departments]
+            assert counts == sorted(counts, reverse=True)
+
+    def test_group_predictive_power_rows(self, study):
+        rows = group_predictive_power(study)
+        labels = [r.label for r in rows]
+        assert labels[0] == "0" and labels[-1] == "Same Dept."
+        # hierarchy refinement: deeper groups explain subsets, so both the
+        # real and fake explained counts shrink monotonically with depth
+        # (precision is a ratio of the two and need not be monotone)
+        depth_rows = rows[:-1]
+        for shallow, deep in zip(depth_rows, depth_rows[1:]):
+            assert deep.scores.explained_real <= shallow.scores.explained_real
+            assert deep.scores.explained_fake <= shallow.scores.explained_fake
+
+    def test_overall_coverage_range(self, study):
+        cov = overall_coverage(study)
+        assert 0.5 < cov <= 1.0
+
+    def test_mining_performance_algorithms_agree(self, study):
+        cfg = MiningConfig(support_fraction=0.02, max_length=3, max_tables=3)
+        results = mining_performance(study, config=cfg, bridge_lengths=(2,))
+        assert set(results) == {"one-way", "two-way", "bridge-2"}
+        sigs = [r.signatures() for r in results.values()]
+        assert all(s == sigs[0] for s in sigs)
+        for result in results.values():
+            series = result.cumulative_time_by_length()
+            values = [series[k] for k in sorted(series)]
+            assert values == sorted(values)
+
+    def test_mined_predictive_power_rows(self, study):
+        cfg = MiningConfig(support_fraction=0.02, max_length=3, max_tables=3)
+        mined = OneWayMiner(study.mining_db(), study.mining_graph(), cfg).mine()
+        rows = mined_predictive_power(study, mining_result=mined)
+        assert rows[-1].label == "All"
+        # the All row unions every length: recall >= each length's recall
+        for row in rows[:-1]:
+            assert rows[-1].scores.recall >= row.scores.recall - 1e-9
+
+    def test_template_stability_counts(self, study):
+        cfg = MiningConfig(support_fraction=0.02, max_length=2, max_tables=3)
+        stability = template_stability(study, config=cfg)
+        assert "Days 1-6" in stability.periods
+        for length, n_common in stability.common.items():
+            # common templates cannot exceed any period's count
+            for period in stability.periods:
+                count = stability.counts.get((period, length), 0)
+                assert n_common <= count

@@ -1,0 +1,256 @@
+"""Tests for collaborative-group inference (paper Section 4.1, Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.db import ColumnType, Database, TableSchema
+from repro.groups import (
+    GroupHierarchy,
+    access_matrix_from_log,
+    build_access_matrix,
+    build_groups_table,
+    build_hierarchy,
+    cluster_graph,
+    degrees,
+    hierarchy_from_log,
+    modularity,
+    node_weights,
+    similarity_graph,
+    total_weight,
+)
+
+#: The paper's Figure 5 access log: patients A-D, users 0-3.
+FIG5_ACCESSES = [
+    (0, "A"), (1, "A"), (2, "A"),
+    (0, "B"), (2, "B"),
+    (1, "C"), (2, "C"),
+    (2, "D"), (3, "D"),
+]
+
+
+def clique_graph(cliques, bridge_weight=0.1):
+    """Disjoint cliques with weak bridges between consecutive ones."""
+    adj = {}
+
+    def add(u, v, w):
+        adj.setdefault(u, {})[v] = w
+        adj.setdefault(v, {})[u] = w
+
+    firsts = []
+    for members in cliques:
+        firsts.append(members[0])
+        for i, u in enumerate(members):
+            adj.setdefault(u, {})
+            for v in members[i + 1:]:
+                add(u, v, 1.0)
+    for a, b in zip(firsts, firsts[1:]):
+        add(a, b, bridge_weight)
+    return adj
+
+
+class TestAccessMatrix:
+    def test_fig5_matrix_values(self):
+        am = build_access_matrix(FIG5_ACCESSES)
+        dense = am.matrix.toarray()
+        i = am.patients.index("A")
+        j = am.users.index(0)
+        assert dense[i, j] == pytest.approx(1 / 3)  # paper Example 4.1
+
+    def test_duplicates_collapse(self):
+        am1 = build_access_matrix(FIG5_ACCESSES)
+        am2 = build_access_matrix(FIG5_ACCESSES * 3)
+        assert (am1.matrix != am2.matrix).nnz == 0
+
+    def test_density(self):
+        am = build_access_matrix(FIG5_ACCESSES)
+        assert am.density() == pytest.approx(9 / 16)
+
+    def test_empty(self):
+        am = build_access_matrix([])
+        assert am.shape == (0, 0) and am.density() == 0.0
+
+    def test_fig5_edge_weights(self):
+        adj = similarity_graph(build_access_matrix(FIG5_ACCESSES))
+        assert adj[0][1] == pytest.approx(1 / 9)            # figure: 0.11
+        assert adj[0][2] == pytest.approx(1 / 9 + 1 / 4)    # figure: 0.36
+        assert adj[1][2] == pytest.approx(1 / 9 + 1 / 4)
+        assert adj[2][3] == pytest.approx(1 / 4)            # figure: 0.25
+
+    def test_similarity_symmetric_no_diagonal(self):
+        adj = similarity_graph(build_access_matrix(FIG5_ACCESSES))
+        for u, nbrs in adj.items():
+            assert u not in nbrs
+            for v, w in nbrs.items():
+                assert adj[v][u] == pytest.approx(w)
+
+    def test_node_weights(self):
+        adj = similarity_graph(build_access_matrix(FIG5_ACCESSES))
+        weights = node_weights(adj)
+        assert weights[0] == pytest.approx(adj[0][1] + adj[0][2])
+
+    def test_from_log_table(self):
+        db = Database()
+        log = db.create_table(
+            TableSchema.build(
+                "Log", [("Lid", ColumnType.INT), "User", "Patient"]
+            )
+        )
+        log.insert_many(
+            [(i, str(u), p) for i, (u, p) in enumerate(FIG5_ACCESSES)]
+        )
+        am = access_matrix_from_log(db)
+        assert set(am.users) == {"0", "1", "2", "3"}
+        assert am.shape == (4, 4)
+
+
+class TestModularity:
+    def test_total_weight_counts_each_edge_once(self):
+        adj = {0: {1: 2.0}, 1: {0: 2.0}}
+        assert total_weight(adj) == pytest.approx(2.0)
+
+    def test_self_loop_convention(self):
+        adj = {0: {0: 3.0}}
+        assert total_weight(adj) == pytest.approx(3.0)
+        assert degrees(adj)[0] == pytest.approx(6.0)
+
+    def test_single_community_q_zero(self):
+        adj = clique_graph([[0, 1, 2]])
+        assert modularity(adj, {0: 0, 1: 0, 2: 0}) == pytest.approx(0.0)
+
+    def test_good_split_positive_q(self):
+        adj = clique_graph([[0, 1, 2, 3], [4, 5, 6, 7]])
+        part = {n: (0 if n < 4 else 1) for n in adj}
+        assert modularity(adj, part) > 0.3
+
+    def test_bad_split_lower_q(self):
+        adj = clique_graph([[0, 1, 2, 3], [4, 5, 6, 7]])
+        good = {n: (0 if n < 4 else 1) for n in adj}
+        bad = {n: n % 2 for n in adj}
+        assert modularity(adj, bad) < modularity(adj, good)
+
+    def test_empty_graph(self):
+        assert modularity({}, {}) == 0.0
+
+
+class TestClustering:
+    def test_splits_cliques(self):
+        adj = clique_graph([[0, 1, 2, 3, 4], [10, 11, 12, 13, 14]])
+        part = cluster_graph(adj)
+        assert len({part[n] for n in (0, 1, 2, 3, 4)}) == 1
+        assert len({part[n] for n in (10, 11, 12, 13, 14)}) == 1
+        assert part[0] != part[10]
+
+    def test_deterministic(self):
+        adj = clique_graph([[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11]])
+        assert cluster_graph(adj) == cluster_graph(adj)
+
+    def test_labels_dense_from_zero(self):
+        adj = clique_graph([[0, 1, 2], [3, 4, 5]])
+        part = cluster_graph(adj)
+        assert set(part.values()) == set(range(len(set(part.values()))))
+
+    def test_isolated_nodes_singletons(self):
+        adj = {0: {}, 1: {}, 2: {}}
+        part = cluster_graph(adj)
+        assert len(set(part.values())) == 3
+
+    def test_empty(self):
+        assert cluster_graph({}) == {}
+
+    def test_clustering_beats_random_modularity(self):
+        rng = np.random.default_rng(0)
+        adj = clique_graph([[i * 10 + j for j in range(6)] for i in range(4)])
+        part = cluster_graph(adj)
+        q = modularity(adj, part)
+        random_part = {n: int(rng.integers(0, 4)) for n in adj}
+        assert q >= modularity(adj, random_part)
+
+    def test_rng_order_still_finds_cliques(self):
+        adj = clique_graph([[0, 1, 2, 3, 4], [10, 11, 12, 13, 14]])
+        part = cluster_graph(adj, rng=np.random.default_rng(7))
+        assert part[0] == part[4] and part[10] == part[14]
+        assert part[0] != part[10]
+
+
+class TestHierarchy:
+    def test_depth0_single_group(self):
+        adj = clique_graph([[0, 1, 2], [3, 4, 5]])
+        h = build_hierarchy(adj)
+        assert len(set(h.levels[0].values())) == 1
+
+    def test_depth1_matches_flat_clustering(self):
+        adj = clique_graph([[0, 1, 2, 3], [4, 5, 6, 7]])
+        h = build_hierarchy(adj)
+        flat = cluster_graph(adj)
+        level1 = h.levels[1]
+        # same grouping up to relabeling
+        for u in adj:
+            for v in adj:
+                assert (level1[u] == level1[v]) == (flat[u] == flat[v])
+
+    def test_group_ids_globally_unique(self):
+        adj = clique_graph(
+            [[i * 10 + j for j in range(5)] for i in range(4)]
+        )
+        h = build_hierarchy(adj, max_depth=5)
+        seen = set()
+        for level in h.levels:
+            gids = set(level.values())
+            assert not (gids & seen)
+            seen |= gids
+
+    def test_every_user_assigned_at_every_depth(self):
+        adj = clique_graph([[0, 1, 2, 3], [4, 5, 6, 7]])
+        h = build_hierarchy(adj, max_depth=6)
+        for level in h.levels:
+            assert set(level) == set(adj)
+
+    def test_max_depth_cap(self):
+        adj = clique_graph([[i * 10 + j for j in range(5)] for i in range(4)])
+        h = build_hierarchy(adj, max_depth=2)
+        assert h.max_depth <= 2
+
+    def test_group_of_and_groups_at(self):
+        adj = clique_graph([[0, 1, 2], [3, 4, 5]])
+        h = build_hierarchy(adj)
+        assert h.group_of(0, 0) == h.group_of(5, 0)
+        assert h.group_of(0, 99) is None
+        groups = h.groups_at(0)
+        assert sum(len(m) for m in groups.values()) == 6
+
+    def test_rows_format(self):
+        adj = clique_graph([[0, 1, 2]])
+        h = build_hierarchy(adj)
+        rows = h.rows()
+        assert all(len(r) == 3 for r in rows)
+        assert rows[0][0] == 0  # depth-0 rows first
+
+
+class TestGroupsTable:
+    def test_build_and_replace(self):
+        db = Database()
+        log = db.create_table(
+            TableSchema.build("Log", [("Lid", ColumnType.INT), "User", "Patient"])
+        )
+        log.insert_many(
+            [(i, f"u{u}", p) for i, (u, p) in enumerate(FIG5_ACCESSES)]
+        )
+        hierarchy, access = hierarchy_from_log(db)
+        table = build_groups_table(db, hierarchy)
+        assert db.has_table("Groups")
+        assert len(table) == len(hierarchy.rows())
+        # rebuilding replaces rather than erroring
+        table2 = build_groups_table(db, hierarchy)
+        assert len(table2) == len(table)
+
+    def test_hierarchy_from_log_users(self):
+        db = Database()
+        log = db.create_table(
+            TableSchema.build("Log", [("Lid", ColumnType.INT), "User", "Patient"])
+        )
+        log.insert_many(
+            [(i, f"u{u}", p) for i, (u, p) in enumerate(FIG5_ACCESSES)]
+        )
+        hierarchy, access = hierarchy_from_log(db)
+        assert hierarchy.users() == {"u0", "u1", "u2", "u3"}
+        assert access.density() == pytest.approx(9 / 16)

@@ -1,0 +1,125 @@
+"""Tests for the alternative group-inference baselines and their
+comparison against modularity clustering on the synthetic hospital."""
+
+import pytest
+
+from repro.ehr import SimulationConfig, simulate
+from repro.groups import (
+    access_matrix_from_log,
+    cluster_graph,
+    department_grouping,
+    modularity,
+    pair_scores,
+    partition_sizes,
+    similarity_graph,
+    threshold_components,
+)
+
+
+def triangle_graph():
+    return {
+        0: {1: 1.0, 2: 0.05},
+        1: {0: 1.0, 2: 1.0},
+        2: {0: 0.05, 1: 1.0},
+        3: {},
+    }
+
+
+class TestThresholdComponents:
+    def test_no_threshold_connects_everything_linked(self):
+        part = threshold_components(triangle_graph())
+        assert part[0] == part[1] == part[2]
+        assert part[3] != part[0]  # isolated node stays alone
+
+    def test_threshold_cuts_weak_edges(self):
+        adj = {0: {1: 0.1}, 1: {0: 0.1, 2: 0.9}, 2: {1: 0.9}}
+        part = threshold_components(adj, threshold=0.5)
+        assert part[1] == part[2]
+        assert part[0] != part[1]
+
+    def test_labels_dense(self):
+        part = threshold_components(triangle_graph())
+        labels = set(part.values())
+        assert labels == set(range(len(labels)))
+
+    def test_deterministic(self):
+        adj = triangle_graph()
+        assert threshold_components(adj) == threshold_components(adj)
+
+    def test_empty(self):
+        assert threshold_components({}) == {}
+
+
+class TestDepartmentGrouping:
+    def test_groups_by_code(self):
+        part = department_grouping({"a": "Peds", "b": "Peds", "c": "Rad"})
+        assert part["a"] == part["b"] != part["c"]
+
+    def test_partition_sizes(self):
+        part = department_grouping({"a": "X", "b": "X", "c": "Y"})
+        sizes = partition_sizes(part)
+        assert sorted(sizes.values()) == [1, 2]
+
+
+class TestPairScores:
+    def test_perfect_partition(self):
+        truth = {u: frozenset({u // 2}) for u in range(6)}
+        part = {u: u // 2 for u in range(6)}
+        assert pair_scores(part, truth) == (1.0, 1.0)
+
+    def test_all_in_one_recall_one(self):
+        truth = {u: frozenset({u // 2}) for u in range(6)}
+        part = {u: 0 for u in range(6)}
+        precision, recall = pair_scores(part, truth)
+        assert recall == 1.0 and precision < 1.0
+
+    def test_all_singletons_vacuous(self):
+        truth = {u: frozenset({0}) for u in range(4)}
+        part = {u: u for u in range(4)}
+        assert pair_scores(part, truth) == (0.0, 0.0)
+
+
+class TestBaselineComparison:
+    """Modularity clustering must beat both baselines on the synthetic
+    hospital — the quantitative version of the paper's Section 4 argument
+    for access-pattern groups over department codes."""
+
+    @pytest.fixture(scope="class")
+    def setting(self):
+        sim = simulate(SimulationConfig.small(seed=17))
+        access = access_matrix_from_log(sim.db)
+        adjacency = similarity_graph(access)
+        truth = {
+            uid: frozenset(user.team_ids)
+            for uid, user in sim.hospital.users.items()
+            if uid in adjacency
+        }
+        return sim, adjacency, truth
+
+    def test_modularity_beats_department_codes(self, setting):
+        sim, adjacency, truth = setting
+        clustered = cluster_graph(adjacency)
+        dept = department_grouping(
+            {u: sim.hospital.department_of(u) for u in adjacency}
+        )
+        _, recall_cluster = pair_scores(clustered, truth)
+        _, recall_dept = pair_scores(dept, truth)
+        # dept codes split doctors from their nurses: recall collapses
+        assert recall_cluster > recall_dept
+
+    def test_modularity_q_beats_components(self, setting):
+        _, adjacency, _ = setting
+        clustered = cluster_graph(adjacency)
+        components = threshold_components(adjacency)
+        assert modularity(adjacency, clustered) >= modularity(
+            adjacency, components
+        )
+
+    def test_components_overmerge(self, setting):
+        _, adjacency, truth = setting
+        components = threshold_components(adjacency)
+        clustered = cluster_graph(adjacency)
+        # shared consult staff connect everything: raw components merge
+        # most users into one blob, so they find no more groups than
+        # modularity clustering does
+        assert len(set(components.values())) <= len(set(clustered.values()))

@@ -1,0 +1,114 @@
+"""Tests for the template library and the administrator review loop."""
+
+import pytest
+
+from repro.core import (
+    LibraryEntry,
+    MiningConfig,
+    OneWayMiner,
+    ReviewStatus,
+    TemplateLibrary,
+)
+
+
+@pytest.fixture
+def mined(fig3_db, fig3_graph):
+    cfg = MiningConfig(support_fraction=0.5, max_length=4, max_tables=3)
+    return OneWayMiner(fig3_db, fig3_graph, cfg).mine()
+
+
+@pytest.fixture
+def library(mined):
+    return TemplateLibrary.from_mining_result(mined)
+
+
+class TestReviewWorkflow:
+    def test_mined_templates_start_suggested(self, library):
+        assert all(
+            entry.status is ReviewStatus.SUGGESTED for entry in library
+        )
+        assert library.counts()["suggested"] == len(library)
+
+    def test_supports_carried(self, library, mined):
+        supports = {e.support for e in library}
+        assert supports == {m.support for m in mined.templates}
+
+    def test_approve_and_reject(self, library):
+        entries = library.entries()
+        library.approve(entries[0].template)
+        library.reject(entries[1].template)
+        counts = library.counts()
+        assert counts["approved"] == 1 and counts["rejected"] == 1
+        approved = library.approved_templates()
+        assert len(approved) == 1
+        assert approved[0].signature() == entries[0].template.signature()
+
+    def test_approve_unknown_rejected(self, library, fig3_graph):
+        from repro.audit import repeat_access_template
+
+        foreign = repeat_access_template(fig3_graph)
+        with pytest.raises(KeyError):
+            library.approve(foreign)
+
+    def test_bulk_approve(self, library):
+        n = library.approve_all_suggested()
+        assert n == len(library)
+        assert library.counts()["approved"] == len(library)
+        # idempotent
+        assert library.approve_all_suggested() == 0
+
+    def test_signature_dedup(self, library):
+        entry = library.entries()[0]
+        before = len(library)
+        library.add(entry.template)  # same signature overwrites
+        assert len(library) == before
+
+    def test_filter_by_status(self, library):
+        library.approve(library.entries()[0].template)
+        assert len(library.entries(ReviewStatus.APPROVED)) == 1
+        assert len(library.entries(ReviewStatus.SUGGESTED)) == len(library) - 1
+
+
+class TestPersistence:
+    def test_dumps_shape(self, library):
+        text = library.dumps()
+        assert "-- status: suggested" in text
+        assert "SELECT DISTINCT L.Lid" in text
+        assert text.count(";") == len(library)
+
+    def test_roundtrip(self, library, tmp_path):
+        library.approve(library.entries()[0].template)
+        path = str(tmp_path / "templates.sql")
+        library.save(path)
+        loaded = TemplateLibrary.load(path)
+        assert len(loaded) == len(library)
+        assert loaded.counts() == library.counts()
+        original = {e.key for e in library}
+        restored = {e.key for e in loaded}
+        assert original == restored
+
+    def test_roundtrip_preserves_support_and_description(self, tmp_path, fig3_graph):
+        from repro.audit import event_user_template
+
+        # reuse the hand-crafted builder against Figure 3's schema
+        template = event_user_template(fig3_graph, "Appointments", "Doctor")
+        library = TemplateLibrary()
+        library.add(template, ReviewStatus.APPROVED, support=42)
+        path = str(tmp_path / "t.sql")
+        library.save(path)
+        loaded = TemplateLibrary.load(path)
+        entry = loaded.entries()[0]
+        assert entry.support == 42
+        assert entry.status is ReviewStatus.APPROVED
+        assert entry.template.description is not None
+        assert "appointment" in entry.template.description
+
+    def test_loads_empty(self):
+        assert len(TemplateLibrary.loads("")) == 0
+
+    def test_engine_uses_approved_only(self, library, fig3_db):
+        from repro.core import ExplanationEngine
+
+        library.approve(library.entries()[0].template)
+        engine = ExplanationEngine(fig3_db, library.approved_templates())
+        assert len(engine.templates) == 1

@@ -1,0 +1,182 @@
+"""Tests for the SQL template parser (repro.db.parser)."""
+
+import pytest
+
+from repro.db import (
+    AttrRef,
+    Condition,
+    Executor,
+    Literal,
+    QueryError,
+    parse_query,
+    template_from_sql,
+)
+
+TEMPLATE_A = """
+SELECT L.Lid, L.Patient, L.User, A.Date
+FROM Log L, Appointments A
+WHERE L.Patient = A.Patient
+  AND A.Doctor = L.User
+"""
+
+TEMPLATE_B = """
+SELECT L.Lid
+FROM Log L, Appointments A, Doctor_Info I1, Doctor_Info I2
+WHERE L.Patient = A.Patient
+  AND A.Doctor = I1.Doctor
+  AND I1.Department = I2.Department
+  AND I2.Doctor = L.User
+"""
+
+REPEAT = """
+SELECT COUNT(DISTINCT L1.Lid)
+FROM Log L1, Log L2
+WHERE L1.Patient = L2.Patient AND L2.User = L1.User AND L1.Date > L2.Date
+"""
+
+
+class TestParseQuery:
+    def test_template_a_shape(self):
+        q = parse_query(TEMPLATE_A)
+        assert [v.table for v in q.tuple_vars] == ["Log", "Appointments"]
+        assert len(q.conditions) == 2
+        assert q.projection[0] == AttrRef("L", "Lid")
+        assert len(q.projection) == 4
+
+    def test_count_distinct_form(self):
+        q = parse_query(REPEAT)
+        assert q.distinct
+        assert q.projection == (AttrRef("L1", "Lid"),)
+
+    def test_select_distinct(self):
+        q = parse_query("SELECT DISTINCT L.Lid FROM Log L")
+        assert q.distinct and not q.conditions
+
+    def test_string_literal(self):
+        q = parse_query(
+            "SELECT L.Lid FROM Log L WHERE L.User = 'O''Hara'"
+        )
+        cond = q.conditions[0]
+        assert isinstance(cond.right, Literal)
+        assert cond.right.value == "O'Hara"
+
+    def test_numeric_literals(self):
+        q = parse_query(
+            "SELECT L.Lid FROM Log L WHERE L.Lid >= 5 AND L.Score < 2.5"
+        )
+        assert q.conditions[0].right.value == 5
+        assert q.conditions[1].right.value == 2.5
+
+    def test_diamond_not_equal(self):
+        q = parse_query("SELECT L.Lid FROM Log L WHERE L.Lid <> 3")
+        assert q.conditions[0].op == "!="
+
+    def test_case_insensitive_keywords(self):
+        q = parse_query("select distinct L.Lid from Log L where L.Lid > 1")
+        assert q.distinct and len(q.conditions) == 1
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT FROM WHERE")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT L.Lid FROM Log L ORDER BY L.Lid")
+
+    def test_untokenizable_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT L.Lid FROM Log L WHERE L.Lid = @")
+
+    def test_parse_executes_identically(self, fig3_db):
+        direct = parse_query(TEMPLATE_B)
+        ex = Executor(fig3_db)
+        assert ex.distinct_values(direct) == {1, 2}
+
+
+class TestTemplateFromSql:
+    def test_template_a(self):
+        t = template_from_sql(TEMPLATE_A)
+        assert t.length == 2 and t.is_simple
+        assert t.tables_referenced() == {"Log", "Appointments"}
+
+    def test_template_b_chain_order_found(self):
+        t = template_from_sql(TEMPLATE_B)
+        assert t.length == 4
+        assert t.path.validate() == []
+
+    def test_chain_order_independent(self):
+        shuffled = """
+        SELECT L.Lid
+        FROM Log L, Doctor_Info I2, Appointments A, Doctor_Info I1
+        WHERE I2.Doctor = L.User
+          AND I1.Department = I2.Department
+          AND L.Patient = A.Patient
+          AND A.Doctor = I1.Doctor
+        """
+        assert (
+            template_from_sql(shuffled).signature()
+            == template_from_sql(TEMPLATE_B).signature()
+        )
+
+    def test_decorations_extracted(self):
+        t = template_from_sql(REPEAT)
+        assert t.is_decorated and t.length == 2
+        decoration = t.decorations[0]
+        assert decoration.op == ">"
+
+    def test_literal_decoration(self):
+        t = template_from_sql(
+            TEMPLATE_A + "  AND A.Date = 1"
+        )
+        assert t.is_decorated
+        assert t.decorations[0].right == Literal(1)
+
+    def test_roundtrip_signature(self, fig3_db):
+        t = template_from_sql(TEMPLATE_B)
+        again = template_from_sql(t.to_sql())
+        assert again.signature() == t.signature()
+
+    def test_executes_like_handwritten(self, fig3_db):
+        t = template_from_sql(TEMPLATE_A)
+        ex = Executor(fig3_db)
+        assert ex.distinct_values(t.support_query()) == {1}
+
+    def test_no_log_var_rejected(self):
+        with pytest.raises(QueryError):
+            template_from_sql(
+                "SELECT A.Patient FROM Appointments A WHERE A.Doctor = A.Patient"
+            )
+
+    def test_broken_chain_rejected(self):
+        with pytest.raises(QueryError):
+            template_from_sql(
+                """
+                SELECT L.Lid FROM Log L, Appointments A
+                WHERE L.Patient = A.Patient
+                """
+            )
+
+    def test_disconnected_decoration_alias_rejected(self):
+        with pytest.raises(QueryError):
+            template_from_sql(
+                """
+                SELECT L.Lid FROM Log L, Appointments A, Visits V
+                WHERE L.Patient = A.Patient AND A.Doctor = L.User
+                  AND V.Patient = V.Doctor
+                """
+            )
+
+    def test_custom_endpoints(self):
+        sql = """
+        SELECT L.Id FROM AuditLog L, Orders O
+        WHERE L.Record = O.Record AND O.Clerk = L.Actor
+        """
+        t = template_from_sql(
+            sql,
+            log_table="AuditLog",
+            start_attr="Record",
+            end_attr="Actor",
+            log_id_attr="Id",
+        )
+        assert t.length == 2
+        assert t.path.log_table == "AuditLog"

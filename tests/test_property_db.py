@@ -1,0 +1,227 @@
+"""Property-based tests (hypothesis) for the relational substrate.
+
+The central oracle: the hash-join executor must agree with naive
+nested-loop SQL semantics on arbitrary small databases and conjunctive
+queries of the shapes the mining layer generates.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    AttrRef,
+    ColumnType,
+    Condition,
+    ConjunctiveQuery,
+    Database,
+    Executor,
+    Literal,
+    TableSchema,
+    TupleVar,
+    canonical_query_signature,
+)
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+values = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def small_db(draw):
+    """Log(Lid, User, Patient) + T1(a, b) + T2(b, c) with tiny domains so
+    joins actually hit."""
+    db = Database("prop")
+    log = db.create_table(
+        TableSchema.build(
+            "Log",
+            [("Lid", ColumnType.INT), ("User", ColumnType.INT), ("Patient", ColumnType.INT)],
+        )
+    )
+    t1 = db.create_table(
+        TableSchema.build("T1", [("a", ColumnType.INT), ("b", ColumnType.INT)])
+    )
+    t2 = db.create_table(
+        TableSchema.build("T2", [("b", ColumnType.INT), ("c", ColumnType.INT)])
+    )
+    n_log = draw(st.integers(1, 8))
+    for i in range(n_log):
+        log.insert((i, draw(values), draw(values)))
+    for _ in range(draw(st.integers(0, 8))):
+        t1.insert((draw(values), draw(values)))
+    for _ in range(draw(st.integers(0, 8))):
+        t2.insert((draw(values), draw(values)))
+    return db
+
+
+@st.composite
+def chain_query(draw):
+    """A chain query L.Patient=T1.a [, T1.b=T2.b [, T2.c=L.User]] with an
+    optional inequality decoration."""
+    L, T1, T2 = TupleVar("L", "Log"), TupleVar("T1", "T1"), TupleVar("T2", "T2")
+    variant = draw(st.integers(0, 2))
+    tuple_vars = [L, T1]
+    conds = [Condition(AttrRef("L", "Patient"), "=", AttrRef("T1", "a"))]
+    if variant >= 1:
+        tuple_vars.append(T2)
+        conds.append(Condition(AttrRef("T1", "b"), "=", AttrRef("T2", "b")))
+    if variant == 2:
+        conds.append(Condition(AttrRef("T2", "c"), "=", AttrRef("L", "User")))
+    if draw(st.booleans()):
+        conds.append(
+            Condition(
+                AttrRef("T1", "b"),
+                draw(st.sampled_from(["<", "<=", ">", ">=", "!="])),
+                Literal(draw(values)),
+            )
+        )
+    return ConjunctiveQuery.build(tuple_vars, conds, [AttrRef("L", "Lid")])
+
+
+def brute_force_lids(db, query):
+    tables = [list(db.table(v.table).rows()) for v in query.tuple_vars]
+    schemas = [db.table(v.table).schema for v in query.tuple_vars]
+    out = set()
+    ops = {
+        "=": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+    for combo in itertools.product(*tables):
+        env = {}
+        for var, schema, row in zip(query.tuple_vars, schemas, combo):
+            for i, col in enumerate(schema.column_names):
+                env[(var.alias, col)] = row[i]
+        ok = True
+        for cond in query.conditions:
+            lval = env[(cond.left.alias, cond.left.attr)]
+            rval = (
+                env[(cond.right.alias, cond.right.attr)]
+                if isinstance(cond.right, AttrRef)
+                else cond.right.value
+            )
+            if lval is None or rval is None or not ops[cond.op](lval, rval):
+                ok = False
+                break
+        if ok:
+            out.add(env[("L", "Lid")])
+    return out
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+@settings(max_examples=120, deadline=None)
+@given(db=small_db(), query=chain_query())
+def test_executor_matches_nested_loop_oracle(db, query):
+    assert Executor(db).distinct_values(query) == brute_force_lids(db, query)
+
+
+@settings(max_examples=60, deadline=None)
+@given(db=small_db(), query=chain_query())
+def test_count_distinct_consistent_with_values(db, query):
+    ex = Executor(db)
+    assert ex.count_distinct(query) == len(ex.distinct_values(query))
+
+
+@settings(max_examples=60, deadline=None)
+@given(db=small_db(), query=chain_query())
+def test_distinct_reduction_is_semantics_preserving(db, query):
+    """The paper's multiplicity-reduction rewrite never changes the
+    distinct-lid answer (Section 3.2.1)."""
+    with_opt = Executor(db, distinct_reduction=True).distinct_values(query)
+    without = Executor(db, distinct_reduction=False).distinct_values(query)
+    assert with_opt == without
+
+
+@settings(max_examples=60, deadline=None)
+@given(db=small_db(), query=chain_query(), data=st.data())
+def test_condition_order_irrelevant(db, query, data):
+    """Support is a function of the condition *set* (the cache's premise)."""
+    perm = data.draw(st.permutations(list(query.conditions)))
+    shuffled = ConjunctiveQuery.build(
+        query.tuple_vars, perm, query.projection
+    )
+    ex = Executor(db)
+    assert ex.distinct_values(query) == ex.distinct_values(shuffled)
+    assert canonical_query_signature(query) == canonical_query_signature(shuffled)
+
+
+@settings(max_examples=60, deadline=None)
+@given(db=small_db(), query=chain_query(), extra=values)
+def test_adding_condition_shrinks_result(db, query, extra):
+    """Monotonicity: more conditions can only remove explained lids — the
+    property that justifies bottom-up pruning (Section 3.2)."""
+    ex = Executor(db)
+    base = ex.distinct_values(query)
+    stricter = ConjunctiveQuery.build(
+        query.tuple_vars,
+        list(query.conditions)
+        + [Condition(AttrRef("T1", "a"), "=", Literal(extra))],
+        query.projection,
+    )
+    assert ex.distinct_values(stricter) <= base
+
+
+@settings(max_examples=60, deadline=None)
+@given(db=small_db(), query=chain_query())
+def test_non_distinct_multiplicity_matches_oracle(db, query):
+    """With distinct=False the executor must preserve multiplicities —
+    the row count equals the nested-loop satisfying-combination count."""
+    bag_query = ConjunctiveQuery.build(
+        query.tuple_vars, query.conditions, query.projection, distinct=False
+    )
+    result = Executor(db).execute(bag_query)
+    # oracle: count satisfying combinations
+    tables = [list(db.table(v.table).rows()) for v in query.tuple_vars]
+    schemas = [db.table(v.table).schema for v in query.tuple_vars]
+    ops = {
+        "=": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+    count = 0
+    for combo in itertools.product(*tables):
+        env = {}
+        for var, schema, row in zip(query.tuple_vars, schemas, combo):
+            for i, col in enumerate(schema.column_names):
+                env[(var.alias, col)] = row[i]
+        ok = True
+        for cond in query.conditions:
+            lval = env[(cond.left.alias, cond.left.attr)]
+            rval = (
+                env[(cond.right.alias, cond.right.attr)]
+                if isinstance(cond.right, AttrRef)
+                else cond.right.value
+            )
+            if lval is None or rval is None or not ops[cond.op](lval, rval):
+                ok = False
+                break
+        if ok:
+            count += 1
+    assert len(result.rows) == count
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=small_db())
+def test_estimator_positive_and_bounded(db):
+    from repro.db import CardinalityEstimator
+
+    L, T1 = TupleVar("L", "Log"), TupleVar("T1", "T1")
+    query = ConjunctiveQuery.build(
+        [L, T1],
+        [Condition(AttrRef("L", "Patient"), "=", AttrRef("T1", "a"))],
+        [AttrRef("L", "Lid")],
+    )
+    est = CardinalityEstimator(db)
+    assert est.estimate_rows(query) >= 0
+    distinct = est.estimate_distinct(query, AttrRef("L", "Lid"))
+    assert 0 <= distinct <= max(1, len(db.table("Log"))) + 1e-9

@@ -1,0 +1,109 @@
+"""Property-based tests for the synthetic hospital simulator: every
+random configuration must produce an internally consistent world."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ehr import SimulationConfig, build_hospital, simulate
+from repro.evalx import first_access_lids, repeat_access_lids
+
+
+@st.composite
+def random_config(draw):
+    return SimulationConfig(
+        seed=draw(st.integers(0, 2**16)),
+        n_days=draw(st.integers(1, 4)),
+        n_teams=draw(st.integers(1, 3)),
+        doctors_per_team=(1, 2),
+        nurses_per_team=(1, 3),
+        students_per_team=(0, 1),
+        clerks_per_team=(0, 1),
+        n_radiologists=draw(st.integers(1, 3)),
+        n_pathologists=1,
+        n_pharmacists=draw(st.integers(1, 2)),
+        n_lab_techs=1,
+        teams_per_service_user=(1, 2),
+        patients_per_team=(5, 15),
+        daily_encounter_rate=draw(st.floats(0.05, 0.3)),
+        p_event_dropout=draw(st.floats(0.0, 0.3)),
+        p_patient_unrecorded=draw(st.floats(0.0, 0.4)),
+        repeat_rate_per_user_day=draw(st.floats(0.0, 4.0)),
+        noise_fraction=draw(st.floats(0.0, 0.05)),
+        n_snooping_incidents=draw(st.integers(0, 2)),
+    )
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(config=random_config())
+def test_referential_integrity_always_holds(config):
+    sim = simulate(config)
+    assert sim.db.validate_referential_integrity() == []
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(config=random_config())
+def test_log_well_formed(config):
+    sim = simulate(config)
+    log = sim.db.table("Log")
+    lids = log.column_values("Lid")
+    assert lids == list(range(1, len(log) + 1))
+    dates = log.column_values("Date")
+    assert dates == sorted(dates)
+    assert set(sim.reasons) == set(lids)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(config=random_config())
+def test_first_and_repeat_partition(config):
+    sim = simulate(config)
+    if len(sim.db.table("Log")) == 0:
+        return
+    first = first_access_lids(sim.db)
+    repeat = repeat_access_lids(sim.db)
+    assert first | repeat == set(sim.db.table("Log").column_values("Lid"))
+    assert not (first & repeat)
+    # every (user, patient) pair has exactly one first access
+    pairs = {
+        (row[2], row[3]) for row in sim.db.table("Log").rows()
+    }
+    assert len(first) == len(pairs)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(config=random_config())
+def test_event_users_are_employees(config):
+    sim = simulate(config)
+    employees = set(sim.hospital.users)
+    for table, columns in (
+        ("Appointments", ["Doctor"]),
+        ("Visits", ["Doctor"]),
+        ("Documents", ["Author"]),
+        ("Labs", ["Requester", "Performer"]),
+        ("Medications", ["Requester", "Signer", "Administrator"]),
+        ("Radiology", ["Requester", "Radiologist"]),
+    ):
+        for column in columns:
+            assert sim.db.table(table).distinct_values(column) <= employees
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(config=random_config())
+def test_same_seed_same_world(config):
+    a = simulate(config)
+    b = simulate(config)
+    assert a.db.table("Log").rows() == b.db.table("Log").rows()
+    assert a.reasons == b.reasons
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(config=random_config())
+def test_hospital_structure(config):
+    hospital = build_hospital(config)
+    assert len(hospital.teams) == config.n_teams
+    for team in hospital.teams.values():
+        assert team.doctor_ids, "every team needs a doctor"
+    for patient in hospital.patients.values():
+        assert patient.pcp in hospital.teams[patient.team_id].doctor_ids
+    for user in hospital.users.values():
+        for team_id in user.team_ids:
+            assert user.user_id in hospital.teams[team_id].members()

@@ -1,0 +1,161 @@
+"""Property-based tests for the collaborative-group machinery.
+
+Invariants: access-matrix rows are stochastic (each accessed patient's
+inverse counts sum to 1); W = AᵀA is symmetric PSD-shaped; the fold step
+of Louvain preserves total weight and degree mass; greedy clustering never
+scores below the all-singletons partition it starts from.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.groups import (
+    build_access_matrix,
+    build_hierarchy,
+    cluster_graph,
+    degrees,
+    modularity,
+    similarity_graph,
+    total_weight,
+)
+from repro.groups.clustering import _fold
+
+access_lists = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6)),  # (user, patient)
+    min_size=1,
+    max_size=40,
+)
+
+weighted_graphs = st.dictionaries(
+    keys=st.integers(0, 8),
+    values=st.dictionaries(
+        keys=st.integers(0, 8),
+        values=st.floats(min_value=0.01, max_value=5.0),
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=9,
+)
+
+
+def symmetrize(g):
+    out = {u: {} for u in g}
+    for u, nbrs in g.items():
+        for v, w in nbrs.items():
+            out.setdefault(u, {})
+            out.setdefault(v, {})
+            if u == v:
+                out[u][u] = w
+            else:
+                out[u][v] = w
+                out[v][u] = w
+    return out
+
+
+class TestAccessMatrixProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(accesses=access_lists)
+    def test_rows_sum_to_one(self, accesses):
+        am = build_access_matrix(accesses)
+        sums = am.matrix.sum(axis=1)
+        for i in range(am.shape[0]):
+            assert abs(float(sums[i, 0]) - 1.0) < 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(accesses=access_lists)
+    def test_similarity_symmetric_nonnegative(self, accesses):
+        adj = similarity_graph(build_access_matrix(accesses))
+        for u, nbrs in adj.items():
+            for v, w in nbrs.items():
+                assert w > 0
+                assert abs(adj[v][u] - w) < 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(accesses=access_lists)
+    def test_density_in_unit_interval(self, accesses):
+        am = build_access_matrix(accesses)
+        assert 0.0 <= am.density() <= 1.0
+
+
+class TestModularityProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(g=weighted_graphs)
+    def test_single_community_q_zero(self, g):
+        adj = symmetrize(g)
+        if total_weight(adj) <= 0:
+            return
+        partition = {u: 0 for u in adj}
+        assert abs(modularity(adj, partition)) < 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(g=weighted_graphs)
+    def test_q_bounded(self, g):
+        adj = symmetrize(g)
+        partition = {u: u for u in adj}
+        q = modularity(adj, partition)
+        assert -1.0 - 1e-9 <= q <= 1.0 + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(g=weighted_graphs)
+    def test_fold_preserves_weight_and_degrees(self, g):
+        adj = symmetrize(g)
+        # arbitrary 2-coloring as the community assignment
+        community = {u: hash(u) % 2 for u in adj}
+        folded = _fold(adj, community)
+        assert abs(total_weight(folded) - total_weight(adj)) < 1e-9
+        deg = degrees(adj)
+        fdeg = degrees(folded)
+        for label in set(community.values()):
+            mass = sum(k for u, k in deg.items() if community[u] == label)
+            assert abs(fdeg.get(label, 0.0) - mass) < 1e-9
+
+
+class TestClusteringProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(g=weighted_graphs)
+    def test_clustering_not_worse_than_singletons(self, g):
+        adj = symmetrize(g)
+        part = cluster_graph(adj)
+        singletons = {u: i for i, u in enumerate(sorted(adj, key=repr))}
+        assert (
+            modularity(adj, part) >= modularity(adj, singletons) - 1e-9
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(g=weighted_graphs)
+    def test_every_node_assigned_dense_labels(self, g):
+        adj = symmetrize(g)
+        part = cluster_graph(adj)
+        assert set(part) == set(adj)
+        if part:
+            labels = set(part.values())
+            assert labels == set(range(len(labels)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(g=weighted_graphs)
+    def test_deterministic(self, g):
+        adj = symmetrize(g)
+        assert cluster_graph(adj) == cluster_graph(adj)
+
+    @settings(max_examples=40, deadline=None)
+    @given(g=weighted_graphs)
+    def test_hierarchy_refines(self, g):
+        """Level d+1 never merges users split at level d."""
+        adj = symmetrize(g)
+        hierarchy = build_hierarchy(adj, max_depth=4)
+        for shallow, deep in zip(hierarchy.levels, hierarchy.levels[1:]):
+            for u in adj:
+                for v in adj:
+                    if shallow[u] != shallow[v]:
+                        assert deep[u] != deep[v]
+
+    @settings(max_examples=40, deadline=None)
+    @given(g=weighted_graphs)
+    def test_hierarchy_gids_unique_across_depths(self, g):
+        adj = symmetrize(g)
+        hierarchy = build_hierarchy(adj, max_depth=4)
+        seen = set()
+        for level in hierarchy.levels:
+            gids = set(level.values())
+            assert not (gids & seen)
+            seen |= gids

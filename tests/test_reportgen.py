@@ -1,0 +1,61 @@
+"""Tests for the one-shot reproduction report generator."""
+
+import io
+
+import pytest
+
+from repro.ehr import SimulationConfig
+from repro.evalx import write_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    buffer = io.StringIO()
+    write_report(buffer, config=SimulationConfig.tiny(seed=2))
+    return buffer.getvalue()
+
+
+class TestWriteReport:
+    def test_title_and_workload(self, report_text):
+        assert report_text.startswith(
+            "# Explanation-Based Auditing — reproduction report"
+        )
+        assert "*Workload*" in report_text
+
+    def test_all_sections_present(self, report_text):
+        for section in (
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Figure 9",
+            "Figures 10-11",
+            "Figure 12",
+            "Figure 14",
+            "Table 1",
+            "Headline",
+        ):
+            assert section in report_text, section
+
+    def test_mining_performance_optional(self, report_text):
+        assert "Figure 13" not in report_text
+        buffer = io.StringIO()
+        write_report(
+            buffer,
+            config=SimulationConfig.tiny(seed=2),
+            include_mining_performance=True,
+        )
+        assert "Figure 13" in buffer.getvalue()
+
+    def test_markdown_tables_well_formed(self, report_text):
+        for line in report_text.splitlines():
+            if line.startswith("|"):
+                assert line.rstrip().endswith("|")
+
+    def test_headline_is_percentage(self, report_text):
+        headline = report_text.split("## Headline")[1]
+        assert "%" in headline and "paper: over 94%" in headline
+
+    def test_returns_study(self):
+        buffer = io.StringIO()
+        study = write_report(buffer, config=SimulationConfig.tiny(seed=2))
+        assert study.db.has_table("Groups")

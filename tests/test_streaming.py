@@ -1,0 +1,108 @@
+"""Tests for the streaming access monitor (online auditing)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.audit import (
+    AccessMonitor,
+    all_event_user_templates,
+    repeat_access_template,
+)
+from repro.core import ExplanationEngine
+from repro.ehr import EPOCH, SimulationConfig, build_careweb_graph, simulate
+
+
+@pytest.fixture
+def engine():
+    sim = simulate(SimulationConfig.tiny(seed=13))
+    graph = build_careweb_graph(sim.db)
+    templates = all_event_user_templates(graph)
+    templates.append(repeat_access_template(graph))
+    return ExplanationEngine(sim.db, templates), sim
+
+
+class TestIngest:
+    def test_appends_to_log(self, engine):
+        eng, sim = engine
+        before = len(sim.db.table("Log"))
+        monitor = AccessMonitor(eng)
+        monitor.ingest("u0000", "p00001", EPOCH + dt.timedelta(days=9))
+        assert len(sim.db.table("Log")) == before + 1
+
+    def test_lids_continue_sequence(self, engine):
+        eng, sim = engine
+        max_lid = max(sim.db.table("Log").distinct_values("Lid"))
+        monitor = AccessMonitor(eng)
+        access = monitor.ingest("u0000", "p00001")
+        assert access.lid == max_lid + 1
+        access2 = monitor.ingest("u0000", "p00002")
+        assert access2.lid == max_lid + 2
+
+    def test_explained_access_not_flagged(self, engine):
+        eng, sim = engine
+        # find a patient with an appointment; stream the doctor's access
+        appt = sim.db.table("Appointments").rows()[0]
+        patient, doctor = appt[0], appt[1]
+        monitor = AccessMonitor(eng)
+        access = monitor.ingest(doctor, patient, EPOCH + dt.timedelta(days=8))
+        assert not access.suspicious
+        assert "accessed" in access.headline() or access.instances
+
+    def test_unrelated_access_alerts(self, engine):
+        eng, sim = engine
+        alerts = []
+        monitor = AccessMonitor(eng, alert_handlers=(alerts.append,))
+        # a brand-new user can have no event or prior access
+        access = monitor.ingest("intruder", "p00001", EPOCH)
+        assert access.suspicious
+        assert alerts == [access]
+        assert monitor.alerts == 1
+
+    def test_repeat_explained_after_first_stream(self, engine):
+        eng, sim = engine
+        monitor = AccessMonitor(eng)
+        first = monitor.ingest("intruder", "p00001", EPOCH + dt.timedelta(days=8))
+        assert first.suspicious
+        second = monitor.ingest(
+            "intruder", "p00001", EPOCH + dt.timedelta(days=9)
+        )
+        # the second access is a repeat of the first streamed one
+        assert not second.suspicious
+        assert any(
+            i.template.name == "repeat-access" for i in second.instances
+        )
+
+    def test_alert_rate(self, engine):
+        eng, sim = engine
+        monitor = AccessMonitor(eng)
+        assert monitor.alert_rate() == 0.0
+        monitor.ingest("intruder", "p00001", EPOCH)
+        assert monitor.alert_rate() == 1.0
+
+    def test_ingest_many(self, engine):
+        eng, _ = engine
+        monitor = AccessMonitor(eng)
+        out = monitor.ingest_many(
+            [
+                ("intruder", "p00001", EPOCH),
+                ("intruder", "p00001", EPOCH + dt.timedelta(hours=1)),
+            ]
+        )
+        assert len(out) == 2
+        assert monitor.seen == 2
+
+    def test_on_alert_registration(self, engine):
+        eng, _ = engine
+        monitor = AccessMonitor(eng)
+        seen = []
+        monitor.on_alert(seen.append)
+        monitor.ingest("intruder", "p00001", EPOCH)
+        assert len(seen) == 1
+
+    def test_coverage_cache_invalidated(self, engine):
+        eng, _ = engine
+        monitor = AccessMonitor(eng)
+        eng.coverage()  # warm the cache
+        access = monitor.ingest("intruder", "p00001", EPOCH)
+        assert access.lid in eng.unexplained_lids()
