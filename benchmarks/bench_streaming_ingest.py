@@ -1,0 +1,167 @@
+"""Streaming ingest benchmark: delta maintenance vs invalidate-everything.
+
+Replays a slice of the synthetic hospital's own traffic through
+:class:`~repro.audit.streaming.AccessMonitor` on top of a pre-seeded log
+and compares the two maintenance strategies:
+
+* **incremental** (the default stack): table indexes/distinct projections
+  patched in place per append, engine explained-sets delta-evaluated via
+  point queries, per-access explanation answered by index probes;
+* **baseline** (the seed behavior): every cache invalidated per append,
+  per-access explanation re-joins the full log (``predicate_pushdown``
+  off).
+
+The baseline streams a shorter prefix and is extrapolated linearly to the
+full stream — conservative in the baseline's favor, since its per-access
+cost *grows* with the log while the projection is flat.  The incremental
+run also reports per-chunk times to show near-linear total ingest time.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a CI-sized run (same assertions, smaller
+workload).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.audit import all_event_user_templates, repeat_access_template
+from repro.core import ExplanationEngine
+from repro.ehr import SimulationConfig, build_careweb_graph, simulate
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Rows pre-seeded into the log before streaming starts.
+SEED_ROWS = 2_000 if _SMOKE else 20_000
+#: Accesses streamed through the incremental monitor.
+STREAM_N = 300 if _SMOKE else 5_000
+#: Accesses streamed through the baseline monitor (then extrapolated).
+BASELINE_N = 25 if _SMOKE else 150
+#: Required end-to-end advantage of the incremental path.
+MIN_SPEEDUP = 10.0
+#: Chunks the incremental stream is split into for the linearity report.
+CHUNKS = 5
+
+
+def _prepared(config):
+    """(engine-ready db, seed-truncated log, held-out stream) for one run.
+
+    The simulation's log is chronological, so truncating to the first
+    ``SEED_ROWS`` rows and replaying the next ``STREAM_N`` as the live
+    stream reproduces a monitor catching up with real traffic.
+    """
+    sim = simulate(config)
+    log = sim.db.table("Log")
+    all_rows = list(log.rows())
+    assert len(all_rows) >= SEED_ROWS + STREAM_N, (
+        f"simulation too small: {len(all_rows)} log rows < "
+        f"{SEED_ROWS + STREAM_N}"
+    )
+    date_i = log.schema.column_index("Date")
+    user_i = log.schema.column_index("User")
+    patient_i = log.schema.column_index("Patient")
+    log.clear()
+    log.insert_many(all_rows[:SEED_ROWS])
+    stream = [
+        (r[user_i], r[patient_i], r[date_i])
+        for r in all_rows[SEED_ROWS : SEED_ROWS + STREAM_N]
+    ]
+    graph = build_careweb_graph(sim.db)
+    templates = all_event_user_templates(graph)
+    templates.append(repeat_access_template(graph))
+    return sim.db, templates, stream
+
+
+def _config():
+    if _SMOKE:
+        return SimulationConfig.small(seed=7).scaled(daily_encounter_rate=0.12)
+    return SimulationConfig.benchmark()
+
+
+def bench_streaming_ingest_speedup(report):
+    """Incremental delta maintenance must beat the baseline >= 10x."""
+    # --- incremental path: stream the full window ---------------------
+    db, templates, stream = _prepared(_config())
+    engine = ExplanationEngine(db, templates)
+    from repro.audit import AccessMonitor
+
+    monitor = AccessMonitor(engine)
+    chunk = max(1, len(stream) // CHUNKS)
+    chunk_times: list[float] = []
+    prefix_flags: list[bool] = []
+    started = time.perf_counter()
+    for i in range(0, len(stream), chunk):
+        t0 = time.perf_counter()
+        for j, (user, patient, date) in enumerate(stream[i : i + chunk], i):
+            access = monitor.ingest(user, patient, date)
+            if j < BASELINE_N:
+                prefix_flags.append(access.suspicious)
+        chunk_times.append(time.perf_counter() - t0)
+    incremental_total = time.perf_counter() - started
+    incremental_stats = monitor.stats()
+
+    # --- baseline: identical world, seed-era maintenance --------------
+    db_b, templates_b, stream_b = _prepared(_config())
+    engine_b = ExplanationEngine(db_b, templates_b)
+    engine_b.executor.predicate_pushdown = False
+    monitor_b = AccessMonitor(engine_b, incremental=False)
+    baseline_flags: list[bool] = []
+    started = time.perf_counter()
+    for user, patient, date in stream_b[:BASELINE_N]:
+        baseline_flags.append(monitor_b.ingest(user, patient, date).suspicious)
+    baseline_measured = time.perf_counter() - started
+    baseline_projected = baseline_measured * (len(stream) / BASELINE_N)
+
+    speedup = baseline_projected / incremental_total
+    per_access_ms = incremental_total / len(stream) * 1e3
+    lines = [
+        f"  seed log rows             {SEED_ROWS}",
+        f"  streamed accesses         {len(stream)}",
+        f"  templates                 {len(engine.templates)}",
+        f"  incremental total         {incremental_total:8.2f} s "
+        f"({per_access_ms:.2f} ms/access, {incremental_stats['total_queries']}"
+        f" queries, {monitor.alerts} alerts)",
+        f"  baseline measured         {baseline_measured:8.2f} s "
+        f"for {BASELINE_N} accesses",
+        f"  baseline projected        {baseline_projected:8.2f} s "
+        f"for {len(stream)} accesses",
+        f"  speedup                   {speedup:8.1f}x (floor {MIN_SPEEDUP}x)",
+        "  per-chunk seconds (near-linear => roughly flat):",
+    ]
+    for i, t in enumerate(chunk_times):
+        lines.append(f"    chunk {i}: {t:6.2f} s")
+    report.section("Streaming ingest — delta maintenance vs invalidate-all", lines)
+
+    # alert parity: both strategies must agree access-by-access
+    assert prefix_flags == baseline_flags
+    assert speedup >= MIN_SPEEDUP, (
+        f"incremental path only {speedup:.1f}x faster (need {MIN_SPEEDUP}x)"
+    )
+    # near-linear: later chunks must not blow up over the first
+    assert chunk_times[-1] <= 5 * max(chunk_times[0], 1e-3)
+
+
+def bench_streaming_batch_ingest(report):
+    """Batched ingest_many: one maintenance pass, same alert counters."""
+    db, templates, stream = _prepared(_config())
+    engine = ExplanationEngine(db, templates)
+    from repro.audit import AccessMonitor
+
+    monitor = AccessMonitor(engine)
+    started = time.perf_counter()
+    out = monitor.ingest_many(stream)
+    elapsed = time.perf_counter() - started
+    queries = monitor.stats()["total_queries"]
+    report.section(
+        "Streaming ingest — batched ingest_many",
+        [
+            f"  batch size                {len(out)}",
+            f"  total time                {elapsed:8.2f} s "
+            f"({elapsed / len(out) * 1e3:.2f} ms/access)",
+            f"  queries                   {queries} "
+            f"(~{queries / len(out):.1f} per access)",
+            f"  alerts                    {monitor.alerts}",
+        ],
+    )
+    assert len(out) == len(stream)
+    assert monitor.seen == len(stream)

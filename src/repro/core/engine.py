@@ -12,15 +12,34 @@ hand-crafted (Section 5.3.1) or mined (Section 3) — the engine answers:
   :meth:`ExplanationEngine.unexplained_lids`, the paper's misuse-detection
   application (Section 1: "reduce the set of accesses that must be
   examined to those that are unexplained").
+
+Incremental maintenance contract
+--------------------------------
+The engine caches, per template, the set of log ids the template explains,
+plus aggregate views (union of explained ids, the unexplained queue, the
+log-id universe).  Two maintenance paths exist after the log grows:
+
+* :meth:`ExplanationEngine.notify_appended` **delta-evaluates** each
+  template against just the appended log row: for every tuple variable
+  ranging over the log table the support query is re-run with that
+  variable pinned to the new row (a point query the executor answers via
+  index probes), and the resulting newly-explained ids are unioned into
+  the caches.  Conjunctive queries are monotone under inserts, so the
+  patched caches equal a from-scratch evaluation — the invariant pinned by
+  ``tests/test_property_incremental.py``.
+* :meth:`ExplanationEngine.invalidate_cache` drops everything, forcing a
+  full rebuild on next read.  It remains the correct call after
+  *destructive* changes (row deletion, table replacement), which delta
+  maintenance deliberately does not model.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from ..db.database import Database
 from ..db.executor import Executor
-from ..db.query import AttrRef
+from ..db.query import AttrRef, Condition, ConjunctiveQuery, Literal
 from .instance import ExplanationInstance, rank_instances
 from .template import ExplanationTemplate, dedupe_templates
 
@@ -41,6 +60,14 @@ class ExplanationEngine:
         self.executor = Executor(db)
         self._templates: list[ExplanationTemplate] = []
         self._lid_cache: dict[tuple, set] = {}
+        # Memoized derived state (template signatures are expensive to
+        # recompute per streamed access; the aggregates are patched in
+        # place by notify_appended).
+        self._signatures: dict[ExplanationTemplate, tuple] = {}
+        self._deduped: tuple[ExplanationTemplate, ...] | None = None
+        self._all_lids: set | None = None
+        self._all_explained: set | None = None
+        self._unexplained: set | None = None
         for template in templates:
             self.add_template(template)
 
@@ -48,20 +75,39 @@ class ExplanationEngine:
     # template management
     # ------------------------------------------------------------------
     def add_template(self, template: ExplanationTemplate) -> None:
-        """Register one more explanation template."""
+        """Register one more explanation template.
+
+        Per-template caches stay valid; aggregate views (union, coverage,
+        unexplained queue) are recomputed lazily since the newcomer may
+        explain accesses no existing template did.
+        """
         self._templates.append(template)
+        self._deduped = None
+        self._all_explained = None
+        self._unexplained = None
 
     @property
     def templates(self) -> tuple[ExplanationTemplate, ...]:
         """The registered templates, deduplicated by condition-set signature."""
-        return tuple(dedupe_templates(self._templates))
+        if self._deduped is None:
+            self._deduped = tuple(dedupe_templates(self._templates))
+        return self._deduped
+
+    def _sig(self, template: ExplanationTemplate) -> tuple:
+        """Memoized template signature (the per-template cache key)."""
+        sig = self._signatures.get(template)
+        if sig is None:
+            sig = template.signature()
+            self._signatures[template] = sig
+        return sig
 
     # ------------------------------------------------------------------
     # whole-log queries
     # ------------------------------------------------------------------
     def explained_lids(self, template: ExplanationTemplate) -> set:
-        """Distinct log ids the template explains (cached per template)."""
-        key = template.signature()
+        """Distinct log ids the template explains (cached per template;
+        treat as read-only)."""
+        key = self._sig(template)
         if key not in self._lid_cache:
             self._lid_cache[key] = self.executor.distinct_values(
                 template.support_query(), AttrRef("L", self.log_id_attr)
@@ -69,19 +115,31 @@ class ExplanationEngine:
         return self._lid_cache[key]
 
     def all_explained_lids(self) -> set:
-        """Union of explained ids over every registered template."""
-        out: set = set()
-        for template in self.templates:
-            out |= self.explained_lids(template)
-        return out
+        """Union of explained ids over every registered template (cached,
+        patched in place by :meth:`notify_appended`; treat as read-only)."""
+        if self._all_explained is None:
+            out: set = set()
+            for template in self.templates:
+                out |= self.explained_lids(template)
+            self._all_explained = out
+        return self._all_explained
 
     def all_lids(self) -> set:
-        """Every log id in the audited log table."""
-        return self.db.table(self.log_table).distinct_values(self.log_id_attr)
+        """Every log id in the audited log table (cached; treat as
+        read-only)."""
+        if self._all_lids is None:
+            self._all_lids = self.db.table(self.log_table).distinct_values(
+                self.log_id_attr
+            )
+        return self._all_lids
 
     def unexplained_lids(self) -> set:
-        """Accesses no template explains — the candidate-misuse queue."""
-        return self.all_lids() - self.all_explained_lids()
+        """Accesses no template explains — the candidate-misuse queue
+        (cached, patched in place by :meth:`notify_appended`; treat as
+        read-only)."""
+        if self._unexplained is None:
+            self._unexplained = self.all_lids() - self.all_explained_lids()
+        return self._unexplained
 
     def coverage(self) -> float:
         """Fraction of the log explained by at least one template (the
@@ -89,7 +147,7 @@ class ExplanationEngine:
         total = len(self.all_lids())
         if total == 0:
             return 0.0
-        return len(self.all_explained_lids()) / total
+        return (total - len(self.unexplained_lids())) / total
 
     # ------------------------------------------------------------------
     # per-access explanation
@@ -117,6 +175,101 @@ class ExplanationEngine:
         instances = self.explain(lid)
         return instances, not instances
 
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def notify_appended(self, lid: Any) -> set:
+        """Delta-maintain every cache after appending one log row.
+
+        Re-evaluates each template against just the new row and patches the
+        cached explained-id sets, the unexplained queue, and the log-id
+        universe in place.  Returns the set of log ids newly explained by
+        this append — note that via log self-joins (e.g. the repeat-access
+        template) a new row can retroactively explain *older* accesses, all
+        of which appear in the returned set.
+
+        Caveat: a template whose cache is cold is warmed over the *full*
+        log (one-time cost), and since its pre-append explained set is
+        unknowable at that point, its entire explained set is folded into
+        the returned value.  Callers needing a strict per-append delta
+        should warm the caches first (e.g. via :meth:`all_explained_lids`).
+        """
+        return self.notify_appended_many([lid])
+
+    def notify_appended_many(self, lids: Sequence[Any]) -> set:
+        """Delta-maintain every cache after a batch of log appends.
+
+        One maintenance pass for the whole batch: per (template, appended
+        row, log-ranging tuple variable) the executor answers one point
+        query — O(templates × len(lids)) total — and the aggregate views
+        are patched once at the end.  The appended rows must already be in
+        the log table.  Returns the union of newly explained log ids
+        (cold-cache caveat of :meth:`notify_appended` applies: templates
+        warmed by this call contribute their full explained set).
+        """
+        lids = list(lids)
+        if self._all_lids is not None:
+            self._all_lids.update(lids)
+        newly: set = set()
+        for template in self.templates:
+            key = self._sig(template)
+            cached = self._lid_cache.get(key)
+            if cached is None:
+                # Never evaluated: warm over the full log (which already
+                # contains the new rows); one-time cost, delta thereafter.
+                self._lid_cache[key] = self.explained_lids(template)
+                newly |= self._lid_cache[key]
+                continue
+            delta: set = set()
+            for lid in lids:
+                for restricted in self._point_queries(template, lid):
+                    delta |= self.executor.distinct_values(
+                        restricted, AttrRef("L", self.log_id_attr)
+                    )
+            delta -= cached
+            cached |= delta
+            newly |= delta
+        if self._all_explained is not None:
+            self._all_explained |= newly
+        if self._unexplained is not None:
+            self._unexplained -= newly
+            self._unexplained.update(
+                lid for lid in lids if lid not in self.all_explained_lids()
+            )
+        return newly
+
+    def _point_queries(
+        self, template: ExplanationTemplate, lid: Any
+    ) -> list[ConjunctiveQuery]:
+        """The template's support query pinned to one appended log row.
+
+        One restriction per tuple variable ranging over the log table: an
+        explanation involving the new row must bind it to at least one of
+        them, so the union of these point queries is exactly the append's
+        delta (conjunctive queries are monotone under inserts).
+        """
+        query = template.support_query()
+        out = []
+        for var in query.tuple_vars:
+            if var.table != self.log_table:
+                continue
+            pin = Condition(AttrRef(var.alias, self.log_id_attr), "=", Literal(lid))
+            out.append(
+                ConjunctiveQuery.build(
+                    query.tuple_vars,
+                    query.conditions + (pin,),
+                    query.projection,
+                    query.distinct,
+                )
+            )
+        return out
+
     def invalidate_cache(self) -> None:
-        """Drop cached explained-id sets (call after mutating the log)."""
+        """Drop every cached set, forcing a full rebuild on next read.
+
+        Appends should use :meth:`notify_appended` instead; this remains
+        for destructive log mutations (deletes, truncation, reloads)."""
         self._lid_cache.clear()
+        self._all_lids = None
+        self._all_explained = None
+        self._unexplained = None

@@ -24,7 +24,7 @@ from .errors import (
     UnknownTableError,
 )
 from .executor import Executor, QueryResult, explain_query
-from .optimizer import CardinalityEstimator
+from .optimizer import CardinalityEstimator, extract_point_predicates
 from .query import (
     AttrRef,
     Condition,
@@ -62,6 +62,7 @@ __all__ = [
     "UnknownTableError",
     "canonical_query_signature",
     "explain_query",
+    "extract_point_predicates",
     "load_database",
     "parse_query",
     "read_table_csv",

@@ -7,8 +7,8 @@ The paper evaluates every candidate path with a support query
     SELECT COUNT(DISTINCT Log.Lid) FROM Log, T_1, ..., T_n WHERE C
 
 on PostgreSQL.  This executor plays PostgreSQL's role.  It implements a
-left-deep pipeline of hash joins with two properties that matter for
-mining performance:
+left-deep pipeline of hash joins with three properties that matter for
+mining and streaming performance:
 
 1. **Distinct projections per tuple variable** — each table is reduced to
    the deduplicated projection of only the attributes the query touches
@@ -18,10 +18,21 @@ mining performance:
    condition or projection needs are dropped and the intermediate is
    deduplicated again, so intermediates stay bounded by the number of
    distinct value combinations rather than raw row counts.
+3. **Point-predicate pushdown + index-nested-loop joins** — single-variable
+   literal equalities (the ``L.Lid = ?`` restriction of per-access
+   explanation queries) are pushed down to :meth:`Table.lookup` hash-index
+   probes before the pipeline starts, and when the probe side of a join is
+   tiny the executor probes the table's delta-maintained
+   :meth:`Table.projection_index` instead of hashing the whole build side.
+   Together these make a streamed access's explanation query touch
+   O(matching rows) of the log, not O(log).
 
 The join order walks the query's join graph greedily from the smallest
-relation, which for chain-shaped explanation queries reproduces the
-natural left-to-right order.
+(post-pushdown) relation, which for chain-shaped explanation queries
+reproduces the natural left-to-right order.  Correctness of every
+pipeline configuration (with/without distinct reduction, with/without
+pushdown) is pinned to a brute-force reference evaluator by
+``tests/test_differential_executor.py``.
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ from typing import Any, Callable, Sequence
 
 from .database import Database
 from .errors import QueryError
+from .optimizer import extract_point_predicates
 from .query import (
     AttrRef,
     Condition,
@@ -39,6 +51,7 @@ from .query import (
     TupleVar,
     cond_attr_refs,
 )
+from .table import Table
 
 _OPS: dict[str, Callable[[Any, Any], bool]] = {
     "=": operator.eq,
@@ -55,6 +68,72 @@ def _compare(op: str, left: Any, right: Any) -> bool:
     if left is None or right is None:
         return False
     return _OPS[op](left, right)
+
+
+#: Probe-side-to-build-side size ratio below which a join switches from
+#: build-a-hashmap to probing the table's cached projection index.
+INDEX_JOIN_RATIO = 4
+
+
+class _BaseRelation:
+    """One tuple variable's input to the join pipeline, materialized lazily.
+
+    When the variable carries point predicates they are resolved eagerly
+    through the table's hash index (small result).  Otherwise only the
+    *size* is computed up front (for join ordering) and rows are
+    materialized on demand — a join that takes the index-nested-loop path
+    never materializes the build side at all.
+    """
+
+    __slots__ = ("table", "attrs", "cols", "reduce", "pristine", "_rows", "size")
+
+    def __init__(
+        self,
+        table: Table,
+        alias: str,
+        attrs: list[str],
+        point_conds: list[Condition] | None,
+        reduce_rows: bool,
+    ) -> None:
+        self.table = table
+        self.attrs = attrs
+        self.cols = [AttrRef(alias, a) for a in attrs]
+        self.reduce = reduce_rows
+        #: True when rows are exactly the table's (distinct) projection —
+        #: the precondition for probing the table's projection index.
+        self.pristine = not point_conds
+        self._rows: list[tuple] | None = None
+        if point_conds:
+            first, rest = point_conds[0], point_conds[1:]
+            source = table.lookup(first.left.attr, first.right.value)
+            if rest:
+                rest_idx = [
+                    (table.schema.column_index(c.left.attr), c) for c in rest
+                ]
+                source = [
+                    r
+                    for r in source
+                    if all(_compare(c.op, r[i], c.right.value) for i, c in rest_idx)
+                ]
+            idxs = [table.schema.column_index(a) for a in attrs]
+            rows = [tuple(r[i] for i in idxs) for r in source]
+            if reduce_rows:
+                rows = list(dict.fromkeys(rows))
+            self._rows = rows
+            self.size = len(rows)
+        elif reduce_rows:
+            self.size = len(table.project_distinct(attrs))
+        else:
+            self.size = len(table)
+
+    def rows(self) -> list[tuple]:
+        if self._rows is None:
+            if self.reduce:
+                self._rows = list(self.table.project_distinct(self.attrs))
+            else:
+                idxs = [self.table.schema.column_index(a) for a in self.attrs]
+                self._rows = [tuple(r[i] for i in idxs) for r in self.table.rows()]
+        return self._rows
 
 
 class QueryResult:
@@ -90,6 +169,7 @@ class Executor:
         db: Database,
         allow_cartesian: bool = False,
         distinct_reduction: bool = True,
+        predicate_pushdown: bool = True,
     ) -> None:
         self.db = db
         self.allow_cartesian = allow_cartesian
@@ -98,7 +178,14 @@ class Executor:
         #: paper's *unoptimized* query shape, kept for the ablation bench.
         #: Final DISTINCT semantics are unaffected.
         self.distinct_reduction = distinct_reduction
-        #: Number of queries executed (exposed for the mining benchmarks).
+        #: When True, single-variable literal equalities are resolved via
+        #: hash-index probes before the join pipeline (and tiny probe sides
+        #: use index-nested-loop joins).  False restores the seed's
+        #: scan-everything pipeline — the streaming bench's baseline.
+        self.predicate_pushdown = predicate_pushdown
+        #: Number of queries executed (exposed for the mining and streaming
+        #: benchmarks, and by the streaming regression tests to assert the
+        #: delta path issues O(templates × accesses) point queries).
         self.queries_executed = 0
 
     # ------------------------------------------------------------------
@@ -174,22 +261,25 @@ class Executor:
         needed = self._needed_attrs(query, needed_extra)
         keep_always = {ref for ref in query.projection} | set(needed_extra)
 
+        # Point-predicate pushdown: literal equalities are consumed while
+        # building the base relations (hash-index probes); only the
+        # residual conditions enter the pipeline.
+        if self.predicate_pushdown:
+            pushable, pending = extract_point_predicates(query)
+        else:
+            pushable, pending = {}, list(query.conditions)
+
         # Base relations: projections of the needed attributes — distinct
         # when multiplicity reduction is enabled (paper Section 3.2.1).
         reduce_rows = self.distinct_reduction and query.distinct
-        base: dict[str, tuple[list[AttrRef], list[tuple]]] = {}
+        base: dict[str, _BaseRelation] = {}
         for var in query.tuple_vars:
             table = self.db.table(var.table)
             attrs = needed[var.alias] or [table.schema.column_names[0]]
-            cols = [AttrRef(var.alias, a) for a in attrs]
-            if reduce_rows:
-                rows = list(table.project_distinct(attrs))
-            else:
-                idxs = [table.schema.column_index(a) for a in attrs]
-                rows = [tuple(r[i] for i in idxs) for r in table.rows()]
-            base[var.alias] = (cols, rows)
+            base[var.alias] = _BaseRelation(
+                table, var.alias, attrs, pushable.get(var.alias), reduce_rows
+            )
 
-        pending = list(query.conditions)
         bound: set[str] = set()
 
         def applicable(cols: list[AttrRef]) -> list[Condition]:
@@ -241,11 +331,13 @@ class Executor:
                 new_rows = list(projected)
             return new_cols, new_rows
 
-        # Pick the starting variable: smallest base relation.
-        order = sorted(query.tuple_vars, key=lambda v: len(base[v.alias][1]))
+        # Pick the starting variable: smallest base relation (point
+        # predicates shrink their relation, so a ``L.Lid = ?`` restriction
+        # naturally drives the whole pipeline from that one row).
+        order = sorted(query.tuple_vars, key=lambda v: base[v.alias].size)
         start = order[0]
-        cols, rows = base[start.alias]
-        cols = list(cols)
+        cols = list(base[start.alias].cols)
+        rows = base[start.alias].rows()
         bound.add(start.alias)
         rows = apply_filters(cols, rows)
         cols, rows = prune(cols, rows)
@@ -267,7 +359,7 @@ class Executor:
                     )
                 ]
                 if join_conds:
-                    candidates.append((len(base[var.alias][1]), var, join_conds))
+                    candidates.append((base[var.alias].size, var, join_conds))
             if not candidates:
                 if not self.allow_cartesian:
                     raise QueryError(
@@ -280,7 +372,8 @@ class Executor:
                 candidates.sort(key=lambda t: (t[0], t[1].alias))
                 _, var, join_conds = candidates[0]
 
-            vcols, vrows = base[var.alias]
+            vbase = base[var.alias]
+            vcols = vbase.cols
             if join_conds:
                 # split each join condition into (bound side, new side)
                 probe_refs: list[AttrRef] = []
@@ -293,23 +386,40 @@ class Executor:
                         build_refs.append(cond.right)  # type: ignore[arg-type]
                         probe_refs.append(cond.left)
                     pending.remove(cond)
-                build_pos = [vcols.index(r) for r in build_refs]
-                hashmap: dict[tuple, list[tuple]] = {}
-                for vrow in vrows:
-                    key = tuple(vrow[p] for p in build_pos)
-                    if any(k is None for k in key):
-                        continue  # NULL never joins
-                    hashmap.setdefault(key, []).append(vrow)
                 probe_pos = [cols.index(r) for r in probe_refs]
                 joined: list[tuple] = []
-                for row in rows:
-                    key = tuple(row[p] for p in probe_pos)
-                    if any(k is None for k in key):
-                        continue
-                    for vrow in hashmap.get(key, ()):
-                        joined.append(row + vrow)
+                if (
+                    vbase.pristine
+                    and vbase.reduce
+                    and len(rows) * INDEX_JOIN_RATIO < vbase.size
+                ):
+                    # Index-nested-loop: probe the table's delta-maintained
+                    # projection index instead of hashing the build side.
+                    index = vbase.table.projection_index(
+                        vbase.attrs, [r.attr for r in build_refs]
+                    )
+                    for row in rows:
+                        key = tuple(row[p] for p in probe_pos)
+                        if any(k is None for k in key):
+                            continue
+                        for vrow in index.get(key, ()):
+                            joined.append(row + vrow)
+                else:
+                    build_pos = [vcols.index(r) for r in build_refs]
+                    hashmap: dict[tuple, list[tuple]] = {}
+                    for vrow in vbase.rows():
+                        key = tuple(vrow[p] for p in build_pos)
+                        if any(k is None for k in key):
+                            continue  # NULL never joins
+                        hashmap.setdefault(key, []).append(vrow)
+                    for row in rows:
+                        key = tuple(row[p] for p in probe_pos)
+                        if any(k is None for k in key):
+                            continue
+                        for vrow in hashmap.get(key, ()):
+                            joined.append(row + vrow)
             else:  # explicit cartesian product (opt-in only)
-                joined = [row + vrow for row in rows for vrow in vrows]
+                joined = [row + vrow for row in rows for vrow in vbase.rows()]
 
             cols = cols + list(vcols)
             bound.add(var.alias)

@@ -20,17 +20,47 @@ The model is the classical textbook one:
 An optional ``error_factor`` multiplies every estimate, used by the
 ablation benchmark to study the paper's claim that optimizer estimation
 error changes performance but never the mined output.
+
+Besides cardinalities, this module hosts the executor's one *plan
+rewrite*: :func:`extract_point_predicates` splits a query's WHERE clause
+into per-alias single-variable literal equalities (``L.Lid = 42``-style
+point predicates, which the executor pushes down to hash-index probes
+before the join pipeline) and the residual join/filter conditions.
 """
 
 from __future__ import annotations
 
-
-
 from .database import Database
-from .query import AttrRef, ConjunctiveQuery
+from .query import AttrRef, Condition, ConjunctiveQuery, Literal
 
 #: Default selectivity charged to each inequality (decoration) condition.
 INEQUALITY_SELECTIVITY = 1.0 / 3.0
+
+
+def extract_point_predicates(
+    query: ConjunctiveQuery,
+) -> tuple[dict[str, list[Condition]], list[Condition]]:
+    """Split conditions into pushable point predicates and the residual.
+
+    Returns ``(pushable, residual)`` where ``pushable`` maps each tuple
+    variable alias to its literal-equality conditions (``alias.attr =
+    constant``) and ``residual`` preserves every other condition in order.
+    ``attr = NULL`` is never pushable: SQL comparison semantics make it
+    unsatisfiable, while an index probe for ``None`` would wrongly return
+    the NULL rows — the executor's ordinary filter path rejects it.
+    """
+    pushable: dict[str, list[Condition]] = {}
+    residual: list[Condition] = []
+    for cond in query.conditions:
+        if (
+            cond.op == "="
+            and isinstance(cond.right, Literal)
+            and cond.right.value is not None
+        ):
+            pushable.setdefault(cond.left.alias, []).append(cond)
+        else:
+            residual.append(cond)
+    return pushable, residual
 
 
 class CardinalityEstimator:

@@ -1,0 +1,291 @@
+"""Differential tests: the hash-join Executor vs a brute-force reference.
+
+The reference evaluator enumerates the full cartesian product of the
+query's tuple variables with nested loops and applies SQL three-valued
+comparison semantics directly — no indexes, no distinct reduction, no
+pushdown, no join ordering.  Every executor configuration (with and
+without ``distinct_reduction``, with and without ``predicate_pushdown``)
+must produce the same multiset of projected rows on several hundred
+seeded random conjunctive queries, including NULL join/comparison cases.
+"""
+
+from __future__ import annotations
+
+import itertools
+import operator
+import random
+from collections import Counter
+
+import pytest
+
+from repro.db import (
+    AttrRef,
+    ColumnType,
+    Condition,
+    ConjunctiveQuery,
+    Database,
+    Executor,
+    Literal,
+    TableSchema,
+    TupleVar,
+)
+
+_OPS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: (distinct_reduction, predicate_pushdown) — every pipeline configuration.
+CONFIGS = [(True, True), (True, False), (False, True), (False, False)]
+
+
+def sql_compare(op: str, left, right) -> bool:
+    """SQL semantics: any comparison involving NULL is false."""
+    if left is None or right is None:
+        return False
+    return _OPS[op](left, right)
+
+
+def reference_evaluate(db: Database, query: ConjunctiveQuery) -> list[tuple]:
+    """Nested-loop evaluation of a conjunctive query, no optimizations."""
+    tables = [db.table(v.table) for v in query.tuple_vars]
+    alias_pos = {v.alias: i for i, v in enumerate(query.tuple_vars)}
+
+    def value(combo, ref: AttrRef):
+        i = alias_pos[ref.alias]
+        return combo[i][tables[i].schema.column_index(ref.attr)]
+
+    out: list[tuple] = []
+    for combo in itertools.product(*[t.rows() for t in tables]):
+        ok = True
+        for cond in query.conditions:
+            left = value(combo, cond.left)
+            right = (
+                value(combo, cond.right)
+                if isinstance(cond.right, AttrRef)
+                else cond.right.value
+            )
+            if not sql_compare(cond.op, left, right):
+                ok = False
+                break
+        if ok:
+            out.append(tuple(value(combo, ref) for ref in query.projection))
+    if query.distinct:
+        out = list(dict.fromkeys(out))
+    return out
+
+
+# ----------------------------------------------------------------------
+# random workload generation
+# ----------------------------------------------------------------------
+TABLE_SPECS = [("T0", 3), ("T1", 2), ("T2", 3), ("T3", 4)]
+VALUE_DOMAIN = [0, 1, 2, 3, None]
+
+
+def random_database(rng: random.Random) -> Database:
+    """Small integer tables with ~20% NULLs and overlapping value domains."""
+    db = Database("diff")
+    for name, n_cols in TABLE_SPECS:
+        cols = [(f"c{i}", ColumnType.INT) for i in range(n_cols)]
+        table = db.create_table(TableSchema.build(name, cols))
+        for _ in range(rng.randrange(0, 10)):
+            table.insert([rng.choice(VALUE_DOMAIN) for _ in range(n_cols)])
+    return db
+
+
+def random_attr(rng: random.Random, tvars: list[TupleVar], db: Database) -> AttrRef:
+    var = rng.choice(tvars)
+    cols = db.table(var.table).schema.column_names
+    return AttrRef(var.alias, rng.choice(cols))
+
+
+def random_query(
+    rng: random.Random, db: Database, connected: bool = True
+) -> ConjunctiveQuery:
+    n_vars = rng.choice([1, 1, 2, 2, 2, 3, 3, 4])
+    tvars = [
+        TupleVar(f"V{i}", rng.choice(TABLE_SPECS)[0]) for i in range(n_vars)
+    ]
+    conds: list[Condition] = []
+    if connected:
+        # a random spanning tree of equality joins keeps the graph connected
+        for i in range(1, n_vars):
+            j = rng.randrange(i)
+            left = AttrRef(
+                tvars[i].alias,
+                rng.choice(db.table(tvars[i].table).schema.column_names),
+            )
+            right = AttrRef(
+                tvars[j].alias,
+                rng.choice(db.table(tvars[j].table).schema.column_names),
+            )
+            conds.append(Condition(left, "=", right))
+    for _ in range(rng.randrange(0, 4)):
+        roll = rng.random()
+        left = random_attr(rng, tvars, db)
+        if roll < 0.35:
+            # point predicate (pushdown candidate), occasionally = NULL
+            value = rng.choice([0, 1, 2, 3, 3, None])
+            conds.append(Condition(left, "=", Literal(value)))
+        elif roll < 0.65:
+            op = rng.choice(["<", "<=", ">", ">=", "!="])
+            conds.append(Condition(left, op, Literal(rng.choice(VALUE_DOMAIN))))
+        else:
+            op = rng.choice(["=", "<", "!=", ">="])
+            conds.append(Condition(left, op, random_attr(rng, tvars, db)))
+    projection: list[AttrRef] = []
+    for _ in range(rng.randrange(1, 4)):
+        ref = random_attr(rng, tvars, db)
+        if ref not in projection:
+            projection.append(ref)
+    return ConjunctiveQuery.build(
+        tvars, conds, projection, distinct=rng.random() < 0.7
+    )
+
+
+def assert_matches_reference(db: Database, query: ConjunctiveQuery, **kw) -> None:
+    expected = Counter(reference_evaluate(db, query))
+    for distinct_reduction, pushdown in CONFIGS:
+        executor = Executor(
+            db,
+            distinct_reduction=distinct_reduction,
+            predicate_pushdown=pushdown,
+            **kw,
+        )
+        got = Counter(executor.execute(query).rows)
+        assert got == expected, (
+            f"mismatch (distinct_reduction={distinct_reduction}, "
+            f"pushdown={pushdown}) for query:\n{query}"
+        )
+
+
+# ----------------------------------------------------------------------
+# randomized differential sweep: 20 seeds x ~10 queries x 4 configs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(20))
+def test_random_queries_match_reference(seed):
+    rng = random.Random(1000 + seed)
+    db = random_database(rng)
+    for _ in range(10):
+        query = random_query(rng, db)
+        assert_matches_reference(db, query)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_cartesian_queries_match_reference(seed):
+    """Disconnected join graphs (opt-in cartesian products) also agree."""
+    rng = random.Random(2000 + seed)
+    db = random_database(rng)
+    for _ in range(5):
+        query = random_query(rng, db, connected=False)
+        assert_matches_reference(db, query, allow_cartesian=True)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_count_distinct_matches_reference(seed):
+    """The support-query shape (COUNT(DISTINCT attr)) agrees too."""
+    rng = random.Random(3000 + seed)
+    db = random_database(rng)
+    for _ in range(8):
+        query = random_query(rng, db)
+        target = query.projection[0]
+        expected = len(
+            {
+                row[0]
+                for row in reference_evaluate(
+                    db,
+                    ConjunctiveQuery.build(
+                        query.tuple_vars, query.conditions, (target,), distinct=True
+                    ),
+                )
+            }
+        )
+        for distinct_reduction, pushdown in CONFIGS:
+            executor = Executor(
+                db,
+                distinct_reduction=distinct_reduction,
+                predicate_pushdown=pushdown,
+            )
+            assert executor.count_distinct(query, target) == expected
+
+
+# ----------------------------------------------------------------------
+# directed NULL-semantics cases
+# ----------------------------------------------------------------------
+@pytest.fixture
+def null_db():
+    db = Database("nulls")
+    left = db.create_table(
+        TableSchema.build("Left", [("k", ColumnType.INT), ("x", ColumnType.INT)])
+    )
+    right = db.create_table(
+        TableSchema.build("Right", [("k", ColumnType.INT), ("y", ColumnType.INT)])
+    )
+    left.insert_many([(1, 10), (None, 20), (2, None), (2, 40), (1, 10)])
+    right.insert_many([(1, 100), (None, 200), (2, 300)])
+    return db
+
+
+def _join_query(distinct=True, extra=()):
+    tvars = [TupleVar("A", "Left"), TupleVar("B", "Right")]
+    conds = [Condition(AttrRef("A", "k"), "=", AttrRef("B", "k")), *extra]
+    proj = [AttrRef("A", "x"), AttrRef("B", "y")]
+    return ConjunctiveQuery.build(tvars, conds, proj, distinct=distinct)
+
+
+@pytest.mark.parametrize("distinct_reduction,pushdown", CONFIGS)
+def test_null_join_keys_never_match(null_db, distinct_reduction, pushdown):
+    executor = Executor(
+        null_db, distinct_reduction=distinct_reduction, predicate_pushdown=pushdown
+    )
+    rows = set(executor.execute(_join_query()).rows)
+    # the NULL-keyed rows on either side must not pair up
+    assert rows == {(10, 100), (None, 300), (40, 300)}
+    assert rows == set(reference_evaluate(null_db, _join_query()))
+
+
+@pytest.mark.parametrize("distinct_reduction,pushdown", CONFIGS)
+def test_equals_null_literal_is_unsatisfiable(null_db, distinct_reduction, pushdown):
+    executor = Executor(
+        null_db, distinct_reduction=distinct_reduction, predicate_pushdown=pushdown
+    )
+    query = _join_query(extra=(Condition(AttrRef("A", "k"), "=", Literal(None)),))
+    assert executor.execute(query).rows == []
+    assert reference_evaluate(null_db, query) == []
+
+
+@pytest.mark.parametrize("distinct_reduction,pushdown", CONFIGS)
+def test_not_equals_never_matches_null(null_db, distinct_reduction, pushdown):
+    executor = Executor(
+        null_db, distinct_reduction=distinct_reduction, predicate_pushdown=pushdown
+    )
+    query = _join_query(extra=(Condition(AttrRef("A", "x"), "!=", Literal(20)),))
+    rows = set(executor.execute(query).rows)
+    # (2, None) has x = NULL: `x != 20` is false under SQL semantics
+    assert rows == {(10, 100), (40, 300)}
+    assert rows == set(reference_evaluate(null_db, query))
+
+
+@pytest.mark.parametrize("pushdown", [True, False])
+def test_point_predicate_agrees_with_filter_path(null_db, pushdown):
+    executor = Executor(null_db, predicate_pushdown=pushdown)
+    query = _join_query(extra=(Condition(AttrRef("B", "k"), "=", Literal(2)),))
+    assert set(executor.execute(query).rows) == {(None, 300), (40, 300)}
+
+
+def test_non_distinct_preserves_multiplicity(null_db):
+    """distinct=False must keep duplicate projected rows in every config."""
+    query = _join_query(distinct=False)
+    expected = Counter(reference_evaluate(null_db, query))
+    assert max(expected.values()) >= 2  # the duplicated (1, 10) row
+    for distinct_reduction, pushdown in CONFIGS:
+        executor = Executor(
+            null_db,
+            distinct_reduction=distinct_reduction,
+            predicate_pushdown=pushdown,
+        )
+        assert Counter(executor.execute(query).rows) == expected

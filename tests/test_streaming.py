@@ -10,16 +10,21 @@ from repro.audit import (
     repeat_access_template,
 )
 from repro.core import ExplanationEngine
+from repro.db import ColumnType, Database, TableSchema
 from repro.ehr import EPOCH, SimulationConfig, build_careweb_graph, simulate
 
 
-@pytest.fixture
-def engine():
-    sim = simulate(SimulationConfig.tiny(seed=13))
+def build_engine(seed=13):
+    sim = simulate(SimulationConfig.tiny(seed=seed))
     graph = build_careweb_graph(sim.db)
     templates = all_event_user_templates(graph)
     templates.append(repeat_access_template(graph))
     return ExplanationEngine(sim.db, templates), sim
+
+
+@pytest.fixture
+def engine():
+    return build_engine()
 
 
 class TestIngest:
@@ -106,3 +111,192 @@ class TestIngest:
         eng.coverage()  # warm the cache
         access = monitor.ingest("intruder", "p00001", EPOCH)
         assert access.lid in eng.unexplained_lids()
+
+
+def _stream(sim, n=30):
+    """A deterministic mixed stream with strictly increasing timestamps."""
+    appts = sim.db.table("Appointments").rows()
+    out = []
+    for i in range(n):
+        when = EPOCH + dt.timedelta(days=8, minutes=i)
+        if i % 3 == 0:
+            patient, doctor = appts[i % len(appts)][0], appts[i % len(appts)][1]
+            out.append((doctor, patient, when))  # explained by appointment
+        elif i % 3 == 1:
+            out.append((f"intruder{i % 4}", "p00001", when))  # snooping
+        else:
+            prev = out[-1]
+            out.append((prev[0], prev[1], when))  # repeat of previous access
+    return out
+
+
+class TestStreamingRegression:
+    """ingest_many == one-by-one ingest, at O(templates × N) point queries."""
+
+    def test_batch_matches_one_by_one(self):
+        eng_a, sim_a = build_engine()
+        eng_b, sim_b = build_engine()  # identical world, separate state
+        stream = _stream(sim_a)
+        mon_one = AccessMonitor(eng_a)
+        one_by_one = [mon_one.ingest(u, p, d) for u, p, d in stream]
+        mon_batch = AccessMonitor(eng_b)
+        batched = mon_batch.ingest_many(_stream(sim_b))
+        assert [a.lid for a in batched] == [a.lid for a in one_by_one]
+        assert [a.suspicious for a in batched] == [
+            a.suspicious for a in one_by_one
+        ]
+        assert mon_batch.alerts == mon_one.alerts
+        assert mon_batch.seen == mon_one.seen == len(stream)
+        assert eng_b.unexplained_lids() == eng_a.unexplained_lids()
+        assert eng_b.coverage() == pytest.approx(eng_a.coverage())
+
+    def test_batch_headlines_match_one_by_one(self):
+        eng_a, sim_a = build_engine()
+        eng_b, sim_b = build_engine()
+        mon_one = AccessMonitor(eng_a)
+        one_by_one = [mon_one.ingest(u, p, d) for u, p, d in _stream(sim_a, 12)]
+        batched = AccessMonitor(eng_b).ingest_many(_stream(sim_b, 12))
+        assert [a.headline() for a in batched] == [
+            a.headline() for a in one_by_one
+        ]
+
+    def test_ingest_issues_point_queries_not_rescans(self, engine):
+        """Query count is O(templates × N): per access, one instance query
+        per template plus one delta point query per (template, log alias) —
+        never O(N²) re-joins of the whole log."""
+        eng, _ = engine
+        monitor = AccessMonitor(eng)
+        n_templates = len(eng.templates)
+        monitor.ingest("u0000", "p00001", EPOCH + dt.timedelta(days=8))
+        warm = monitor.last_ingest_queries  # includes one-time cache warming
+        assert warm <= 4 * n_templates
+        n = 25
+        before = eng.executor.queries_executed
+        for i in range(n):
+            monitor.ingest("u0000", "p00001", EPOCH + dt.timedelta(days=9, minutes=i))
+        spent = eng.executor.queries_executed - before
+        # explain: T queries; delta maintenance: <= 2 log aliases per
+        # template => hard per-access ceiling of 3T, linear in N
+        assert spent <= 3 * n_templates * n
+        assert monitor.last_ingest_queries <= 3 * n_templates
+
+    def test_batch_query_count_linear(self, engine):
+        eng, _ = engine
+        monitor = AccessMonitor(eng)
+        eng.coverage()  # warm every template cache
+        n = 40
+        batch = [
+            ("u0000", "p00001", EPOCH + dt.timedelta(days=8, minutes=i))
+            for i in range(n)
+        ]
+        before = eng.executor.queries_executed
+        out = monitor.ingest_many(batch)
+        spent = eng.executor.queries_executed - before
+        assert len(out) == n
+        assert spent <= 3 * len(eng.templates) * n
+
+    def test_batch_alert_handlers_fire_in_order(self, engine):
+        eng, _ = engine
+        seen = []
+        monitor = AccessMonitor(eng, alert_handlers=(lambda a: seen.append(a.lid),))
+        out = monitor.ingest_many(
+            [
+                ("intruderA", "p00001", EPOCH),
+                ("intruderB", "p00002", EPOCH + dt.timedelta(minutes=1)),
+            ]
+        )
+        assert seen == [a.lid for a in out if a.suspicious]
+        assert len(seen) == monitor.alerts == 2
+
+    def test_ingest_many_empty_batch(self, engine):
+        eng, _ = engine
+        monitor = AccessMonitor(eng)
+        assert monitor.ingest_many([]) == []
+        assert monitor.seen == 0
+
+
+def _toy_engine(lids=((1, 1, "Dave", "Alice"),)):
+    """A template-free engine over a minimal log (monitor unit tests)."""
+    db = Database("toy")
+    log = db.create_table(
+        TableSchema.build(
+            "Log",
+            [("Lid", ColumnType.INT), ("Date", ColumnType.INT), "User", "Patient"],
+        )
+    )
+    log.insert_many(lids)
+    return ExplanationEngine(db)
+
+
+class TestMonitorTestability:
+    """Injectable clock and robust lid allocation (no hidden now())."""
+
+    def test_clock_injected_for_missing_dates(self):
+        ticks = []
+        base = dt.datetime(2026, 7, 1, 9, 0, 0)
+
+        def clock():
+            ticks.append(len(ticks))
+            return base + dt.timedelta(minutes=len(ticks))
+
+        db = Database("toy")
+        db.create_table(
+            TableSchema.build(
+                "Log",
+                [("Lid", ColumnType.INT), ("Date", ColumnType.DATE), "User", "Patient"],
+            )
+        )
+        monitor = AccessMonitor(ExplanationEngine(db), clock=clock)
+        first = monitor.ingest("u", "p")
+        second = monitor.ingest("u", "p")
+        assert first.date == base + dt.timedelta(minutes=1)
+        assert second.date == base + dt.timedelta(minutes=2)
+        assert ticks == [0, 1]
+
+    def test_explicit_date_bypasses_clock(self):
+        def clock():  # pragma: no cover - must never run
+            raise AssertionError("clock must not be consulted")
+
+        monitor = AccessMonitor(_toy_engine(), clock=clock)
+        access = monitor.ingest("u", "p", 7)
+        assert access.date == 7
+
+    def test_next_lid_skips_noncontiguous_gaps(self):
+        monitor = AccessMonitor(_toy_engine([(5, 1, "a", "p"), (900, 2, "b", "q")]))
+        assert monitor.ingest("u", "p", 3).lid == 901
+
+    def test_next_lid_ignores_non_integer_lids(self):
+        assert AccessMonitor._initial_next_lid({"ext-7", 41, "ext-9"}) == 42
+        assert AccessMonitor._initial_next_lid({"ext-7", "ext-9"}) == 1
+        assert AccessMonitor._initial_next_lid(set()) == 1
+
+    def test_next_lid_ignores_bools(self):
+        # True == 1 numerically; a boolean lid must not anchor the sequence
+        assert AccessMonitor._initial_next_lid({True}) == 1
+        assert AccessMonitor._initial_next_lid({True, 3}) == 4
+
+    def test_empty_log_starts_at_one(self):
+        monitor = AccessMonitor(_toy_engine(()))
+        assert monitor.ingest("u", "p", 1).lid == 1
+
+    def test_stats_counters(self):
+        monitor = AccessMonitor(_toy_engine(()))
+        assert monitor.stats()["seen"] == 0
+        monitor.ingest("u", "p", 1)
+        monitor.ingest_many([("v", "q", 2), ("w", "r", 3)])
+        stats = monitor.stats()
+        assert stats["seen"] == 3
+        assert stats["alerts"] == 3  # template-free engine explains nothing
+        assert stats["alert_rate"] == 1.0
+        assert stats["total_seconds"] >= stats["last_ingest_seconds"] >= 0.0
+        assert stats["total_queries"] >= 0
+
+    def test_non_incremental_mode_still_correct(self):
+        eng_a, sim_a = build_engine()
+        eng_b, sim_b = build_engine()
+        stream = _stream(sim_a, 9)
+        fast = [AccessMonitor(eng_a).ingest(u, p, d) for u, p, d in stream]
+        slow_monitor = AccessMonitor(eng_b, incremental=False)
+        slow = [slow_monitor.ingest(u, p, d) for u, p, d in _stream(sim_b, 9)]
+        assert [a.suspicious for a in fast] == [a.suspicious for a in slow]
+        assert eng_a.unexplained_lids() == eng_b.unexplained_lids()
