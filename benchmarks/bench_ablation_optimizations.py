@@ -11,7 +11,6 @@ exists exactly to absorb that error).
 """
 
 from repro.core import MiningConfig, OneWayMiner, SupportConfig
-from repro.db import Executor
 
 BASE = dict(support_fraction=0.01, max_length=4, max_tables=3)
 
@@ -60,6 +59,20 @@ def bench_ablation_optimizations(benchmark, mining_study, report):
     )
     report.section(
         "Ablation — Section 3.2.1 optimizations (one-way, T=3, M=4)", lines
+    )
+    report.json(
+        "ablation_optimizations",
+        {
+            "config": BASE,
+            "variants": {
+                name: {
+                    "support_stats": result.support_stats,
+                    "templates": len(result.templates),
+                    "same_output": result.signatures() == baseline.signatures(),
+                }
+                for name, result in results.items()
+            },
+        },
     )
 
     # Output invariance: the paper's core claim about the optimizations.

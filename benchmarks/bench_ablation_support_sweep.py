@@ -50,6 +50,23 @@ def bench_ablation_support_sweep(benchmark, mining_study, report):
         "rare visit template"
     )
     report.section("Ablation — support threshold sweep (one-way)", lines)
+    report.json(
+        "ablation_support_sweep",
+        {
+            "config": {"sweep": list(SWEEP), "max_length": 4, "max_tables": 3},
+            "points": {
+                str(s): {
+                    "templates": len(result.templates),
+                    "support_stats": result.support_stats,
+                    "hand_set_found": sum(
+                        1 for h in hand if h in result.signatures()
+                    ),
+                    "hand_set_total": len(hand),
+                }
+                for s, result in results.items()
+            },
+        },
+    )
 
     counts = [len(results[s].templates) for s in SWEEP]
     assert counts == sorted(counts, reverse=True), (

@@ -63,6 +63,21 @@ def bench_ext_clustering_baselines(benchmark, study, report):
         "codes (Fig 12) — here quantified on hidden care teams"
     )
     report.section("Extension — clustering algorithm comparison", lines)
+    report.json(
+        "ext_clustering_baselines",
+        {
+            "config": {"train_days": list(study.train_days)},
+            "methods": {
+                name: {
+                    "groups": len(set(partition.values())),
+                    "modularity": scores[name][0],
+                    "pair_precision": scores[name][1],
+                    "pair_recall": scores[name][2],
+                }
+                for name, partition in partitions.items()
+            },
+        },
+    )
 
     q_ours, p_ours, r_ours = scores["modularity (ours)"]
     for name, (q, _p, _r) in scores.items():

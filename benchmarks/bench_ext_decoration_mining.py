@@ -50,6 +50,25 @@ def bench_ext_decoration_mining(benchmark, study, report):
     report.section(
         "Extension — mined Group_Depth decorations (day-7 test split)", lines
     )
+    report.json(
+        "ext_decoration_mining",
+        {
+            "config": {"min_recall_ratio": 0.85},
+            "templates": {
+                result.base.display_name(): {
+                    "base_precision": result.base_precision,
+                    "base_real": result.base_real,
+                    "recommended_depth": (
+                        result.recommended.value if result.recommended else None
+                    ),
+                    "recommended_precision": (
+                        result.recommended.precision if result.recommended else None
+                    ),
+                }
+                for result in results
+            },
+        },
+    )
 
     assert results, "every group template must be refinable"
     for result in results:

@@ -18,6 +18,10 @@ def bench_fig06_event_frequency(benchmark, study, report):
     lines = report.fmt_bars(freqs)
     lines.append(f"  paper (approx): {PAPER}")
     report.section("Figure 6 — event frequency, all accesses", lines)
+    report.json(
+        "fig06_event_frequency",
+        {"config": {"selection": "all accesses"}, "measured": freqs, "paper": PAPER},
+    )
 
     # the qualitative claims the paper makes about this figure
     assert freqs["All"] > 0.85, "nearly all accesses trace to an event"

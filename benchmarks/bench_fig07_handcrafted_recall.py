@@ -24,6 +24,10 @@ def bench_fig07_handcrafted_recall(benchmark, study, report):
     lines = report.fmt_bars(recalls)
     lines.append(f"  paper (approx): {PAPER}")
     report.section("Figure 7 — hand-crafted recall, all accesses", lines)
+    report.json(
+        "fig07_handcrafted_recall",
+        {"config": {"selection": "all accesses"}, "measured": recalls, "paper": PAPER},
+    )
 
     events = event_frequency(study.db)
     # each w/Dr. bar must be below its Figure 6 event-frequency bar

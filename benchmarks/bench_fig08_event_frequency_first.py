@@ -21,6 +21,10 @@ def bench_fig08_event_frequency_first(benchmark, study, report):
     lines = report.fmt_bars(freqs)
     lines.append(f"  paper (approx): {PAPER}")
     report.section("Figure 8 — event frequency, first accesses", lines)
+    report.json(
+        "fig08_event_frequency_first",
+        {"config": {"selection": "first accesses"}, "measured": freqs, "paper": PAPER},
+    )
 
     all_freqs = event_frequency(study.db, include_repeat=False)
     assert 0.6 < freqs["All"] < 0.92, "a sizable extract gap must remain"

@@ -23,6 +23,10 @@ def bench_fig09_handcrafted_first(benchmark, study, report):
     lines = report.fmt_bars(recalls)
     lines.append(f"  paper (approx): {PAPER}")
     report.section("Figure 9 — hand-crafted recall, first accesses", lines)
+    report.json(
+        "fig09_handcrafted_first",
+        {"config": {"selection": "first accesses"}, "measured": recalls, "paper": PAPER},
+    )
 
     events = event_frequency(
         study.db, lids=study.first_lids(), include_repeat=False

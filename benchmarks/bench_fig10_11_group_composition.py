@@ -50,6 +50,22 @@ def bench_fig10_11_group_composition(benchmark, study, report):
     report.section(
         "Figures 10-11 — collaborative group composition (depth 1)", lines
     )
+    report.json(
+        "fig10_11_group_composition",
+        {
+            "config": {"depth": 1, "top_groups": 2},
+            "groups": [
+                {
+                    "group_id": prof.group_id,
+                    "size": prof.size,
+                    "departments": dict(prof.departments),
+                }
+                for prof in profiles
+            ],
+            "pair_precision": precision,
+            "pair_recall": recall,
+        },
+    )
 
     # each large group must span multiple department codes (the paper's
     # core observation: groups != departments)

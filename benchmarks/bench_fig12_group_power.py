@@ -22,6 +22,20 @@ def bench_fig12_group_power(benchmark, study, report):
     lines = report.fmt_pr_rows(rows)
     lines.append(f"  {PAPER_NOTES}")
     report.section("Figure 12 — group predictive power by depth", lines)
+    report.json(
+        "fig12_group_power",
+        {
+            "config": {"protocol": "train days 1-6, test day-7 firsts, fake log"},
+            "rows": {
+                row.label: {
+                    "precision": row.scores.precision,
+                    "recall": row.scores.recall,
+                    "normalized_recall": row.scores.normalized_recall,
+                }
+                for row in rows
+            },
+        },
+    )
 
     by_label = {row.label: row.scores for row in rows}
     d0, d1 = by_label["0"], by_label["1"]

@@ -15,7 +15,7 @@ come from: the candidate frontier large relative to the explanation set
 measured in bench_ablation_optimizations.
 """
 
-from repro.core import BridgedMiner, MiningConfig, OneWayMiner, SupportConfig, TwoWayMiner
+from repro.core import MiningConfig, SupportConfig
 from repro.evalx import mining_performance
 
 CONFIG = MiningConfig(
@@ -52,6 +52,25 @@ def bench_fig13_mining_performance(benchmark, mining_study, report):
     )
     report.section(
         "Figure 13 — cumulative mining run time by length (seconds)", lines
+    )
+    report.json(
+        "fig13_mining_performance",
+        {
+            "config": {
+                "support_fraction": CONFIG.support_fraction,
+                "max_length": CONFIG.max_length,
+                "max_tables": CONFIG.max_tables,
+                "use_skip": CONFIG.support.use_skip,
+            },
+            "algorithms": {
+                name: {
+                    "cumulative_seconds_by_length": result.cumulative_time_by_length(),
+                    "templates": len(result.templates),
+                    "support_stats": result.support_stats,
+                }
+                for name, result in results.items()
+            },
+        },
     )
 
     sigs = [r.signatures() for r in results.values()]

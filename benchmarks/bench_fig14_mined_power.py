@@ -43,6 +43,26 @@ def bench_fig14_mined_power(benchmark, study, report):
         )
     lines.append(f"  {PAPER_NOTES}")
     report.section("Figure 14 — mined templates' predictive power", lines)
+    report.json(
+        "fig14_mined_power",
+        {
+            "config": {
+                "support_fraction": CONFIG.support_fraction,
+                "max_length": CONFIG.max_length,
+                "max_tables": CONFIG.max_tables,
+            },
+            "mined_templates": len(mined.templates),
+            "rows": {
+                row.label: {
+                    "n_templates": row.n_templates,
+                    "precision": row.scores.precision,
+                    "recall": row.scores.recall,
+                    "normalized_recall": row.scores.normalized_recall,
+                }
+                for row in rows
+            },
+        },
+    )
 
     by_label = {row.label: row for row in rows}
     len2, len4, all_row = by_label["2"], by_label["4"], by_label["All"]

@@ -131,6 +131,28 @@ def bench_streaming_ingest_speedup(report):
     for i, t in enumerate(chunk_times):
         lines.append(f"    chunk {i}: {t:6.2f} s")
     report.section("Streaming ingest — delta maintenance vs invalidate-all", lines)
+    report.json(
+        "streaming_ingest",
+        {
+            "config": {
+                "smoke": _SMOKE,
+                "seed_rows": SEED_ROWS,
+                "streamed": len(stream),
+                "baseline_measured_n": BASELINE_N,
+                "templates": len(engine.templates),
+            },
+            "timings": {
+                "incremental_seconds": incremental_total,
+                "baseline_measured_seconds": baseline_measured,
+                "baseline_projected_seconds": baseline_projected,
+                "chunk_seconds": chunk_times,
+            },
+            "queries": incremental_stats["total_queries"],
+            "alerts": monitor.alerts,
+            "speedup": speedup,
+            "min_speedup": MIN_SPEEDUP,
+        },
+    )
 
     # alert parity: both strategies must agree access-by-access
     assert prefix_flags == baseline_flags
@@ -162,6 +184,15 @@ def bench_streaming_batch_ingest(report):
             f"(~{queries / len(out):.1f} per access)",
             f"  alerts                    {monitor.alerts}",
         ],
+    )
+    report.json(
+        "streaming_batch_ingest",
+        {
+            "config": {"smoke": _SMOKE, "batch_size": len(out)},
+            "timings": {"total_seconds": elapsed},
+            "queries": queries,
+            "alerts": monitor.alerts,
+        },
     )
     assert len(out) == len(stream)
     assert monitor.seen == len(stream)

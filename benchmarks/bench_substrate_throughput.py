@@ -18,6 +18,14 @@ from repro.db import AttrRef, Executor
 from repro.ehr import build_careweb_graph
 
 
+def _mean_seconds(benchmark):
+    """Mean timing from pytest-benchmark, or None under --benchmark-disable."""
+    try:
+        return benchmark.stats.stats.mean
+    except (AttributeError, TypeError):
+        return None
+
+
 def bench_support_query_len2(benchmark, study, report):
     """Length-2 appointment template over the full log."""
     graph = build_careweb_graph(study.db)
@@ -33,6 +41,14 @@ def bench_support_query_len2(benchmark, study, report):
             f"appointments={len(study.db.table('Appointments'))} rows",
             f"  explained lids: {result}",
         ],
+    )
+    report.json(
+        "substrate_len2",
+        {
+            "config": {"log_rows": len(study.db.table("Log"))},
+            "explained": result,
+            "mean_seconds": _mean_seconds(benchmark),
+        },
     )
     assert result > 0
 
@@ -52,6 +68,14 @@ def bench_support_query_len4_groups(benchmark, study, report):
             f"  explained lids: {result}",
         ],
     )
+    report.json(
+        "substrate_len4_groups",
+        {
+            "config": {"groups_rows": len(study.db.table("Groups"))},
+            "explained": result,
+            "mean_seconds": _mean_seconds(benchmark),
+        },
+    )
     assert result > 0
 
 
@@ -66,6 +90,14 @@ def bench_support_query_repeat_self_join(benchmark, study, report):
     report.section(
         "Substrate — repeat-access (log self-join) support query",
         [f"  explained lids: {result}"],
+    )
+    report.json(
+        "substrate_repeat_self_join",
+        {
+            "config": {"log_rows": len(study.db.table("Log"))},
+            "explained": result,
+            "mean_seconds": _mean_seconds(benchmark),
+        },
     )
     assert result > 0
 
@@ -84,4 +116,11 @@ def bench_support_cache_hit(benchmark, study, report):
     report.section(
         "Substrate — support-cache hit",
         [f"  cache hits during timing: {evaluator.stats.cache_hits}"],
+    )
+    report.json(
+        "substrate_cache_hit",
+        {
+            "cache_hits": evaluator.stats.cache_hits,
+            "mean_seconds": _mean_seconds(benchmark),
+        },
     )

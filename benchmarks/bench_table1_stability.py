@@ -38,6 +38,22 @@ def bench_table1_stability(benchmark, study, report):
         )
     lines.append(f"  paper: {PAPER}")
     report.section("Table 1 — number of explanation templates mined", lines)
+    report.json(
+        "table1_stability",
+        {
+            "config": {
+                "support_fraction": CONFIG.support_fraction,
+                "max_length": CONFIG.max_length,
+                "max_tables": CONFIG.max_tables,
+            },
+            "counts": {
+                f"{period}/len{length}": count
+                for (period, length), count in stability.counts.items()
+            },
+            "common": {f"len{k}": v for k, v in stability.common.items()},
+            "paper": {f"len{k}": v for k, v in PAPER.items()},
+        },
+    )
 
     lengths = stability.lengths()
     assert 2 in lengths and 3 in lengths and 4 in lengths

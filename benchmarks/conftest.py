@@ -5,10 +5,17 @@ appends a formatted block to a session report, printed in the terminal
 summary and persisted to ``benchmarks/latest_results.txt`` — so
 ``pytest benchmarks/ --benchmark-only`` leaves a readable artifact even
 with output capturing on.
+
+Each benchmark additionally emits a machine-readable
+``benchmarks/BENCH_<name>.json`` (config, timings, speedups, headline
+numbers) via :meth:`PaperReport.json`, so the performance trajectory can
+be tracked across PRs by diffing/collecting the JSON artifacts.  Both
+artifact kinds are gitignored.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -16,7 +23,8 @@ import pytest
 from repro.ehr import SimulationConfig
 from repro.evalx import CareWebStudy
 
-_RESULTS_PATH = os.path.join(os.path.dirname(__file__), "latest_results.txt")
+_BENCH_DIR = os.path.dirname(__file__)
+_RESULTS_PATH = os.path.join(_BENCH_DIR, "latest_results.txt")
 _REPORT_SECTIONS: list[str] = []
 
 
@@ -27,6 +35,19 @@ class PaperReport:
         block = [f"== {title} =="]
         block.extend(str(line) for line in lines)
         _REPORT_SECTIONS.append("\n".join(block))
+
+    def json(self, name: str, payload: dict) -> str:
+        """Write ``BENCH_<name>.json`` (machine-readable result record).
+
+        ``payload`` should carry the benchmark's config, timings, and
+        headline numbers; non-JSON values (datetimes, dataclasses) are
+        stringified.  Returns the path written.
+        """
+        path = os.path.join(_BENCH_DIR, f"BENCH_{name}.json")
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+        return path
 
     @staticmethod
     def fmt_bars(values: dict, width: int = 40) -> list[str]:

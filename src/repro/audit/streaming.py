@@ -26,6 +26,16 @@ independent of log size.  ``incremental=False`` restores the seed
 behavior — invalidate every cache and re-derive from scratch — and exists
 as the baseline for ``benchmarks/bench_streaming_ingest.py``.
 
+Batch (set-at-a-time) ingest
+----------------------------
+:meth:`AccessMonitor.ingest_many` maintains the engine in ONE pass for
+the whole batch.  The ``batch`` constructor toggle selects the strategy:
+``True`` forces the batch-semijoin path (each template evaluated once
+against the whole appended set), ``False`` forces PR 1's per-row delta
+point queries, and ``None`` (default) lets the engine choose — semijoin
+for large batches, delta for small latency-sensitive appends.  Both
+strategies produce identical explained/unexplained sets.
+
 The monitor takes an injectable ``clock`` (no hidden ``datetime.now()``
 in the hot path) and exposes per-ingest query/latency counters via
 :meth:`AccessMonitor.stats`.
@@ -77,6 +87,7 @@ class AccessMonitor:
         alert_handlers: tuple[AlertHandler, ...] = (),
         clock: Callable[[], Any] | None = None,
         incremental: bool = True,
+        batch: bool | None = None,
     ) -> None:
         self.engine = engine
         self.alert_handlers = list(alert_handlers)
@@ -85,6 +96,10 @@ class AccessMonitor:
         #: False restores the seed's invalidate-everything maintenance
         #: (the streaming benchmark's baseline).
         self.incremental = incremental
+        #: ingest_many maintenance strategy: True = always batch semijoin,
+        #: False = always per-row delta point queries, None = auto (the
+        #: engine picks semijoin for large batches).
+        self.batch = batch
         log = engine.db.table(engine.log_table)
         lid_values = log.distinct_values(engine.log_id_attr)
         self._next_lid = self._initial_next_lid(lid_values)
@@ -168,13 +183,15 @@ class AccessMonitor:
         """Ingest a batch of ``(user, patient, date)`` accesses in order.
 
         The batch is applied atomically: all rows are appended (one table
-        maintenance pass), the engine runs one delta pass over the whole
-        batch, and only then is each access explained and alerted on — in
-        input order.  Results are identical to one-by-one :meth:`ingest`
-        whenever explanations are insensitive to rows arriving later in
-        the same batch, which holds for monotone timestamps (the streaming
-        case); with back-dated rows the batch may explain an access a
-        strict one-by-one replay would have alerted on.
+        maintenance pass), the engine runs one maintenance pass over the
+        whole batch — routed to the batch-semijoin or per-row delta
+        strategy per the ``batch`` toggle — and only then is each access
+        explained and alerted on, in input order.  Results are identical
+        to one-by-one :meth:`ingest` whenever explanations are insensitive
+        to rows arriving later in the same batch, which holds for monotone
+        timestamps (the streaming case); with back-dated rows the batch
+        may explain an access a strict one-by-one replay would have
+        alerted on.
         """
         if not self.incremental:
             # per-item ingests instrument themselves; roll last_ingest_*
@@ -202,7 +219,9 @@ class AccessMonitor:
                 }
                 for lid, stamp, user, patient in batch
             )
-            self.engine.notify_appended_many([lid for lid, _, _, _ in batch])
+            self.engine.notify_appended_many(
+                [lid for lid, _, _, _ in batch], use_semijoin=self.batch
+            )
             out = [self._finish(*entry) for entry in batch]
         return out
 

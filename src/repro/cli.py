@@ -166,9 +166,19 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
-    """``audit``: compliance summary plus the unexplained queue."""
+    """``audit``: compliance summary plus the unexplained queue.
+
+    ``--batch`` (default) evaluates every template once as a set-at-a-time
+    semijoin over the whole log (``ExplanationEngine.explain_all``);
+    ``--no-batch`` keeps the per-template point path.  Both produce
+    identical output — the toggle exists so either path is selectable and
+    testable end to end.  (Streamed batches have the equivalent switch on
+    ``AccessMonitor(batch=...)``.)
+    """
     db = load_database(args.db)
-    engine = ExplanationEngine(db, _templates_for(db, args.templates))
+    engine = ExplanationEngine(
+        db, _templates_for(db, args.templates), use_batch_path=args.batch
+    )
     auditor = ComplianceAuditor(engine)
     print(auditor.summary())
     queue = auditor.queue()
@@ -258,6 +268,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--db", required=True)
     p.add_argument("--limit", type=int, default=10)
     p.add_argument("--templates", help="reviewed SQL template library")
+    p.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="evaluate templates set-at-a-time via batch semijoins "
+        "(--no-batch keeps the per-template point path)",
+    )
     p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("evaluate", help="headline coverage measurement")

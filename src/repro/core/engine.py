@@ -13,6 +13,23 @@ hand-crafted (Section 5.3.1) or mined (Section 3) — the engine answers:
   application (Section 1: "reduce the set of accesses that must be
   examined to those that are unexplained").
 
+Three evaluation paths
+----------------------
+* **point** — :meth:`ExplanationEngine.explain` pins one log id into each
+  template's query; the executor answers via index probes.  Right for
+  rendering the explanation *instances* of a single access.
+* **delta-streaming** — :meth:`ExplanationEngine.notify_appended` patches
+  the cached explained/unexplained sets with one point query per
+  (template, log-ranging tuple variable) after an append.  Right for
+  small, latency-sensitive streams.
+* **batch-semijoin** — :meth:`ExplanationEngine.explain_batch` evaluates
+  each template ONCE as a semijoin against a whole set of pending
+  accesses (``L.Lid IN batch``) and partitions explained/unexplained in
+  one pass; :meth:`ExplanationEngine.explain_all` is the whole-log case
+  and backs the cold path of :meth:`all_explained_lids`.  Right for bulk
+  audits, mining support, and large streamed batches — O(templates)
+  queries total, independent of batch size.
+
 Incremental maintenance contract
 --------------------------------
 The engine caches, per template, the set of log ids the template explains,
@@ -35,6 +52,7 @@ log-id universe).  Two maintenance paths exist after the log grows:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from ..db.database import Database
@@ -42,6 +60,37 @@ from ..db.executor import Executor
 from ..db.query import AttrRef, Condition, ConjunctiveQuery, Literal
 from .instance import ExplanationInstance, rank_instances
 from .template import ExplanationTemplate, dedupe_templates
+
+#: Batches at least this large take the semijoin path when
+#: :meth:`ExplanationEngine.notify_appended_many` auto-selects a strategy.
+SEMIJOIN_BATCH_MIN = 8
+
+
+@dataclass(frozen=True)
+class BatchExplanation:
+    """The one-pass partition of a batch of accesses.
+
+    ``explained | unexplained`` is exactly the input batch; the two sets
+    are disjoint.
+    """
+
+    explained: frozenset
+    unexplained: frozenset
+
+    def __len__(self) -> int:
+        return len(self.explained) + len(self.unexplained)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the batch explained by at least one template."""
+        total = len(self)
+        if total == 0:
+            return 0.0
+        return len(self.explained) / total
+
+    def is_explained(self, lid: Any) -> bool:
+        """Whether one batched access found an explanation."""
+        return lid in self.explained
 
 
 class ExplanationEngine:
@@ -53,11 +102,17 @@ class ExplanationEngine:
         templates: Iterable[ExplanationTemplate] = (),
         log_table: str = "Log",
         log_id_attr: str = "Lid",
+        use_batch_path: bool = True,
     ) -> None:
         self.db = db
         self.log_table = log_table
         self.log_id_attr = log_id_attr
         self.executor = Executor(db)
+        #: When True (default), whole-log evaluation routes through the
+        #: set-at-a-time :meth:`explain_all` semijoin path; False keeps
+        #: the per-template point path (the CLI's ``--no-batch``, and the
+        #: reference side of the batch differential tests).
+        self.use_batch_path = use_batch_path
         self._templates: list[ExplanationTemplate] = []
         self._lid_cache: dict[tuple, set] = {}
         # Memoized derived state (template signatures are expensive to
@@ -116,12 +171,21 @@ class ExplanationEngine:
 
     def all_explained_lids(self) -> set:
         """Union of explained ids over every registered template (cached,
-        patched in place by :meth:`notify_appended`; treat as read-only)."""
+        patched in place by :meth:`notify_appended`; treat as read-only).
+
+        The cold path is the set-at-a-time :meth:`explain_all` when
+        ``use_batch_path`` is on (the default), else one full per-template
+        evaluation — both warm the same caches and agree exactly (pinned
+        by the batch differential suite).
+        """
         if self._all_explained is None:
-            out: set = set()
-            for template in self.templates:
-                out |= self.explained_lids(template)
-            self._all_explained = out
+            if self.use_batch_path:
+                self.explain_all()
+            else:
+                out: set = set()
+                for template in self.templates:
+                    out |= self.explained_lids(template)
+                self._all_explained = out
         return self._all_explained
 
     def all_lids(self) -> set:
@@ -176,6 +240,65 @@ class ExplanationEngine:
         return instances, not instances
 
     # ------------------------------------------------------------------
+    # set-at-a-time (batch semijoin) evaluation
+    # ------------------------------------------------------------------
+    def explain_batch(self, accesses: Iterable[Any]) -> BatchExplanation:
+        """Partition a set of accesses into explained/unexplained in one
+        pass, evaluating each template ONCE as a batch semijoin.
+
+        Instead of one point query per (access, template), the executor
+        restricts the template's log variable to the whole batch
+        (``L.Lid IN accesses``) and returns the explained subset in a
+        single pipeline run — O(templates) queries total, independent of
+        batch size.  A template whose explained-set cache is warm costs a
+        set intersection, no query at all, and templates stop being
+        consulted once every batched access is explained.
+
+        Results are identical to the per-access point path (same
+        explained sets, same NULL semantics — NULL ids never match and
+        land in ``unexplained``); ids absent from the log are simply
+        unexplained.  Caches are read, and warmed only when the batch
+        covers the whole log (then a template's semijoin result *is* its
+        full explained set).
+        """
+        batch = set(accesses)
+        if not batch:
+            return BatchExplanation(frozenset(), frozenset())
+        target = AttrRef("L", self.log_id_attr)
+        covers_all = batch >= self.all_lids()
+        explained: set = set()
+        for template in self.templates:
+            key = self._sig(template)
+            cached = self._lid_cache.get(key)
+            if cached is not None:
+                hits = batch & cached
+            else:
+                hits = self.executor.distinct_values_in(
+                    template.support_query(), target, target, batch
+                )
+                if covers_all:
+                    self._lid_cache[key] = set(hits)
+            explained |= hits
+            if len(explained) == len(batch):
+                break
+        return BatchExplanation(
+            frozenset(explained), frozenset(batch - explained)
+        )
+
+    def explain_all(self) -> BatchExplanation:
+        """The whole-log partition, one batch semijoin per template.
+
+        This is the set-at-a-time implementation behind
+        :meth:`all_explained_lids`, :meth:`unexplained_lids`, and
+        :meth:`coverage` — the aggregate caches are (re)materialized from
+        the returned partition.
+        """
+        result = self.explain_batch(self.all_lids())
+        self._all_explained = set(result.explained)
+        self._unexplained = set(result.unexplained)
+        return result
+
+    # ------------------------------------------------------------------
     # incremental maintenance
     # ------------------------------------------------------------------
     def notify_appended(self, lid: Any) -> set:
@@ -196,20 +319,38 @@ class ExplanationEngine:
         """
         return self.notify_appended_many([lid])
 
-    def notify_appended_many(self, lids: Sequence[Any]) -> set:
+    def notify_appended_many(
+        self, lids: Sequence[Any], use_semijoin: bool | None = None
+    ) -> set:
         """Delta-maintain every cache after a batch of log appends.
 
-        One maintenance pass for the whole batch: per (template, appended
-        row, log-ranging tuple variable) the executor answers one point
-        query — O(templates × len(lids)) total — and the aggregate views
-        are patched once at the end.  The appended rows must already be in
-        the log table.  Returns the union of newly explained log ids
-        (cold-cache caveat of :meth:`notify_appended` applies: templates
-        warmed by this call contribute their full explained set).
+        One maintenance pass for the whole batch, with two strategies:
+
+        * **point** (``use_semijoin=False``): per (template, appended row,
+          log-ranging tuple variable) the executor answers one point
+          query — O(templates × len(lids)) total;
+        * **semijoin** (``use_semijoin=True``): per (template, log-ranging
+          tuple variable) ONE batch semijoin restricts that variable to
+          the whole appended set — O(templates) queries, independent of
+          batch size.
+
+        ``use_semijoin=None`` (the default) picks semijoin for batches of
+        at least ``SEMIJOIN_BATCH_MIN`` ids.  Both strategies compute the
+        same delta (the semijoin is exactly the union of the point
+        queries; pinned by the property suite), including self-join
+        templates retroactively explaining *older* accesses.  The
+        appended rows must already be in the log table.  Returns the
+        union of newly explained log ids (cold-cache caveat of
+        :meth:`notify_appended` applies: templates warmed by this call
+        contribute their full explained set).
         """
         lids = list(lids)
+        if use_semijoin is None:
+            use_semijoin = len(lids) >= SEMIJOIN_BATCH_MIN
         if self._all_lids is not None:
             self._all_lids.update(lids)
+        batch = set(lids)
+        target = AttrRef("L", self.log_id_attr)
         newly: set = set()
         for template in self.templates:
             key = self._sig(template)
@@ -221,11 +362,21 @@ class ExplanationEngine:
                 newly |= self._lid_cache[key]
                 continue
             delta: set = set()
-            for lid in lids:
-                for restricted in self._point_queries(template, lid):
-                    delta |= self.executor.distinct_values(
-                        restricted, AttrRef("L", self.log_id_attr)
+            if use_semijoin:
+                query = template.support_query()
+                for var in query.tuple_vars:
+                    if var.table != self.log_table:
+                        continue
+                    delta |= self.executor.distinct_values_in(
+                        query,
+                        target,
+                        AttrRef(var.alias, self.log_id_attr),
+                        batch,
                     )
+            else:
+                for lid in lids:
+                    for restricted in self._point_queries(template, lid):
+                        delta |= self.executor.distinct_values(restricted, target)
             delta -= cached
             cached |= delta
             newly |= delta

@@ -168,25 +168,36 @@ class _MinerBase:
         self._seen.add(sig)
         return True
 
-    def _consider(self, path: Path, stats: RoundStats) -> Path | None:
-        """Support-test one candidate.
+    def _consider_many(self, paths: list[Path], stats: RoundStats) -> list[Path]:
+        """Support-test one round's candidates set-at-a-time.
 
-        Returns the path when it should join the next frontier (partial
-        paths only); records explanations internally.
+        Explanation candidates (never skipped) are support-counted through
+        one batched :meth:`SupportEvaluator.support_many` call — duplicates
+        by condition-set signature collapse in the support cache and every
+        query reuses the executor's memoized plan; partial paths keep the
+        per-path skip-non-selective logic (their optimizer estimates
+        differ path by path).  Returns the paths joining the next frontier
+        in input order; mined explanations are recorded internally.
+        Results are identical to considering each path on its own.
         """
-        stats.candidates += 1
-        if path.is_explanation:
-            support = self.evaluator.support(path)  # never skipped
+        explanations = [p for p in paths if p.is_explanation]
+        supports = self.evaluator.support_many(explanations)
+        for path, support in zip(explanations, supports):
+            stats.candidates += 1
             if support >= self.threshold:
                 stats.explanations += 1
                 template = ExplanationTemplate(path=path, log_id_attr=self.log_id_attr)
                 self._templates.append(MinedTemplate(template, support))
-            return None  # closed paths are never extended
-        support = self.evaluator.support_or_skip(path, self.threshold)
-        if support is None or support >= self.threshold:
-            stats.supported_paths += 1
-            return path
-        return None
+        kept: list[Path] = []
+        for path in paths:
+            if path.is_explanation:
+                continue  # closed paths are never extended
+            stats.candidates += 1
+            support = self.evaluator.support_or_skip(path, self.threshold)
+            if support is None or support >= self.threshold:
+                stats.supported_paths += 1
+                kept.append(path)
+        return kept
 
     def _result(self) -> MiningResult:
         templates = sorted(
@@ -208,32 +219,33 @@ class OneWayMiner(_MinerBase):
     algorithm = "one-way"
 
     def mine(self) -> MiningResult:
-        """Run the algorithm; returns the full MiningResult."""
-        frontier: list[Path] = []
+        """Run the algorithm; returns the full MiningResult.
+
+        Each round gathers its admissible, fresh candidates first and
+        support-tests them as one :meth:`_consider_many` batch.
+        """
         stats = self._round(1)
         started = time.perf_counter()
-        for edge in self.graph.start_edges():
-            seed = Path.forward_seed(self.graph, edge)
-            if not self._admissible(seed) or not self._fresh(seed):
-                continue
-            kept = self._consider(seed, stats)
-            if kept is not None:
-                frontier.append(kept)
+        seeds = [
+            seed
+            for edge in self.graph.start_edges()
+            for seed in [Path.forward_seed(self.graph, edge)]
+            if self._admissible(seed) and self._fresh(seed)
+        ]
+        frontier = self._consider_many(seeds, stats)
         stats.seconds += time.perf_counter() - started
 
         for length in range(2, self.config.max_length + 1):
             stats = self._round(length)
             started = time.perf_counter()
-            next_frontier: list[Path] = []
-            for path in frontier:
-                for edge in self.graph.edges_from_table(path.last_table()):
-                    candidate = path.extend_forward(edge)
-                    if not self._admissible(candidate) or not self._fresh(candidate):
-                        continue
-                    kept = self._consider(candidate, stats)
-                    if kept is not None:
-                        next_frontier.append(kept)
-            frontier = next_frontier
+            candidates = [
+                candidate
+                for path in frontier
+                for edge in self.graph.edges_from_table(path.last_table())
+                for candidate in [path.extend_forward(edge)]
+                if self._admissible(candidate) and self._fresh(candidate)
+            ]
+            frontier = self._consider_many(candidates, stats)
             stats.seconds += time.perf_counter() - started
         return self._result()
 
@@ -253,25 +265,27 @@ class TwoWayMiner(_MinerBase):
         self.backward_by_length: dict[int, list[Path]] = {}
 
     def run_to_length(self, max_length: int) -> None:
-        """Populate frontiers (and explanations) up to ``max_length``."""
+        """Populate frontiers (and explanations) up to ``max_length``.
+
+        Each direction's per-round candidates are support-tested as one
+        :meth:`_consider_many` batch.
+        """
         stats = self._round(1)
         started = time.perf_counter()
-        fwd: list[Path] = []
-        bwd: list[Path] = []
-        for edge in self.graph.start_edges():
-            seed = Path.forward_seed(self.graph, edge)
-            if not self._admissible(seed) or not self._fresh(seed):
-                continue
-            kept = self._consider(seed, stats)
-            if kept is not None:
-                fwd.append(kept)
-        for edge in self.graph.end_edges():
-            seed = Path.backward_seed(self.graph, edge)
-            if not self._admissible(seed) or not self._fresh(seed):
-                continue
-            kept = self._consider(seed, stats)
-            if kept is not None:
-                bwd.append(kept)
+        fwd_seeds = [
+            seed
+            for edge in self.graph.start_edges()
+            for seed in [Path.forward_seed(self.graph, edge)]
+            if self._admissible(seed) and self._fresh(seed)
+        ]
+        fwd = self._consider_many(fwd_seeds, stats)
+        bwd_seeds = [
+            seed
+            for edge in self.graph.end_edges()
+            for seed in [Path.backward_seed(self.graph, edge)]
+            if self._admissible(seed) and self._fresh(seed)
+        ]
+        bwd = self._consider_many(bwd_seeds, stats)
         self.forward_by_length[1] = fwd
         self.backward_by_length[1] = bwd
         stats.seconds += time.perf_counter() - started
@@ -279,24 +293,22 @@ class TwoWayMiner(_MinerBase):
         for length in range(2, max_length + 1):
             stats = self._round(length)
             started = time.perf_counter()
-            new_fwd: list[Path] = []
-            new_bwd: list[Path] = []
-            for path in self.forward_by_length[length - 1]:
-                for edge in self.graph.edges_from_table(path.last_table()):
-                    candidate = path.extend_forward(edge)
-                    if not self._admissible(candidate) or not self._fresh(candidate):
-                        continue
-                    kept = self._consider(candidate, stats)
-                    if kept is not None:
-                        new_fwd.append(kept)
-            for path in self.backward_by_length[length - 1]:
-                for edge in self.graph.edges_into_table(path.first_table()):
-                    candidate = path.extend_backward(edge)
-                    if not self._admissible(candidate) or not self._fresh(candidate):
-                        continue
-                    kept = self._consider(candidate, stats)
-                    if kept is not None:
-                        new_bwd.append(kept)
+            fwd_candidates = [
+                candidate
+                for path in self.forward_by_length[length - 1]
+                for edge in self.graph.edges_from_table(path.last_table())
+                for candidate in [path.extend_forward(edge)]
+                if self._admissible(candidate) and self._fresh(candidate)
+            ]
+            new_fwd = self._consider_many(fwd_candidates, stats)
+            bwd_candidates = [
+                candidate
+                for path in self.backward_by_length[length - 1]
+                for edge in self.graph.edges_into_table(path.first_table())
+                for candidate in [path.extend_backward(edge)]
+                if self._admissible(candidate) and self._fresh(candidate)
+            ]
+            new_bwd = self._consider_many(bwd_candidates, stats)
             self.forward_by_length[length] = new_fwd
             self.backward_by_length[length] = new_bwd
             stats.seconds += time.perf_counter() - started
@@ -353,13 +365,14 @@ class BridgedMiner(_MinerBase):
             stats = self._round(n)
             started = time.perf_counter()
             blen = n - ell + 1
+            candidates = []
             for fwd in fwd_by_len.get(ell, ()):
                 key = (blen, fwd.steps[-1].edge)
                 for bwd in bwd_by_first_edge.get(key, ()):
                     candidate = Path.bridge(fwd, bwd)
-                    if not self._admissible(candidate) or not self._fresh(candidate):
-                        continue
-                    self._consider(candidate, stats)
+                    if self._admissible(candidate) and self._fresh(candidate):
+                        candidates.append(candidate)
+            self._consider_many(candidates, stats)
             stats.seconds += time.perf_counter() - started
 
         # Phase 3: lengths >= 2l — all combinations of middle edges between
@@ -371,10 +384,12 @@ class BridgedMiner(_MinerBase):
             stats = self._round(n)
             started = time.perf_counter()
             middles = n - 2 * ell
+            candidates: list[Path] = []
             for fwd in fwd_by_len.get(ell, ()):
                 self._bridge_through_middles(
-                    fwd, middles, bwd_by_first_table, stats
+                    fwd, middles, bwd_by_first_table, candidates
                 )
+            self._consider_many(candidates, stats)
             stats.seconds += time.perf_counter() - started
         return self._result()
 
@@ -383,20 +398,22 @@ class BridgedMiner(_MinerBase):
         extended: Path,
         remaining: int,
         bwd_by_first_table: dict[str, list[Path]],
-        stats: RoundStats,
+        candidates: list[Path],
     ) -> None:
-        """DFS over middle-edge combinations, closing with backward paths."""
+        """DFS over middle-edge combinations, closing with backward paths.
+
+        Admissible, fresh closures are gathered into ``candidates`` for
+        one batched consideration per round."""
         if remaining == 0:
             for bwd in bwd_by_first_table.get(extended.last_table(), ()):
                 candidate = Path.bridge_with_middle(extended, (), bwd)
-                if not self._admissible(candidate) or not self._fresh(candidate):
-                    continue
-                self._consider(candidate, stats)
+                if self._admissible(candidate) and self._fresh(candidate):
+                    candidates.append(candidate)
             return
         for edge in self.graph.edges_from_table(extended.last_table()):
             longer = extended.extend_forward(edge)
             if not self._admissible(longer):
                 continue
             self._bridge_through_middles(
-                longer, remaining - 1, bwd_by_first_table, stats
+                longer, remaining - 1, bwd_by_first_table, candidates
             )

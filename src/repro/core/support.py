@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..db.database import Database
 from ..db.executor import Executor
@@ -104,6 +105,18 @@ class SupportEvaluator:
         """Exact support of a path (number of log entries it explains)."""
         query = path.to_query(log_id_attr=self.log_id_attr)
         return self.support_of_query(query, AttrRef("L", self.log_id_attr))
+
+    def support_many(self, paths: Sequence[Path]) -> list[int]:
+        """Exact support of a whole batch of paths, in input order.
+
+        The entry point the miners' per-round candidate batches go
+        through.  The batching win comes from the caches underneath:
+        paths sharing a canonical condition-set signature collapse onto
+        one evaluation in the support cache, and every distinct query
+        reuses the executor's memoized plan — a round's batch re-plans
+        nothing and never evaluates the same condition set twice.
+        """
+        return [self.support(path) for path in paths]
 
     def support_or_skip(self, path: Path, threshold: float) -> int | None:
         """Support with the skip-non-selective-paths optimization.

@@ -24,7 +24,15 @@ from .errors import (
     UnknownTableError,
 )
 from .executor import Executor, QueryResult, explain_query
-from .optimizer import CardinalityEstimator, extract_point_predicates
+from .optimizer import (
+    CardinalityEstimator,
+    PlanCache,
+    QueryPlan,
+    build_plan,
+    extract_point_predicates,
+    query_shape,
+    shared_plan_cache,
+)
 from .query import (
     AttrRef,
     Condition,
@@ -52,7 +60,9 @@ __all__ = [
     "ForeignKey",
     "IntegrityError",
     "Literal",
+    "PlanCache",
     "QueryError",
+    "QueryPlan",
     "QueryResult",
     "SchemaError",
     "Table",
@@ -60,10 +70,13 @@ __all__ = [
     "TupleVar",
     "UnknownColumnError",
     "UnknownTableError",
+    "build_plan",
     "canonical_query_signature",
     "explain_query",
     "extract_point_predicates",
     "load_database",
+    "query_shape",
+    "shared_plan_cache",
     "parse_query",
     "read_table_csv",
     "render_query",

@@ -26,13 +26,22 @@ mining and streaming performance:
    :meth:`Table.projection_index` instead of hashing the whole build side.
    Together these make a streamed access's explanation query touch
    O(matching rows) of the log, not O(log).
+4. **Set-at-a-time (batch semijoin) evaluation** — :meth:`Executor.
+   distinct_values_in` evaluates a query once against a whole *set* of
+   binding values (``alias.attr IN {…}``, resolved through the table's
+   batch probe APIs) instead of issuing one point query per value.  This
+   is the primitive behind ``ExplanationEngine.explain_batch``: one
+   semijoin per template replaces O(batch) point queries.
+5. **A memoized plan cache** — planning (needed-attribute projection,
+   pushdown split, greedy join order) is delegated to
+   :func:`repro.db.optimizer.build_plan` and memoized in a shared
+   :class:`repro.db.optimizer.PlanCache` keyed on *query shape*, so
+   repeated template evaluation (streamed point queries, batch semijoins,
+   mining support queries) never re-plans.
 
-The join order walks the query's join graph greedily from the smallest
-(post-pushdown) relation, which for chain-shaped explanation queries
-reproduces the natural left-to-right order.  Correctness of every
-pipeline configuration (with/without distinct reduction, with/without
-pushdown) is pinned to a brute-force reference evaluator by
-``tests/test_differential_executor.py``.
+Correctness of every pipeline configuration (with/without distinct
+reduction, with/without pushdown; point and batch paths) is pinned to a
+brute-force reference evaluator by ``tests/test_differential_executor.py``.
 """
 
 from __future__ import annotations
@@ -42,13 +51,11 @@ from typing import Any, Callable, Sequence
 
 from .database import Database
 from .errors import QueryError
-from .optimizer import extract_point_predicates
+from .optimizer import PlanCache, QueryPlan, build_plan, query_shape, shared_plan_cache
 from .query import (
     AttrRef,
     Condition,
     ConjunctiveQuery,
-    Literal,
-    TupleVar,
     cond_attr_refs,
 )
 from .table import Table
@@ -78,11 +85,12 @@ INDEX_JOIN_RATIO = 4
 class _BaseRelation:
     """One tuple variable's input to the join pipeline, materialized lazily.
 
-    When the variable carries point predicates they are resolved eagerly
-    through the table's hash index (small result).  Otherwise only the
-    *size* is computed up front (for join ordering) and rows are
-    materialized on demand — a join that takes the index-nested-loop path
-    never materializes the build side at all.
+    When the variable carries point predicates, or a batch-semijoin
+    ``IN``-restriction, they are resolved eagerly through the table's
+    (batch) index probes — small result.  Otherwise only the *size* is
+    computed up front (for join ordering) and rows are materialized on
+    demand — a join that takes the index-nested-loop path never
+    materializes the build side at all.
     """
 
     __slots__ = ("table", "attrs", "cols", "reduce", "pristine", "_rows", "size")
@@ -94,6 +102,7 @@ class _BaseRelation:
         attrs: list[str],
         point_conds: list[Condition] | None,
         reduce_rows: bool,
+        in_restrict: tuple[str, set] | None = None,
     ) -> None:
         self.table = table
         self.attrs = attrs
@@ -101,7 +110,7 @@ class _BaseRelation:
         self.reduce = reduce_rows
         #: True when rows are exactly the table's (distinct) projection —
         #: the precondition for probing the table's projection index.
-        self.pristine = not point_conds
+        self.pristine = not point_conds and in_restrict is None
         self._rows: list[tuple] | None = None
         if point_conds:
             first, rest = point_conds[0], point_conds[1:]
@@ -119,12 +128,46 @@ class _BaseRelation:
             rows = [tuple(r[i] for i in idxs) for r in source]
             if reduce_rows:
                 rows = list(dict.fromkeys(rows))
+            if in_restrict is not None:
+                pos = attrs.index(in_restrict[0])
+                rows = [r for r in rows if r[pos] in in_restrict[1]]
             self._rows = rows
             self.size = len(rows)
+        elif in_restrict is not None:
+            self._rows = self._restricted_rows(in_restrict)
+            self.size = len(self._rows)
         elif reduce_rows:
             self.size = len(table.project_distinct(attrs))
         else:
             self.size = len(table)
+
+    def _restricted_rows(self, in_restrict: tuple[str, set]) -> list[tuple]:
+        """Materialize ``attr IN values`` through the batch probe APIs.
+
+        Small binding sets probe the delta-maintained (projection) index
+        once per value; large ones scan and filter — the same adaptive
+        switch as the index-nested-loop join.  ``values`` never contains
+        NULL (stripped by the caller: NULL never joins).
+        """
+        attr, values = in_restrict
+        table, attrs = self.table, self.attrs
+        if self.reduce:
+            if len(values) * INDEX_JOIN_RATIO < max(1, len(table)):
+                probed = table.projection_probe_many(
+                    attrs, (attr,), [(v,) for v in values]
+                )
+                return [t for entries in probed.values() for t in entries]
+            pos = attrs.index(attr)
+            return [t for t in table.project_distinct(attrs) if t[pos] in values]
+        idxs = [table.schema.column_index(a) for a in attrs]
+        if len(values) * INDEX_JOIN_RATIO < max(1, len(table)):
+            return [
+                tuple(r[i] for i in idxs) for r in table.lookup_many(attr, values)
+            ]
+        col = table.schema.column_index(attr)
+        return [
+            tuple(r[i] for i in idxs) for r in table.rows() if r[col] in values
+        ]
 
     def rows(self) -> list[tuple]:
         if self._rows is None:
@@ -170,6 +213,7 @@ class Executor:
         allow_cartesian: bool = False,
         distinct_reduction: bool = True,
         predicate_pushdown: bool = True,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         self.db = db
         self.allow_cartesian = allow_cartesian
@@ -183,9 +227,14 @@ class Executor:
         #: use index-nested-loop joins).  False restores the seed's
         #: scan-everything pipeline — the streaming bench's baseline.
         self.predicate_pushdown = predicate_pushdown
+        #: Memoized query plans, shared process-wide by default so every
+        #: executor over the same template shapes reuses one plan; pass a
+        #: private PlanCache to isolate (tests, benchmarks).
+        self.plan_cache = plan_cache if plan_cache is not None else shared_plan_cache()
         #: Number of queries executed (exposed for the mining and streaming
         #: benchmarks, and by the streaming regression tests to assert the
-        #: delta path issues O(templates × accesses) point queries).
+        #: delta path issues O(templates × accesses) point queries).  A
+        #: batch semijoin counts as ONE query regardless of batch size.
         self.queries_executed = 0
 
     # ------------------------------------------------------------------
@@ -227,6 +276,36 @@ class Executor:
         pos = rel_cols.index(target)
         return {row[pos] for row in rel_rows}
 
+    def distinct_values_in(
+        self,
+        query: ConjunctiveQuery,
+        attr: AttrRef,
+        in_attr: AttrRef,
+        in_values: Sequence[Any],
+    ) -> set:
+        """Batch semijoin: distinct ``attr`` values of the query result with
+        ``in_attr`` restricted to ``in_values``.
+
+        Semantically identical to adding ``in_attr IN in_values`` to the
+        WHERE clause — i.e. to unioning one point query per value — but
+        evaluated as ONE pipeline run: the restricted tuple variable is
+        materialized through the table's batch probe APIs and drives the
+        join order.  NULLs in ``in_values`` never match (SQL semantics),
+        and rows whose ``in_attr`` is NULL are never selected.  This is
+        the executor-level primitive behind ``explain_batch``: one
+        semijoin per template replaces O(batch) per-access point queries.
+        """
+        self.queries_executed += 1
+        self._validate(query)
+        values = {v for v in in_values if v is not None}
+        if not values:
+            return set()
+        rel_cols, rel_rows = self._join_all(
+            query, needed_extra=(attr, in_attr), in_restrict=(in_attr, values)
+        )
+        pos = rel_cols.index(attr)
+        return {row[pos] for row in rel_rows}
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -242,45 +321,76 @@ class Executor:
                 if ref.alias == var.alias and not schema.has_column(ref.attr):
                     raise QueryError(f"no column {ref.attr!r} in {var.table!r}")
 
-    def _needed_attrs(
-        self, query: ConjunctiveQuery, extra: Sequence[AttrRef]
-    ) -> dict[str, list[str]]:
-        """attrs each alias must expose (conditions + projection + extras)."""
-        needed: dict[str, set[str]] = {v.alias: set() for v in query.tuple_vars}
-        for cond in query.conditions:
-            for ref in cond_attr_refs(cond):
-                needed[ref.alias].add(ref.attr)
-        for ref in list(query.projection) + list(extra):
-            needed[ref.alias].add(ref.attr)
-        return {alias: sorted(attrs) for alias, attrs in needed.items()}
+    def _plan_for(
+        self,
+        query: ConjunctiveQuery,
+        needed_extra: Sequence[AttrRef],
+        in_restrict: tuple[AttrRef, set] | None,
+    ) -> QueryPlan:
+        """The memoized plan for this query shape under this configuration.
+
+        The key carries the database's identity: plans are shared across
+        every executor over the *same* Database (engine, support
+        evaluator, monitor), but a shape first planned against another
+        database's table sizes is never reused — its join order would
+        reflect the wrong cardinalities.
+        """
+        key = (
+            id(self.db),
+            query_shape(query),
+            tuple((r.alias, r.attr) for r in needed_extra),
+            (in_restrict[0].alias, in_restrict[0].attr) if in_restrict else None,
+            self.distinct_reduction,
+            self.predicate_pushdown,
+            self.allow_cartesian,
+        )
+        plan = self.plan_cache.lookup(key)
+        if plan is None:
+            plan = build_plan(
+                self.db,
+                query,
+                tuple(needed_extra),
+                distinct_reduction=self.distinct_reduction,
+                predicate_pushdown=self.predicate_pushdown,
+                allow_cartesian=self.allow_cartesian,
+                in_alias=in_restrict[0].alias if in_restrict else None,
+            )
+            self.plan_cache.store(key, plan)
+        return plan
 
     def _join_all(
-        self, query: ConjunctiveQuery, needed_extra: Sequence[AttrRef] = ()
+        self,
+        query: ConjunctiveQuery,
+        needed_extra: Sequence[AttrRef] = (),
+        in_restrict: tuple[AttrRef, set] | None = None,
     ) -> tuple[list[AttrRef], list[tuple]]:
-        """Join every tuple variable; returns (columns, rows)."""
-        needed = self._needed_attrs(query, needed_extra)
+        """Join every tuple variable along the cached plan; returns
+        (columns, rows)."""
+        plan = self._plan_for(query, needed_extra, in_restrict)
+        conditions = query.conditions
         keep_always = {ref for ref in query.projection} | set(needed_extra)
-
-        # Point-predicate pushdown: literal equalities are consumed while
-        # building the base relations (hash-index probes); only the
-        # residual conditions enter the pipeline.
-        if self.predicate_pushdown:
-            pushable, pending = extract_point_predicates(query)
-        else:
-            pushable, pending = {}, list(query.conditions)
 
         # Base relations: projections of the needed attributes — distinct
         # when multiplicity reduction is enabled (paper Section 3.2.1).
+        # Point predicates (consumed by the plan's pushdown split) and the
+        # batch semijoin restriction resolve through index probes here.
         reduce_rows = self.distinct_reduction and query.distinct
+        in_alias = in_restrict[0].alias if in_restrict else None
         base: dict[str, _BaseRelation] = {}
         for var in query.tuple_vars:
             table = self.db.table(var.table)
-            attrs = needed[var.alias] or [table.schema.column_names[0]]
+            attrs = list(plan.needed[var.alias]) or [table.schema.column_names[0]]
+            point_conds = [
+                conditions[i] for i in plan.pushable_idx.get(var.alias, ())
+            ]
+            restrict = None
+            if var.alias == in_alias:
+                restrict = (in_restrict[0].attr, in_restrict[1])
             base[var.alias] = _BaseRelation(
-                table, var.alias, attrs, pushable.get(var.alias), reduce_rows
+                table, var.alias, attrs, point_conds or None, reduce_rows, restrict
             )
 
-        bound: set[str] = set()
+        pending = [conditions[i] for i in plan.residual_idx]
 
         def applicable(cols: list[AttrRef]) -> list[Condition]:
             """Pending conditions whose every attr ref is now bound."""
@@ -331,55 +441,26 @@ class Executor:
                 new_rows = list(projected)
             return new_cols, new_rows
 
-        # Pick the starting variable: smallest base relation (point
-        # predicates shrink their relation, so a ``L.Lid = ?`` restriction
-        # naturally drives the whole pipeline from that one row).
-        order = sorted(query.tuple_vars, key=lambda v: base[v.alias].size)
-        start = order[0]
+        # Walk the plan's join order (first step drives the pipeline: the
+        # planner ranks point-predicate and semijoin-restricted relations
+        # first, so a ``L.Lid = ?`` restriction or a batch binding set
+        # naturally drives the whole pipeline).
+        start = plan.steps[0]
         cols = list(base[start.alias].cols)
         rows = base[start.alias].rows()
-        bound.add(start.alias)
         rows = apply_filters(cols, rows)
         cols, rows = prune(cols, rows)
 
-        remaining = [v for v in query.tuple_vars if v.alias != start.alias]
-        while remaining:
-            # choose the next variable connected to the bound set by an
-            # equality condition, preferring the smallest base relation
-            candidates = []
-            for var in remaining:
-                join_conds = [
-                    c
-                    for c in pending
-                    if c.op == "="
-                    and isinstance(c.right, AttrRef)
-                    and (
-                        (c.left.alias == var.alias and c.right.alias in bound)
-                        or (c.right.alias == var.alias and c.left.alias in bound)
-                    )
-                ]
-                if join_conds:
-                    candidates.append((base[var.alias].size, var, join_conds))
-            if not candidates:
-                if not self.allow_cartesian:
-                    raise QueryError(
-                        "query join graph is disconnected (cartesian product "
-                        "required); pass allow_cartesian=True to permit it"
-                    )
-                var = remaining[0]
-                join_conds = []
-            else:
-                candidates.sort(key=lambda t: (t[0], t[1].alias))
-                _, var, join_conds = candidates[0]
-
-            vbase = base[var.alias]
+        for step in plan.steps[1:]:
+            join_conds = [conditions[i] for i in step.join_cond_idx]
+            vbase = base[step.alias]
             vcols = vbase.cols
             if join_conds:
                 # split each join condition into (bound side, new side)
                 probe_refs: list[AttrRef] = []
                 build_refs: list[AttrRef] = []
                 for cond in join_conds:
-                    if cond.left.alias == var.alias:
+                    if cond.left.alias == step.alias:
                         build_refs.append(cond.left)
                         probe_refs.append(cond.right)  # type: ignore[arg-type]
                     else:
@@ -422,8 +503,6 @@ class Executor:
                 joined = [row + vrow for row in rows for vrow in vbase.rows()]
 
             cols = cols + list(vcols)
-            bound.add(var.alias)
-            remaining = [v for v in remaining if v.alias != var.alias]
             joined = apply_filters(cols, joined)
             cols, rows = prune(cols, joined)
 

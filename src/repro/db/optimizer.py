@@ -21,17 +21,32 @@ An optional ``error_factor`` multiplies every estimate, used by the
 ablation benchmark to study the paper's claim that optimizer estimation
 error changes performance but never the mined output.
 
-Besides cardinalities, this module hosts the executor's one *plan
-rewrite*: :func:`extract_point_predicates` splits a query's WHERE clause
-into per-alias single-variable literal equalities (``L.Lid = 42``-style
-point predicates, which the executor pushes down to hash-index probes
-before the join pipeline) and the residual join/filter conditions.
+Besides cardinalities, this module hosts the executor's *query planner*:
+
+* :func:`extract_point_predicates` splits a query's WHERE clause into
+  per-alias single-variable literal equalities (``L.Lid = 42``-style
+  point predicates, which the executor pushes down to hash-index probes
+  before the join pipeline) and the residual join/filter conditions;
+* :func:`build_plan` turns a query into a :class:`QueryPlan` — the
+  needed-attribute projection per tuple variable, the pushdown split,
+  and the greedy join order — everything the executor previously
+  re-derived on every call;
+* :class:`PlanCache` memoizes those plans keyed on *query shape*
+  (:func:`query_shape`): literal values are abstracted away, so the
+  thousands of per-access point queries a streamed template generates,
+  and every repeated batch evaluation of a template, share one plan and
+  never re-plan.  Plans carry only names and condition indices (no row
+  positions, no schema offsets), so a cached plan stays valid as tables
+  grow — join order may become stale, which affects speed, never results.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from .database import Database
-from .query import AttrRef, Condition, ConjunctiveQuery, Literal
+from .errors import QueryError
+from .query import AttrRef, Condition, ConjunctiveQuery, Literal, cond_attr_refs
 
 #: Default selectivity charged to each inequality (decoration) condition.
 INEQUALITY_SELECTIVITY = 1.0 / 3.0
@@ -61,6 +76,243 @@ def extract_point_predicates(
         else:
             residual.append(cond)
     return pushable, residual
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One pipeline step: bind ``alias``, consuming the join conditions at
+    ``join_cond_idx`` (indices into the query's condition tuple).  The
+    starting relation and explicit cartesian steps carry no join
+    conditions."""
+
+    alias: str
+    join_cond_idx: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A data-independent execution recipe for one query shape.
+
+    Everything is expressed in names and condition *indices*, never in
+    concrete literal values or row counts, so one plan serves every query
+    with the same shape — each streamed access's point query, each batch
+    semijoin of the same template — and survives table growth.
+    """
+
+    #: alias -> attributes the pipeline must materialize for it (sorted;
+    #: empty means "any one column", resolved against the live schema).
+    needed: dict[str, tuple[str, ...]]
+    #: alias -> indices of its pushable point-predicate conditions.
+    pushable_idx: dict[str, tuple[int, ...]]
+    #: indices of the conditions entering the join/filter pipeline.
+    residual_idx: tuple[int, ...]
+    #: the join order (first step is the pipeline's driving relation).
+    steps: tuple[PlanStep, ...]
+
+
+def query_shape(query: ConjunctiveQuery) -> tuple:
+    """A hashable abstraction of a query with literal *values* erased.
+
+    Two queries share a shape when they have the same tuple variables,
+    conditions (up to literal values — only NULL-ness is kept, since it
+    decides pushability), projection, and DISTINCT flag.  This is the
+    plan-cache key: per-access point queries that differ only in the
+    pinned log id all map to one entry.
+    """
+    conds = []
+    for cond in query.conditions:
+        if isinstance(cond.right, AttrRef):
+            right = ("attr", cond.right.alias, cond.right.attr)
+        else:
+            right = ("lit", cond.right.value is None)
+        conds.append((cond.left.alias, cond.left.attr, cond.op, right))
+    return (
+        tuple((v.alias, v.table) for v in query.tuple_vars),
+        tuple(conds),
+        tuple((r.alias, r.attr) for r in query.projection),
+        query.distinct,
+    )
+
+
+class PlanCache:
+    """Memoized :class:`QueryPlan` objects keyed on query shape + config.
+
+    Shared by default across every :class:`~repro.db.executor.Executor`
+    (engine, support evaluator, monitor all reuse one cache), so repeated
+    template evaluation never re-plans.  Bounded FIFO eviction keeps the
+    cache from growing without limit under adversarial workloads.
+    """
+
+    def __init__(self, max_size: int = 1024) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        self.max_size = max_size
+        self._plans: dict[tuple, QueryPlan] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: tuple) -> QueryPlan | None:
+        """The cached plan for ``key``, counting the hit/miss."""
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return plan
+
+    def store(self, key: tuple, plan: QueryPlan) -> None:
+        """Memoize one plan, evicting the oldest entry when full."""
+        if key not in self._plans and len(self._plans) >= self.max_size:
+            self._plans.pop(next(iter(self._plans)))
+        self._plans[key] = plan
+
+    def clear(self) -> None:
+        """Drop every cached plan and zero the counters."""
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def stats(self) -> dict:
+        """Hit/miss counters (exposed by benchmarks and tests)."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PlanCache size={len(self)} hits={self.hits} misses={self.misses}>"
+
+
+#: The default cache every Executor shares (see :func:`shared_plan_cache`).
+_SHARED_PLAN_CACHE = PlanCache()
+
+
+def shared_plan_cache() -> PlanCache:
+    """The process-wide plan cache Executors use unless given their own."""
+    return _SHARED_PLAN_CACHE
+
+
+def build_plan(
+    db: Database,
+    query: ConjunctiveQuery,
+    needed_extra: tuple[AttrRef, ...] = (),
+    *,
+    distinct_reduction: bool = True,
+    predicate_pushdown: bool = True,
+    allow_cartesian: bool = False,
+    in_alias: str | None = None,
+) -> QueryPlan:
+    """Plan one query: needed attributes, pushdown split, join order.
+
+    ``in_alias`` marks the tuple variable a batch semijoin restricts; it
+    is ranked like a point-predicate relation (assumed small) so the
+    binding set drives the pipeline.  Table sizes are consulted only to
+    order joins — the resulting plan contains no data, so the caller may
+    cache and reuse it as tables grow.
+    """
+    conditions = query.conditions
+
+    needed: dict[str, set[str]] = {v.alias: set() for v in query.tuple_vars}
+    for cond in conditions:
+        for ref in cond_attr_refs(cond):
+            needed[ref.alias].add(ref.attr)
+    for ref in list(query.projection) + list(needed_extra):
+        if ref.alias not in needed:
+            raise QueryError(f"unknown alias in projection/extras: {ref}")
+        needed[ref.alias].add(ref.attr)
+    needed_attrs = {alias: tuple(sorted(attrs)) for alias, attrs in needed.items()}
+
+    pushable: dict[str, list[int]] = {}
+    residual: list[int] = []
+    for i, cond in enumerate(conditions):
+        if (
+            predicate_pushdown
+            and cond.op == "="
+            and isinstance(cond.right, Literal)
+            and cond.right.value is not None
+        ):
+            pushable.setdefault(cond.left.alias, []).append(i)
+        else:
+            residual.append(i)
+
+    # Ranks for the greedy order: point-predicate and semijoin-restricted
+    # relations are assumed tiny; everything else ranks by its (distinct)
+    # size at plan time.
+    reduce_rows = distinct_reduction and query.distinct
+
+    def rank(alias: str, table_name: str) -> tuple:
+        if alias in pushable:
+            return (0, 0)
+        if alias == in_alias:
+            return (0, 1)
+        table = db.table(table_name)
+        attrs = needed_attrs[alias] or (table.schema.column_names[0],)
+        size = len(table.project_distinct(attrs)) if reduce_rows else len(table)
+        return (1, size)
+
+    tuple_vars = list(query.tuple_vars)
+    ranks = {v.alias: rank(v.alias, v.table) for v in tuple_vars}
+    start_i = min(range(len(tuple_vars)), key=lambda i: (ranks[tuple_vars[i].alias], i))
+    start = tuple_vars[start_i]
+
+    bound = {start.alias}
+    pending = list(residual)
+    steps = [PlanStep(start.alias, ())]
+
+    def drop_bound_filters() -> None:
+        """Simulate the executor applying every fully bound condition."""
+        pending[:] = [
+            i
+            for i in pending
+            if not all(ref.alias in bound for ref in cond_attr_refs(conditions[i]))
+        ]
+
+    drop_bound_filters()
+    remaining = [v for v in tuple_vars if v.alias != start.alias]
+    while remaining:
+        candidates = []
+        for var in remaining:
+            join_idx = [
+                i
+                for i in pending
+                if conditions[i].op == "="
+                and isinstance(conditions[i].right, AttrRef)
+                and (
+                    (
+                        conditions[i].left.alias == var.alias
+                        and conditions[i].right.alias in bound
+                    )
+                    or (
+                        conditions[i].right.alias == var.alias
+                        and conditions[i].left.alias in bound
+                    )
+                )
+            ]
+            if join_idx:
+                candidates.append((ranks[var.alias], var.alias, var, join_idx))
+        if not candidates:
+            if not allow_cartesian:
+                raise QueryError(
+                    "query join graph is disconnected (cartesian product "
+                    "required); pass allow_cartesian=True to permit it"
+                )
+            var, join_idx = remaining[0], []
+        else:
+            candidates.sort(key=lambda t: (t[0], t[1]))
+            _, _, var, join_idx = candidates[0]
+        steps.append(PlanStep(var.alias, tuple(join_idx)))
+        bound.add(var.alias)
+        remaining = [v for v in remaining if v.alias != var.alias]
+        for i in join_idx:
+            pending.remove(i)
+        drop_bound_filters()
+
+    return QueryPlan(
+        needed=needed_attrs,
+        pushable_idx={alias: tuple(idx) for alias, idx in pushable.items()},
+        residual_idx=tuple(residual),
+        steps=tuple(steps),
+    )
 
 
 class CardinalityEstimator:

@@ -1,8 +1,12 @@
 """Row storage with delta-maintained hash indexes and distinct projections.
 
-A :class:`Table` stores rows as plain tuples in insertion order.  Three
+A :class:`Table` stores rows as plain tuples in insertion order.  Four
 access structures matter for the auditing workload:
 
+* **column arrays** (``column -> [values in row order]``), a columnar
+  mirror of the row store built lazily per column; bulk projections and
+  index builds read a few flat lists instead of touching every row tuple,
+  which is what the set-at-a-time (batch semijoin) evaluation path wants;
 * **hash indexes** (``value -> [row positions]``) on single columns, built
   lazily the first time a column is used as a join key or point-predicate
   probe;
@@ -15,6 +19,11 @@ access structures matter for the auditing workload:
   tuples]``), hash indexes *over* a distinct projection, which let the
   executor run index-nested-loop joins when the probe side is tiny (the
   streaming per-access point queries).
+
+Hash and projection indexes also expose **batch probe APIs**
+(:meth:`probe_many`, :meth:`lookup_many`, :meth:`projection_probe_many`)
+so the executor can resolve a whole set of binding values in one call —
+the storage-level primitive behind batch semijoin evaluation.
 
 Delta maintenance contract
 --------------------------
@@ -43,6 +52,8 @@ class Table:
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
         self._rows: list[tuple] = []
+        #: column -> [values in row order] (the columnar mirror)
+        self._column_store: dict[str, list[Any]] = {}
         self._indexes: dict[str, dict[Any, list[int]]] = {}
         self._distinct_cache: dict[tuple[str, ...], set[tuple]] = {}
         self._ndv_cache: dict[str, int] = {}
@@ -129,6 +140,8 @@ class Table:
     def _apply_insert(self, pos: int, tup: tuple) -> None:
         """Patch every cached structure with one appended row (delta insert)."""
         col_idx = self.schema.column_index
+        for column, values in self._column_store.items():
+            values.append(tup[col_idx(column)])
         for column, mapping in self._indexes.items():
             mapping.setdefault(tup[col_idx(column)], []).append(pos)
         # Distinct projections first, recording which projected tuples are
@@ -166,6 +179,7 @@ class Table:
             index.setdefault(key, []).append(proj)
 
     def _invalidate(self) -> None:
+        self._column_store.clear()
         self._indexes.clear()
         self._distinct_cache.clear()
         self._ndv_cache.clear()
@@ -188,10 +202,21 @@ class Table:
         """The row tuple at a storage position."""
         return self._rows[position]
 
+    def column_array(self, column: str) -> list[Any]:
+        """One column's values in row order (the live columnar array).
+
+        Built lazily on first access, then delta-maintained: every
+        :meth:`insert` appends the new value in place.  Treat as
+        read-only — it is the cached columnar mirror of the row store.
+        """
+        if column not in self._column_store:
+            idx = self.schema.column_index(column)
+            self._column_store[column] = [r[idx] for r in self._rows]
+        return self._column_store[column]
+
     def column_values(self, column: str) -> list[Any]:
-        """All values of one column, in row order."""
-        idx = self.schema.column_index(column)
-        return [r[idx] for r in self._rows]
+        """All values of one column, in row order (a fresh copy)."""
+        return list(self.column_array(column))
 
     def distinct_values(self, column: str) -> set:
         """Distinct values of one column (NULLs excluded)."""
@@ -206,10 +231,9 @@ class Table:
     def index_for(self, column: str) -> dict[Any, list[int]]:
         """Hash index ``value -> [row positions]``, built lazily and cached."""
         if column not in self._indexes:
-            idx = self.schema.column_index(column)
             mapping: dict[Any, list[int]] = {}
-            for pos, row in enumerate(self._rows):
-                mapping.setdefault(row[idx], []).append(pos)
+            for pos, value in enumerate(self.column_array(column)):
+                mapping.setdefault(value, []).append(pos)
             self._indexes[column] = mapping
         return self._indexes[column]
 
@@ -223,10 +247,8 @@ class Table:
         """
         key = tuple(columns)
         if key not in self._distinct_cache:
-            idxs = [self.schema.column_index(c) for c in columns]
-            self._distinct_cache[key] = {
-                tuple(row[i] for i in idxs) for row in self._rows
-            }
+            arrays = [self.column_array(c) for c in key]
+            self._distinct_cache[key] = set(zip(*arrays)) if arrays else set()
         return self._distinct_cache[key]
 
     def projection_index(
@@ -257,6 +279,61 @@ class Table:
     def lookup(self, column: str, value: Any) -> list[tuple]:
         """Rows where ``column == value`` (via the hash index)."""
         return [self._rows[p] for p in self.index_for(column).get(value, ())]
+
+    # ------------------------------------------------------------------
+    # batch probes (the storage primitive behind semijoin evaluation)
+    # ------------------------------------------------------------------
+    def probe_many(self, column: str, values: Iterable[Any]) -> dict[Any, list[int]]:
+        """Batch hash-index probe: ``value -> [row positions]`` for every
+        probe value that matches at least one row.
+
+        NULL probe values are skipped (SQL semantics: NULL never joins).
+        One index resolution for the whole batch, so a set-at-a-time
+        semijoin pays O(|values|) dictionary hits instead of |values|
+        full probe calls.
+        """
+        index = self.index_for(column)
+        out: dict[Any, list[int]] = {}
+        for value in values:
+            if value is None:
+                continue
+            positions = index.get(value)
+            if positions:
+                out[value] = positions
+        return out
+
+    def lookup_many(self, column: str, values: Iterable[Any]) -> list[tuple]:
+        """Rows where ``column`` matches any probe value (full multiplicity,
+        grouped by probe value; NULLs never match)."""
+        rows = self._rows
+        return [
+            rows[p]
+            for positions in self.probe_many(column, values).values()
+            for p in positions
+        ]
+
+    def projection_probe_many(
+        self,
+        attrs: Sequence[str],
+        key_attrs: Sequence[str],
+        keys: Iterable[tuple],
+    ) -> dict[tuple, list[tuple]]:
+        """Batch probe of :meth:`projection_index`: ``key tuple -> [distinct
+        projected tuples]`` for every probe key with at least one match.
+
+        Keys containing NULL are skipped (NULL never joins).  This is the
+        probe the executor uses when a batch semijoin's binding set is
+        small relative to the table.
+        """
+        index = self.projection_index(attrs, key_attrs)
+        out: dict[tuple, list[tuple]] = {}
+        for key in keys:
+            if any(k is None for k in key):
+                continue
+            entries = index.get(key)
+            if entries:
+                out[key] = entries
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Table {self.schema.name} rows={len(self._rows)}>"

@@ -19,7 +19,6 @@ from repro.audit import (
 )
 from repro.core import ExplanationEngine
 from repro.ehr import SimulationConfig, build_careweb_graph, simulate
-from repro.evalx import restrict_log
 from repro.groups import build_groups_table, hierarchy_from_log
 
 

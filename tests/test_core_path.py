@@ -4,7 +4,6 @@ These encode the paper's restricted-simple-path rules (Section 3.2) on the
 Figure 3 schema and the hospital fixture with Groups/Log self-joins.
 """
 
-import pytest
 
 from repro.core import EdgeKind, Path, SchemaAttr, SchemaEdge
 from repro.db import AttrRef

@@ -13,7 +13,6 @@ from repro.db import (
     Condition,
     ConjunctiveQuery,
     Database,
-    Executor,
     ForeignKey,
     Literal,
     SchemaError,

@@ -123,3 +123,66 @@ class TestDistinctProjection:
         table.clear()
         assert len(table) == 0
         assert table.project_distinct(("Patient",)) == set()
+
+
+class TestColumnarStore:
+    def test_column_array_live_and_cached(self, table):
+        arr = table.column_array("Patient")
+        assert arr == ["Alice", "Bob", "Alice", "Carol"]
+        assert table.column_array("Patient") is arr
+
+    def test_column_array_delta_maintained(self, table):
+        arr = table.column_array("Doctor")
+        table.insert(("Dan", "Mike", 9))
+        assert arr[-1] == "Mike"
+        assert arr == [r[1] for r in table.rows()]
+
+    def test_column_values_returns_copy(self, table):
+        values = table.column_values("Patient")
+        values.append("mutated")
+        assert table.column_values("Patient") == [
+            "Alice", "Bob", "Alice", "Carol"
+        ]
+
+    def test_cleared_on_destructive_ops(self, table):
+        table.column_array("Patient")
+        table.clear()
+        assert table._column_store == {}
+        assert table.column_array("Patient") == []
+
+
+class TestBatchProbes:
+    def test_probe_many_groups_positions(self, table):
+        out = table.probe_many("Doctor", ["Dave", "Mike", "Nobody"])
+        assert out == {"Dave": [0, 2, 3], "Mike": [1]}
+
+    def test_probe_many_skips_null(self, table):
+        table.insert((None, "Dave", 4))
+        assert None not in table.probe_many("Patient", [None, "Bob"])
+        assert table.probe_many("Patient", [None]) == {}
+
+    def test_lookup_many_full_multiplicity(self, table):
+        rows = table.lookup_many("Patient", ["Alice", "Carol"])
+        assert sorted(rows) == sorted(
+            [("Alice", "Dave", 1), ("Alice", "Dave", 3), ("Carol", "Dave", 1)]
+        )
+        assert table.lookup_many("Patient", []) == []
+
+    def test_probe_many_delta_maintained(self, table):
+        table.probe_many("Doctor", ["Dave"])  # warm the index
+        table.insert(("Zoe", "Dave", 5))
+        assert table.probe_many("Doctor", ["Dave"])["Dave"] == [0, 2, 3, 4]
+
+    def test_projection_probe_many(self, table):
+        out = table.projection_probe_many(
+            ("Patient", "Doctor"), ("Doctor",), [("Dave",), ("Nobody",)]
+        )
+        assert set(out) == {("Dave",)}
+        assert sorted(out[("Dave",)]) == [("Alice", "Dave"), ("Carol", "Dave")]
+
+    def test_projection_probe_many_skips_null_keys(self, table):
+        table.insert((None, None, 4))
+        out = table.projection_probe_many(
+            ("Patient", "Doctor"), ("Doctor",), [(None,), ("Mike",)]
+        )
+        assert set(out) == {("Mike",)}

@@ -7,6 +7,13 @@ pushdown, no join ordering.  Every executor configuration (with and
 without ``distinct_reduction``, with and without ``predicate_pushdown``)
 must produce the same multiset of projected rows on several hundred
 seeded random conjunctive queries, including NULL join/comparison cases.
+
+The batch-vs-point suite extends the same treatment to the set-at-a-time
+path: ``Executor.distinct_values_in`` (one batch semijoin) must equal
+both the brute-force reference restricted by membership and the union of
+one point query per binding value, across every executor configuration —
+including NULL join keys, NULLs inside the binding set, empty batches,
+and single-row batches.
 """
 
 from __future__ import annotations
@@ -275,6 +282,151 @@ def test_point_predicate_agrees_with_filter_path(null_db, pushdown):
     executor = Executor(null_db, predicate_pushdown=pushdown)
     query = _join_query(extra=(Condition(AttrRef("B", "k"), "=", Literal(2)),))
     assert set(executor.execute(query).rows) == {(None, 300), (40, 300)}
+
+
+# ----------------------------------------------------------------------
+# batch semijoin (distinct_values_in) vs reference and per-point union
+# ----------------------------------------------------------------------
+def reference_distinct_in(db, query, attr, in_attr, values) -> set:
+    """Brute-force ``SELECT DISTINCT attr ... AND in_attr IN values``.
+
+    SQL membership semantics: NULL binding values never match, rows whose
+    ``in_attr`` is NULL are never selected.
+    """
+    probe = ConjunctiveQuery.build(
+        query.tuple_vars, query.conditions, (attr, in_attr), distinct=False
+    )
+    wanted = {v for v in values if v is not None}
+    return {
+        a
+        for a, b in reference_evaluate(db, probe)
+        if b is not None and b in wanted
+    }
+
+
+def point_union_distinct(executor, query, attr, in_attr, values) -> set:
+    """The per-access path: one point query per binding value, unioned."""
+    out: set = set()
+    for value in values:
+        pinned = ConjunctiveQuery.build(
+            query.tuple_vars,
+            query.conditions + (Condition(in_attr, "=", Literal(value)),),
+            query.projection,
+            query.distinct,
+        )
+        out |= executor.distinct_values(pinned, attr)
+    return out
+
+
+def assert_batch_matches_point(db, query, attr, in_attr, values, **kw):
+    expected = reference_distinct_in(db, query, attr, in_attr, values)
+    for distinct_reduction, pushdown in CONFIGS:
+        executor = Executor(
+            db,
+            distinct_reduction=distinct_reduction,
+            predicate_pushdown=pushdown,
+            **kw,
+        )
+        batch = executor.distinct_values_in(query, attr, in_attr, values)
+        assert batch == expected, (
+            f"batch != reference (distinct_reduction={distinct_reduction}, "
+            f"pushdown={pushdown}, in={sorted(values, key=repr)}) for:\n{query}"
+        )
+        union = point_union_distinct(executor, query, attr, in_attr, values)
+        assert batch == union, (
+            f"batch != point union (distinct_reduction={distinct_reduction}, "
+            f"pushdown={pushdown}) for:\n{query}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_batch_semijoin_matches_point_queries(seed):
+    """Seeded random templates + binding sets, all four configs."""
+    rng = random.Random(7000 + seed)
+    db = random_database(rng)
+    for _ in range(8):
+        query = random_query(rng, db)
+        attr = query.projection[0]
+        in_attr = random_attr(rng, list(query.tuple_vars), db)
+        n = rng.randrange(0, 6)
+        values = {rng.choice(VALUE_DOMAIN + [7]) for _ in range(n)}
+        assert_batch_matches_point(db, query, attr, in_attr, values)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_batch_semijoin_on_projected_attr(seed):
+    """The explain_batch shape: restrict the projected attribute itself."""
+    rng = random.Random(8000 + seed)
+    db = random_database(rng)
+    for _ in range(6):
+        query = random_query(rng, db)
+        attr = query.projection[0]
+        values = {rng.choice(VALUE_DOMAIN) for _ in range(rng.randrange(1, 5))}
+        for distinct_reduction, pushdown in CONFIGS:
+            executor = Executor(
+                db,
+                distinct_reduction=distinct_reduction,
+                predicate_pushdown=pushdown,
+            )
+            batch = executor.distinct_values_in(query, attr, attr, values)
+            full = executor.distinct_values(query, attr)
+            assert batch == full & {v for v in values if v is not None}
+
+
+@pytest.mark.parametrize("distinct_reduction,pushdown", CONFIGS)
+def test_batch_semijoin_null_join_keys(null_db, distinct_reduction, pushdown):
+    """NULL join keys and NULL binding values never match."""
+    executor = Executor(
+        null_db, distinct_reduction=distinct_reduction, predicate_pushdown=pushdown
+    )
+    query = _join_query()
+    got = executor.distinct_values_in(
+        query, AttrRef("A", "x"), AttrRef("B", "k"), {2, None}
+    )
+    # only B.k = 2 can bind: A rows (2, None) and (2, 40)
+    assert got == {None, 40}
+    assert got == reference_distinct_in(
+        null_db, query, AttrRef("A", "x"), AttrRef("B", "k"), {2, None}
+    )
+
+
+@pytest.mark.parametrize("distinct_reduction,pushdown", CONFIGS)
+def test_batch_semijoin_edge_batches(null_db, distinct_reduction, pushdown):
+    """Empty and single-value batches (the degenerate point-query case)."""
+    executor = Executor(
+        null_db, distinct_reduction=distinct_reduction, predicate_pushdown=pushdown
+    )
+    query = _join_query()
+    attr, in_attr = AttrRef("A", "x"), AttrRef("A", "k")
+    assert executor.distinct_values_in(query, attr, in_attr, set()) == set()
+    assert executor.distinct_values_in(query, attr, in_attr, {None}) == set()
+    single = executor.distinct_values_in(query, attr, in_attr, {1})
+    assert single == point_union_distinct(executor, query, attr, in_attr, {1})
+    assert single == {10}
+
+
+@pytest.mark.parametrize("distinct_reduction,pushdown", CONFIGS)
+def test_batch_semijoin_composes_with_point_pushdown(
+    null_db, distinct_reduction, pushdown
+):
+    """An IN-restriction on an alias that also carries a point predicate."""
+    executor = Executor(
+        null_db, distinct_reduction=distinct_reduction, predicate_pushdown=pushdown
+    )
+    query = _join_query(extra=(Condition(AttrRef("A", "k"), "=", Literal(2)),))
+    got = executor.distinct_values_in(
+        query, AttrRef("A", "x"), AttrRef("A", "x"), {40, 10}
+    )
+    assert got == {40}
+
+
+def test_batch_semijoin_counts_as_one_query(null_db):
+    executor = Executor(null_db)
+    before = executor.queries_executed
+    executor.distinct_values_in(
+        _join_query(), AttrRef("A", "x"), AttrRef("A", "k"), {1, 2, 3, 4}
+    )
+    assert executor.queries_executed == before + 1
 
 
 def test_non_distinct_preserves_multiplicity(null_db):

@@ -17,13 +17,11 @@ from repro.core import (
 from repro.db import (
     ColumnType,
     Database,
-    Executor,
     SchemaError,
-    Table,
     TableSchema,
     read_table_csv,
 )
-from repro.ehr import SimulationConfig, build_careweb_graph, simulate
+from repro.ehr import SimulationConfig, simulate
 from repro.evalx import (
     first_access_lids,
     lids_on_days,

@@ -1,8 +1,6 @@
 """Tests for the synthetic CareWeb substrate: topology, simulation,
 schema/graph wiring, and fake-log generation."""
 
-import datetime as dt
-
 import pytest
 
 from repro.db import Executor
@@ -10,7 +8,6 @@ from repro.ehr import (
     DATASET_A,
     DATASET_B,
     EPOCH,
-    FAKE_LID_BASE,
     PATIENT_COLUMNS,
     Role,
     SimulationConfig,
@@ -18,7 +15,6 @@ from repro.ehr import (
     build_careweb_graph,
     build_empty_careweb_db,
     build_hospital,
-    careweb_schemas,
     combined_log_db,
     generate_fake_accesses,
     is_fake_lid,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.db import ColumnType, Database, TableSchema
 from repro.groups import (
-    GroupHierarchy,
     access_matrix_from_log,
     build_access_matrix,
     build_groups_table,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import (
-    LibraryEntry,
     MiningConfig,
     OneWayMiner,
     ReviewStatus,

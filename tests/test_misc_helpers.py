@@ -4,12 +4,9 @@ import pytest
 
 from repro.db import (
     AttrRef,
-    ColumnType,
     Condition,
     ConjunctiveQuery,
-    Database,
     QueryError,
-    TableSchema,
     TupleVar,
 )
 from repro.db.executor import explain_query

@@ -4,7 +4,6 @@ import pytest
 
 from repro.db import (
     AttrRef,
-    Condition,
     Executor,
     Literal,
     QueryError,

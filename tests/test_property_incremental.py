@@ -34,7 +34,7 @@ PROJ_INDEXES = [(("a", "b"), ("a",)), (("a", "b", "c"), ("b", "c")), (("b", "c")
 
 def _random_read(rng: random.Random, table: Table) -> None:
     """Build/refresh one randomly chosen cached structure."""
-    roll = rng.randrange(5)
+    roll = rng.randrange(7)
     if roll == 0:
         table.index_for(rng.choice(COLS))
     elif roll == 1:
@@ -44,6 +44,10 @@ def _random_read(rng: random.Random, table: Table) -> None:
     elif roll == 3:
         attrs, keys = rng.choice(PROJ_INDEXES)
         table.projection_index(attrs, keys)
+    elif roll == 4:
+        table.column_array(rng.choice(COLS))
+    elif roll == 5:
+        table.probe_many(rng.choice(COLS), [rng.randrange(4), None])
     else:
         table.lookup(rng.choice(COLS), rng.randrange(4))
 
@@ -66,6 +70,8 @@ def assert_structures_fresh(live: Table) -> None:
     """Every cached structure equals its from-scratch counterpart."""
     fresh = Table(_schema())
     fresh.insert_many(live.rows())
+    for column, values in live._column_store.items():
+        assert values == fresh.column_array(column), f"column[{column}] diverged"
     for column, mapping in live._indexes.items():
         assert mapping == fresh.index_for(column), f"index[{column}] diverged"
     for key, cache in live._distinct_cache.items():
@@ -111,8 +117,10 @@ def test_table_clear_drops_all_structures():
     table.project_distinct(("a", "b"))
     table.ndv("c")
     table.projection_index(("a", "b"), ("a",))
+    table.column_array("b")
     table.clear()
     assert len(table) == 0
+    assert table._column_store == {}
     assert table._indexes == {}
     assert table._distinct_cache == {}
     assert table._ndv_cache == {}
