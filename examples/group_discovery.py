@@ -11,14 +11,15 @@ Run:  python examples/group_discovery.py
 
 from collections import Counter
 
-from repro.ehr import SimulationConfig, simulate
-from repro.evalx import lids_on_days, restrict_log
-from repro.groups import (
+from repro.api import (
     access_matrix_from_log,
     build_hierarchy,
+    lids_on_days,
     modularity,
+    restrict_log,
     similarity_graph,
 )
+from repro.ehr import SimulationConfig, simulate
 
 
 def main() -> None:

@@ -4,20 +4,14 @@ The paper's secondary application (Section 1): hospitals cannot manually
 review millions of weekly accesses, but explanations "reduce the set of
 accesses that must be examined to those that are unexplained."  This
 example simulates a week with scripted snooping incidents, explains what
-it can, and checks the review queue against the hidden ground truth.
+it can through the :class:`repro.api.AuditService` facade, and checks the
+review queue against the hidden ground truth.
 
 Run:  python examples/misuse_detection.py
 """
 
-from repro import ExplanationEngine
-from repro.audit import (
-    ComplianceAuditor,
-    all_event_user_templates,
-    group_templates,
-    repeat_access_template,
-)
-from repro.ehr import SimulationConfig, build_careweb_graph, simulate
-from repro.groups import build_groups_table, hierarchy_from_log
+from repro.api import AuditConfig, AuditService, standard_templates
+from repro.ehr import SimulationConfig, simulate
 
 
 def main() -> None:
@@ -25,35 +19,31 @@ def main() -> None:
     db = sim.db
     print(sim.summary())
 
-    hierarchy, _ = hierarchy_from_log(db)
-    build_groups_table(db, hierarchy)
-    graph = build_careweb_graph(db)
+    service = AuditService.open(
+        db, templates=(), config=AuditConfig(eager_warm=False)
+    )
+    service.build_groups()
+    service.add_templates(standard_templates(db))
 
-    templates = all_event_user_templates(graph)
-    templates.append(repeat_access_template(graph))
-    templates.extend(group_templates(graph, depth=1))
-    engine = ExplanationEngine(db, templates)
-    auditor = ComplianceAuditor(engine)
-
-    print("\n" + auditor.summary())
-    total = len(engine.all_lids())
-    queue = auditor.queue()
+    report = service.report()
+    print("\n" + report.summary())
     print(
-        f"manual review workload reduced {total} -> {len(queue)} accesses "
-        f"({len(queue) / total:.1%} of the log)"
+        f"manual review workload reduced {report.total} -> "
+        f"{report.unexplained_count} accesses "
+        f"({report.unexplained_count / report.total:.1%} of the log)"
     )
 
     # ------------------------------------------------------------------
     # check the queue against the simulator's hidden ground truth
     # ------------------------------------------------------------------
     snoops = sim.lids_tagged("snoop")
-    queue_lids = {entry.lid for entry in queue}
+    queue_lids = {entry.lid for entry in report.queue}
     caught = snoops & queue_lids
     print(
         f"\nscripted snooping incidents: {len(snoops)}; "
         f"surfaced in the queue: {len(caught)}"
     )
-    for entry in queue:
+    for entry in report.queue:
         tag = sim.reasons.get(entry.lid, "?")
         marker = " <-- scripted snoop" if entry.lid in snoops else ""
         if entry.lid in snoops or tag == "noise":
@@ -63,7 +53,7 @@ def main() -> None:
             )
 
     print("\nusers ranked by unexplained accesses:")
-    for user, count in auditor.user_risk_ranking()[:5]:
+    for user, count in report.user_risk[:5]:
         print(f"  {user}: {count}")
 
 

@@ -3,21 +3,14 @@
 Simulates a CareWeb-like hospital week, infers collaborative groups from
 the access log (paper Section 4), and renders the access report the
 paper's introduction motivates: "if Alice clicks on a log record, she
-should be presented with a short snippet of text."
+should be presented with a short snippet of text" — all through the
+public :class:`repro.api.AuditService` facade.
 
 Run:  python examples/patient_portal.py
 """
 
-from repro import ExplanationEngine
-from repro.audit import (
-    PatientPortal,
-    all_event_user_templates,
-    group_templates,
-    repeat_access_template,
-    with_careweb_description,
-)
-from repro.ehr import SimulationConfig, build_careweb_graph, simulate
-from repro.groups import build_groups_table, hierarchy_from_log
+from repro.api import AuditConfig, AuditService, standard_templates
+from repro.ehr import SimulationConfig, simulate
 
 
 def main() -> None:
@@ -29,25 +22,23 @@ def main() -> None:
     print(sim.summary(), "\n")
 
     # ------------------------------------------------------------------
-    # 2. infer collaborative groups from the log and store them
+    # 2. open the audit service and infer collaborative groups
     # ------------------------------------------------------------------
-    hierarchy, access = hierarchy_from_log(db)
-    build_groups_table(db, hierarchy)
+    service = AuditService.open(
+        db, templates=(), config=AuditConfig(eager_warm=False)
+    )
+    groups = service.build_groups()
     print(
-        f"inferred {len(hierarchy.groups_at(1))} depth-1 collaborative "
-        f"groups from {access.shape[1]} users "
-        f"(density {access.density():.4f})\n"
+        f"inferred {groups.groups_per_depth[1]} depth-1 collaborative "
+        f"groups from {groups.users} users "
+        f"(density {groups.density:.4f})\n"
     )
 
     # ------------------------------------------------------------------
-    # 3. assemble the explanation templates the portal uses
+    # 3. register the standard template set (Appt/Visit/... w/user,
+    #    repeat access, care-team accesses) now that Groups exists
     # ------------------------------------------------------------------
-    graph = build_careweb_graph(db)
-    templates = all_event_user_templates(graph)       # Appt/Visit/... w/user
-    templates.append(repeat_access_template(graph))   # prior access
-    templates.extend(group_templates(graph, depth=1)) # care-team accesses
-    templates = [with_careweb_description(t) for t in templates]
-    engine = ExplanationEngine(db, templates)
+    service.add_templates(standard_templates(db))
 
     # ------------------------------------------------------------------
     # 4. the patient logs in and reads their report
@@ -59,10 +50,10 @@ def main() -> None:
         counts[row[3]] = counts.get(row[3], 0) + 1
     patient = max(counts, key=lambda p: counts[p])
 
-    portal = PatientPortal(engine)
-    print(portal.render(patient, limit=12))
+    print(service.render_patient_report(patient, limit=12))
 
-    suspicious = [e for e in portal.access_report(patient) if e.suspicious]
+    report = service.patient_report(patient)
+    suspicious = [e for e in report.entries if e.suspicious]
     print(
         f"\n{len(suspicious)} of {counts[patient]} accesses to {patient} "
         "could not be explained; the portal offers a one-click report to "

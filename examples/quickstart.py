@@ -2,22 +2,23 @@
 
 Builds the toy hospital database from the paper (Alice, Bob, Dr. Dave,
 Dr. Mike, Nurse Nick), declares the explanation graph, mines explanation
-templates, and explains each access in natural language.
+templates, and explains each access in natural language — all through
+the public :class:`repro.api.AuditService` facade.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
+from repro.api import (
+    AuditConfig,
+    AuditService,
+    ColumnType,
     Database,
-    ExplanationEngine,
     ExplanationTemplate,
-    MiningConfig,
-    OneWayMiner,
+    MineRequest,
     SchemaAttr,
     SchemaGraph,
     TableSchema,
 )
-from repro.db import ColumnType
 
 
 def build_database() -> Database:
@@ -78,13 +79,20 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 1. mine frequent explanation templates (Algorithm 1)
     # ------------------------------------------------------------------
-    config = MiningConfig(support_fraction=0.25, max_length=4, max_tables=3)
-    result = OneWayMiner(db, graph, config).mine()
+    miner_service = AuditService.open(
+        db, templates=(), config=AuditConfig(eager_warm=False)
+    )
+    result = miner_service.mine(
+        MineRequest(
+            algorithm="one-way", support_fraction=0.25, max_length=4, max_tables=3
+        ),
+        graph=graph,
+    )
     print(f"mined {len(result.templates)} templates "
           f"(threshold {result.threshold:.1f} of {len(db.table('Log'))} accesses)\n")
     for mined in result.templates:
         print(f"-- length {mined.length}, support {mined.support}")
-        print(mined.template.to_sql())
+        print(mined.sql)
         print()
 
     # ------------------------------------------------------------------
@@ -112,17 +120,17 @@ def main() -> None:
             )
         )
 
-    engine = ExplanationEngine(db, described)
-    for lid in sorted(db.table("Log").distinct_values("Lid")):
-        instances = engine.explain(lid)
-        print(f"access L{lid}:")
-        if not instances:
-            print("    NO explanation found -> report to compliance office")
-            continue
-        for inst in instances:
-            print(f"    [len {inst.path_length}] {inst.render()}")
-    print(f"\noverall coverage: {engine.coverage():.0%} "
-          f"(unexplained: {sorted(engine.unexplained_lids())})")
+    with AuditService.open(db, templates=described) as service:
+        for lid in sorted(db.table("Log").distinct_values("Lid")):
+            result = service.explain(lid)
+            print(f"access L{lid}:")
+            if not result.explained:
+                print("    NO explanation found -> report to compliance office")
+                continue
+            for view in result.explanations:
+                print(f"    [len {view.path_length}] {view.text}")
+        print(f"\noverall coverage: {service.coverage():.0%} "
+              f"(unexplained: {sorted(service.unexplained_lids())})")
 
 
 if __name__ == "__main__":

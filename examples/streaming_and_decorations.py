@@ -2,8 +2,9 @@
 
 Two capabilities beyond the paper's retrospective study:
 
-1. **Streaming auditing** — explain accesses the moment they happen and
-   alert on unexplainable ones (the deployment form of misuse detection).
+1. **Streaming auditing** — :meth:`repro.api.AuditService.ingest`
+   explains accesses the moment they happen and alerts on unexplainable
+   ones (the deployment form of misuse detection).
 2. **Decorated-template mining** — the paper's §5.3.4 future work: learn
    a ``Group_Depth = d`` restriction that recovers the precision the
    undecorated length-4 group templates lose in Figure 14.
@@ -13,16 +14,17 @@ Run:  python examples/streaming_and_decorations.py
 
 import datetime as dt
 
-from repro.audit import (
-    AccessMonitor,
+from repro.api import (
+    AuditService,
+    CareWebStudy,
+    DecorationMiner,
     all_event_user_templates,
     event_group_template,
+    group_depth_attr,
     group_templates,
     repeat_access_template,
 )
-from repro.core import DecorationMiner, ExplanationEngine, group_depth_attr
 from repro.ehr import EPOCH, SimulationConfig, build_careweb_graph
-from repro.evalx import CareWebStudy
 
 
 def main() -> None:
@@ -37,9 +39,8 @@ def main() -> None:
     templates = all_event_user_templates(graph)
     templates.append(repeat_access_template(graph))
     templates.extend(group_templates(graph, depth=1))
-    engine = ExplanationEngine(db, templates)
-    monitor = AccessMonitor(engine)
-    monitor.on_alert(
+    service = AuditService.open(db, templates=templates)
+    service.on_alert(
         lambda a: print(f"  !! ALERT {a.lid}: {a.user} -> {a.patient}")
     )
 
@@ -47,12 +48,13 @@ def main() -> None:
     appt = db.table("Appointments").rows()[0]
     patient, doctor = appt[0], appt[1]
     print("\nstreaming three accesses:")
-    ok = monitor.ingest(doctor, patient, tomorrow)
+    ok = service.ingest(doctor, patient, tomorrow)
     print(f"  {ok.lid}: {doctor} -> {patient}: {ok.headline()[:70]}")
-    snoop = monitor.ingest("u0000", "p99999x", tomorrow)  # unknown patient
-    again = monitor.ingest(doctor, patient, tomorrow + dt.timedelta(hours=2))
+    service.ingest("u0000", "p99999x", tomorrow)  # unknown patient -> alert
+    again = service.ingest(doctor, patient, tomorrow + dt.timedelta(hours=2))
     print(f"  {again.lid}: repeat explained: {not again.suspicious}")
-    print(f"alert rate: {monitor.alert_rate():.0%} of streamed accesses")
+    alert_rate = service.stats()["ingest"]["alert_rate"]
+    print(f"alert rate: {alert_rate:.0%} of streamed accesses")
 
     # ------------------------------------------------------------------
     # 2. decoration mining: precision back for group templates

@@ -1,18 +1,17 @@
 """Template mining on a realistic hospital: all three algorithms.
 
-Reproduces the Section 5.3.3 workflow: mine the first accesses of the
-training days with the one-way, two-way, and bridged algorithms, verify
-they find the same template set, and inspect what was found — including
-the templates the paper highlights (appointments with doctors, same
-department, same collaborative group).
+Reproduces the Section 5.3.3 workflow through the public API: mine the
+first accesses of the training days with the one-way, two-way, and
+bridged algorithms (one :meth:`repro.api.AuditService.mine` call each),
+verify they find the same template set, and inspect what was found —
+including the templates the paper highlights (appointments with doctors,
+same department, same collaborative group).
 
 Run:  python examples/template_mining.py
 """
 
-from repro import MiningConfig
-from repro.core.mining import BridgedMiner, OneWayMiner, TwoWayMiner
+from repro.api import AuditConfig, AuditService, CareWebStudy, MineRequest
 from repro.ehr import SimulationConfig
-from repro.evalx import CareWebStudy
 
 
 def main() -> None:
@@ -24,14 +23,21 @@ def main() -> None:
         f"{study.train_days}; {len(graph.edges)} directed schema edges"
     )
 
-    config = MiningConfig(support_fraction=0.01, max_length=4, max_tables=3)
+    service = AuditService.open(
+        db, templates=(), config=AuditConfig(eager_warm=False)
+    )
     results = {}
-    for miner in (
-        OneWayMiner(db, graph, config),
-        TwoWayMiner(db, graph, config),
-        BridgedMiner(db, graph, config, bridge_length=2),
-    ):
-        result = miner.mine()
+    for algorithm in ("one-way", "two-way", "bridge"):
+        result = service.mine(
+            MineRequest(
+                algorithm=algorithm,
+                support_fraction=0.01,
+                max_length=4,
+                max_tables=3,
+                bridge_length=2,
+            ),
+            graph=graph,
+        )
         results[result.algorithm] = result
         stats = result.support_stats
         print(
@@ -40,8 +46,8 @@ def main() -> None:
             f"({stats['skipped']} skipped, {stats['cache_hits']} cache hits), "
             f"{stats['query_time']:.1f}s query time"
         )
-        for length, mined in sorted(result.templates_by_length().items()):
-            print(f"  length {length}: {len(mined)} templates")
+        for length, views in sorted(result.templates_by_length().items()):
+            print(f"  length {length}: {len(views)} templates")
 
     sigs = [r.signatures() for r in results.values()]
     assert all(s == sigs[0] for s in sigs), "algorithms must agree"
@@ -52,7 +58,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     one_way = results["one-way"]
     print("\nshortest templates (the paper's length-2 'w/Dr.' family):")
-    for mined in one_way.templates_by_length().get(2, []):
+    for mined in one_way.templates_by_length().get(2, ()):
         tables = sorted(mined.template.tables_referenced() - {"Log"})
         print(f"  support {mined.support:4d}  via {tables[0]}")
 

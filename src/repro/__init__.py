@@ -14,30 +14,33 @@ A complete, from-scratch reproduction of the paper's system:
   misuse-detection reports;
 * :mod:`repro.evalx` — metrics and one experiment per paper figure/table.
 
-Quickstart::
+The **public API** lives in :mod:`repro.api` — a unified, thread-safe
+:class:`~repro.api.AuditService` facade with typed requests/responses and
+one :class:`~repro.api.AuditConfig` object::
 
-    from repro import CareWebStudy, MiningConfig, OneWayMiner
+    from repro.api import AuditService
 
-    study = CareWebStudy.prepare()          # simulate + infer groups
-    result = OneWayMiner(
-        study.mining_db(), study.mining_graph(),
-        MiningConfig(support_fraction=0.01, max_length=4, max_tables=3),
-    ).mine()
-    for mined in result.templates[:5]:
-        print(mined.support, mined.template.to_sql())
+    with AuditService.open("hospital/") as service:
+        print(service.report(limit=10).summary())
+
+The pre-``repro.api`` entry points (``ExplanationEngine``,
+``AccessMonitor``, ``PatientPortal``, ``ComplianceAuditor``, the miners)
+remain importable from this module as deprecation shims: accessing them
+here emits a :class:`DeprecationWarning` pointing at the ``repro.api``
+replacement, while the classes themselves (identical objects, importable
+warning-free from their defining submodules) keep working.
 """
 
+import warnings as _warnings
+
 from .core import (
-    BridgedMiner,
     DecorationMiner,
     EdgeKind,
-    ExplanationEngine,
     ExplanationInstance,
     ExplanationTemplate,
     MinedTemplate,
     MiningConfig,
     MiningResult,
-    OneWayMiner,
     Path,
     ReviewStatus,
     SchemaAttr,
@@ -46,7 +49,6 @@ from .core import (
     SupportConfig,
     SupportEvaluator,
     TemplateLibrary,
-    TwoWayMiner,
 )
 from .db import (
     AttrRef,
@@ -64,10 +66,69 @@ from .groups import GroupHierarchy, build_groups_table, hierarchy_from_log
 
 __version__ = "1.0.0"
 
+#: Deprecated top-level names -> (defining module, attribute, replacement).
+#: Resolved lazily via PEP 562 so access emits a DeprecationWarning while
+#: returning the *same* class object the submodule defines.
+_DEPRECATED_ENTRY_POINTS = {
+    "ExplanationEngine": (
+        "repro.core.engine",
+        "ExplanationEngine",
+        "repro.api.AuditService.open(...)",
+    ),
+    "AccessMonitor": (
+        "repro.audit.streaming",
+        "AccessMonitor",
+        "repro.api.AuditService.ingest/ingest_many",
+    ),
+    "PatientPortal": (
+        "repro.audit.portal",
+        "PatientPortal",
+        "repro.api.AuditService.patient_report",
+    ),
+    "ComplianceAuditor": (
+        "repro.audit.report",
+        "ComplianceAuditor",
+        "repro.api.AuditService.report",
+    ),
+    "OneWayMiner": (
+        "repro.core.mining",
+        "OneWayMiner",
+        "repro.api.AuditService.mine(MineRequest(algorithm='one-way'))",
+    ),
+    "TwoWayMiner": (
+        "repro.core.mining",
+        "TwoWayMiner",
+        "repro.api.AuditService.mine(MineRequest(algorithm='two-way'))",
+    ),
+    "BridgedMiner": (
+        "repro.core.mining",
+        "BridgedMiner",
+        "repro.api.AuditService.mine(MineRequest(algorithm='bridge'))",
+    ),
+}
+
+
+def __getattr__(name: str):
+    """Deprecation shims for the pre-``repro.api`` entry points."""
+    if name in _DEPRECATED_ENTRY_POINTS:
+        module_name, attr, replacement = _DEPRECATED_ENTRY_POINTS[name]
+        _warnings.warn(
+            f"repro.{name} is deprecated; use {replacement} "
+            f"(or import {module_name}.{attr} directly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
+    "AccessMonitor",
     "AttrRef",
     "BridgedMiner",
     "CareWebStudy",
+    "ComplianceAuditor",
     "Condition",
     "ConjunctiveQuery",
     "Database",
@@ -84,6 +145,7 @@ __all__ = [
     "MiningResult",
     "OneWayMiner",
     "Path",
+    "PatientPortal",
     "ReviewStatus",
     "SchemaAttr",
     "SchemaEdge",

@@ -1,0 +1,166 @@
+"""``repro.api`` — **the** public surface of the auditing system.
+
+Everything an application (the CLI, the examples, a web tier) needs is
+importable from here:
+
+* :class:`AuditService` — the unified, thread-safe facade (explain,
+  ingest, mine, report) with an explicit ``open(...)`` lifecycle;
+* :class:`AuditConfig` — the single frozen config object absorbing every
+  tuning knob (batch paths, semijoin threshold, pushdown, plan-cache
+  size, ingest and alert policy);
+* the typed request/response dataclasses of :mod:`repro.api.messages`,
+  all JSON-ready via ``to_dict()``;
+* :class:`TemplateLibrary` with versioned JSON ``dump``/``load`` so
+  mined templates survive process restarts;
+* curated re-exports of the building blocks (database substrate, schema
+  graph, template builders, miners, group inference, evaluation study)
+  so downstream code imports from one place.
+
+Quickstart::
+
+    from repro.api import AuditConfig, AuditService
+
+    with AuditService.open("hospital/") as service:
+        print(service.report(limit=10).summary())
+        print(service.explain(17).to_dict())
+
+The pre-``repro.api`` entry points (``ExplanationEngine``,
+``AccessMonitor``, ``PatientPortal``, ``ComplianceAuditor``, the miners)
+keep working via deprecation shims in :mod:`repro`.
+"""
+
+# the explanation-template toolchain
+from ..audit.handcrafted import (
+    all_event_user_templates,
+    dataset_a_doctor_templates,
+    event_group_template,
+    event_same_department_template,
+    event_user_template,
+    group_templates,
+    repeat_access_template,
+    same_department_templates,
+)
+from ..audit.nl import describe_careweb_path, with_careweb_description
+from ..core.decoration import DecorationMiner, DecorationResult, group_depth_attr
+from ..core.edges import EdgeKind, SchemaAttr, SchemaEdge
+from ..core.graph import SchemaGraph
+from ..core.instance import ExplanationInstance
+from ..core.library import LibraryEntry, ReviewStatus, TemplateLibrary
+from ..core.mining import (
+    BridgedMiner,
+    MinedTemplate,
+    MiningConfig,
+    MiningResult,
+    OneWayMiner,
+    TwoWayMiner,
+)
+from ..core.template import ExplanationTemplate
+from ..db.csvio import load_database, save_database
+from ..db.database import Database
+from ..db.schema import ColumnType, TableSchema
+
+# evaluation and group inference
+from ..evalx.accesses import lids_on_days, restrict_log
+from ..evalx.study import CareWebStudy
+from ..groups.hierarchy import (
+    build_groups_table,
+    build_hierarchy,
+    hierarchy_from_log,
+)
+from ..groups.matrix import access_matrix_from_log, similarity_graph
+from ..groups.modularity import modularity
+
+# the new unified service surface
+from .config import AuditConfig
+from .locks import RWLock
+from .messages import (
+    MINING_ALGORITHMS,
+    AccessView,
+    AuditReport,
+    ExplainRequest,
+    ExplainResult,
+    ExplanationView,
+    IngestResult,
+    MinedTemplateView,
+    MineRequest,
+    MineResult,
+    PatientReport,
+    UnexplainedView,
+    jsonable,
+)
+from .service import AuditService, GroupsResult, standard_templates
+
+
+def __getattr__(name: str):
+    """Lazy re-exports that would otherwise close an import cycle
+    (``evalx.experiments`` builds on this package)."""
+    if name == "write_report":
+        from ..evalx.reportgen import write_report
+
+        return write_report
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "MINING_ALGORITHMS",
+    "AccessView",
+    "AuditConfig",
+    "AuditReport",
+    "AuditService",
+    "BridgedMiner",
+    "CareWebStudy",
+    "ColumnType",
+    "Database",
+    "DecorationMiner",
+    "DecorationResult",
+    "EdgeKind",
+    "ExplainRequest",
+    "ExplainResult",
+    "ExplanationInstance",
+    "ExplanationTemplate",
+    "ExplanationView",
+    "GroupsResult",
+    "IngestResult",
+    "LibraryEntry",
+    "MineRequest",
+    "MineResult",
+    "MinedTemplate",
+    "MinedTemplateView",
+    "MiningConfig",
+    "MiningResult",
+    "OneWayMiner",
+    "PatientReport",
+    "RWLock",
+    "ReviewStatus",
+    "SchemaAttr",
+    "SchemaEdge",
+    "SchemaGraph",
+    "TableSchema",
+    "TemplateLibrary",
+    "TwoWayMiner",
+    "UnexplainedView",
+    "access_matrix_from_log",
+    "all_event_user_templates",
+    "build_groups_table",
+    "build_hierarchy",
+    "dataset_a_doctor_templates",
+    "describe_careweb_path",
+    "event_group_template",
+    "event_same_department_template",
+    "event_user_template",
+    "group_depth_attr",
+    "group_templates",
+    "hierarchy_from_log",
+    "jsonable",
+    "lids_on_days",
+    "load_database",
+    "modularity",
+    "repeat_access_template",
+    "restrict_log",
+    "same_department_templates",
+    "save_database",
+    "similarity_graph",
+    "standard_templates",
+    "with_careweb_description",
+    "write_report",
+]

@@ -1,0 +1,95 @@
+"""The one configuration object of the public API.
+
+Before ``repro.api``, every entry point grew its own tuning kwargs:
+``ExplanationEngine(use_batch_path=...)``, ``AccessMonitor(batch=...,
+incremental=...)``, ``Executor(predicate_pushdown=...,
+distinct_reduction=...)``, a module-level semijoin threshold, and an
+unbounded process-wide plan cache.  :class:`AuditConfig` absorbs all of
+them into a single frozen, serializable dataclass that
+:meth:`repro.api.AuditService.open` consumes — one place to read a
+deployment's tuning, one dict to put in a config file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..core.engine import SEMIJOIN_BATCH_MIN
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Every tuning knob of an :class:`~repro.api.service.AuditService`.
+
+    Frozen: derive variants with :meth:`replace`, serialize with
+    :meth:`to_dict`, rebuild with :meth:`from_dict` (round-trip exact).
+    """
+
+    #: Name of the audited log table and its id attribute.
+    log_table: str = "Log"
+    log_id_attr: str = "Lid"
+
+    #: Whole-log evaluation strategy: True routes through the
+    #: set-at-a-time batch-semijoin path (one query per template), False
+    #: keeps the per-template point path (the differential baseline).
+    use_batch_path: bool = True
+    #: Appended batches at least this large take the semijoin delta
+    #: strategy when maintenance auto-selects.
+    semijoin_batch_min: int = SEMIJOIN_BATCH_MIN
+
+    #: Executor pipeline toggles (see :class:`repro.db.executor.Executor`).
+    predicate_pushdown: bool = True
+    distinct_reduction: bool = True
+    #: Maximum number of memoized query plans; the service's LRU
+    #: :class:`~repro.db.optimizer.PlanCache` evicts beyond this.
+    plan_cache_size: int = 1024
+
+    #: Ingest maintenance: True delta-patches caches per append, False
+    #: restores the invalidate-everything baseline.
+    incremental_ingest: bool = True
+    #: Batched-ingest strategy: True forces batch semijoin, False forces
+    #: per-row delta point queries, None lets the engine choose by size.
+    batch_ingest: bool | None = None
+
+    #: Alert policy: when False, registered alert handlers are never
+    #: invoked (unexplained accesses are still counted and reported).
+    alert_on_unexplained: bool = True
+
+    #: Warm the explained/unexplained aggregates inside ``open()`` (and
+    #: after every writer operation), so concurrent readers hit immutable
+    #: caches and never race to populate them.  Disable only for
+    #: single-threaded, explain-one-access tools that cannot afford the
+    #: up-front whole-log pass.
+    eager_warm: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.log_table:
+            raise ValueError("log_table must be non-empty")
+        if not self.log_id_attr:
+            raise ValueError("log_id_attr must be non-empty")
+        if self.semijoin_batch_min < 1:
+            raise ValueError("semijoin_batch_min must be >= 1")
+        if self.plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be >= 1")
+        if self.batch_ingest not in (True, False, None):
+            raise ValueError("batch_ingest must be True, False, or None")
+
+    # ------------------------------------------------------------------
+    def replace(self, **changes) -> "AuditConfig":
+        """A copy with the given fields changed (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready; every field is a scalar)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AuditConfig":
+        """Rebuild from :meth:`to_dict` output; unknown keys are errors
+        (a misspelled knob must not silently fall back to its default)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown AuditConfig fields: {unknown}")
+        return cls(**data)

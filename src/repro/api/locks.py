@@ -1,0 +1,96 @@
+"""A readers-writer lock for the :class:`~repro.api.service.AuditService`.
+
+The audit workload is read-heavy: many concurrent ``explain``/``report``
+calls against delta-maintained state, punctuated by occasional writers
+(``ingest``, ``mine``, template registration).  A plain mutex would
+serialize the reads; this lock lets any number of readers share the
+service while writers get exclusive access.
+
+Policy: **writer-preferring**.  New readers block while a writer is
+waiting, so a steady stream of ``explain`` calls cannot starve an
+``ingest``.  The lock is not reentrant — the service never nests public
+calls, and keeping it non-reentrant keeps the invariant auditable.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RWLock:
+    """Writer-preferring readers-writer lock (non-reentrant)."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        #: Lifetime acquisition counters (surfaced by AuditService.stats()).
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        """Block until no writer is active or waiting, then enter shared."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+            self.read_acquisitions += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Block until the lock is free, then enter exclusive."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+            self.write_acquisitions += 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """``with lock.read_locked():`` — shared (reader) critical section."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """``with lock.write_locked():`` — exclusive (writer) section."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def stats(self) -> dict:
+        """Lifetime acquisition counters."""
+        return {
+            "read_acquisitions": self.read_acquisitions,
+            "write_acquisitions": self.write_acquisitions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<RWLock readers={self._active_readers} "
+            f"writer={self._writer_active} waiting={self._writers_waiting}>"
+        )

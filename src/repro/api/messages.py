@@ -1,0 +1,362 @@
+"""Typed requests and responses of the public audit API.
+
+Every response dataclass is frozen and offers :meth:`to_dict`, producing
+plain JSON-serializable structures (datetimes become ISO strings, sets
+become sorted lists) — the contract a web tier can serve directly, and
+what ``repro-audit --json`` prints.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..audit.streaming import StreamedAccess
+from ..core.instance import ExplanationInstance
+from ..core.library import TemplateLibrary
+from ..core.mining import MiningResult
+
+#: Mining algorithms :class:`MineRequest` accepts.
+MINING_ALGORITHMS = ("one-way", "two-way", "bridge")
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert a value into JSON-serializable primitives."""
+    if isinstance(value, (dt.datetime, dt.date)):
+        return value.isoformat()
+    if isinstance(value, (set, frozenset)):
+        return sorted(jsonable(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    return value
+
+
+# ----------------------------------------------------------------------
+# explain
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExplainRequest:
+    """Explain one access: ``lid``, optionally capping the instances."""
+
+    lid: Any
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.lid is None:
+            raise ValueError("ExplainRequest requires a log id")
+        if self.limit is not None and self.limit < 1:
+            raise ValueError("limit must be >= 1 when given")
+
+
+@dataclass(frozen=True)
+class ExplanationView:
+    """One rendered explanation instance."""
+
+    text: str
+    path_length: int
+    template: str | None
+    bindings: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_instance(cls, instance: ExplanationInstance) -> "ExplanationView":
+        return cls(
+            text=instance.render(),
+            path_length=instance.path_length,
+            template=instance.template.name,
+            bindings=dict(instance.bindings),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "text": self.text,
+            "path_length": self.path_length,
+            "template": self.template,
+            "bindings": jsonable(self.bindings),
+        }
+
+
+@dataclass(frozen=True)
+class ExplainResult:
+    """The ranked explanations of one access (empty => suspicious)."""
+
+    lid: Any
+    explanations: tuple[ExplanationView, ...]
+
+    @property
+    def explained(self) -> bool:
+        return bool(self.explanations)
+
+    @property
+    def suspicious(self) -> bool:
+        """Unexplained accesses are candidate misuse (paper Section 1)."""
+        return not self.explanations
+
+    def to_dict(self) -> dict:
+        return {
+            "lid": jsonable(self.lid),
+            "explained": self.explained,
+            "explanations": [e.to_dict() for e in self.explanations],
+        }
+
+
+# ----------------------------------------------------------------------
+# patient report (the portal screen)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AccessView:
+    """One access row of a patient's report."""
+
+    lid: Any
+    date: Any
+    user: Any
+    explanations: tuple[str, ...]
+
+    @property
+    def suspicious(self) -> bool:
+        return not self.explanations
+
+    def headline(self) -> str:
+        if self.explanations:
+            return self.explanations[0]
+        return "No explanation found — you may report this access."
+
+    def to_dict(self) -> dict:
+        return {
+            "lid": jsonable(self.lid),
+            "date": jsonable(self.date),
+            "user": jsonable(self.user),
+            "suspicious": self.suspicious,
+            "explanations": list(self.explanations),
+        }
+
+
+@dataclass(frozen=True)
+class PatientReport:
+    """Every access to one patient's record, each with explanations."""
+
+    patient: Any
+    entries: tuple[AccessView, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "patient": jsonable(self.patient),
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+
+# ----------------------------------------------------------------------
+# ingest (streaming)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IngestResult:
+    """The outcome of streaming one access into the audited log."""
+
+    lid: Any
+    date: Any
+    user: Any
+    patient: Any
+    explanations: tuple[ExplanationView, ...]
+    alerted: bool
+
+    @classmethod
+    def from_streamed(
+        cls, access: StreamedAccess, alerted: bool
+    ) -> "IngestResult":
+        return cls(
+            lid=access.lid,
+            date=access.date,
+            user=access.user,
+            patient=access.patient,
+            explanations=tuple(
+                ExplanationView.from_instance(i) for i in access.instances
+            ),
+            alerted=alerted,
+        )
+
+    @property
+    def explained(self) -> bool:
+        return bool(self.explanations)
+
+    @property
+    def suspicious(self) -> bool:
+        return not self.explanations
+
+    def headline(self) -> str:
+        """The top-ranked explanation, or a no-explanation marker."""
+        if self.explanations:
+            return self.explanations[0].text
+        return "no explanation found"
+
+    def to_dict(self) -> dict:
+        return {
+            "lid": jsonable(self.lid),
+            "date": jsonable(self.date),
+            "user": jsonable(self.user),
+            "patient": jsonable(self.patient),
+            "explained": self.explained,
+            "alerted": self.alerted,
+            "explanations": [e.to_dict() for e in self.explanations],
+        }
+
+
+# ----------------------------------------------------------------------
+# compliance report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class UnexplainedView:
+    """One unexplained access awaiting compliance review."""
+
+    lid: Any
+    date: Any
+    user: Any
+    patient: Any
+
+    def to_dict(self) -> dict:
+        return {
+            "lid": jsonable(self.lid),
+            "date": jsonable(self.date),
+            "user": jsonable(self.user),
+            "patient": jsonable(self.patient),
+        }
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """The compliance-office artifact: coverage plus the review queue."""
+
+    total: int
+    unexplained_count: int
+    coverage: float
+    queue: tuple[UnexplainedView, ...]
+    user_risk: tuple[tuple[Any, int], ...]
+
+    @property
+    def explained_count(self) -> int:
+        return self.total - self.unexplained_count
+
+    def summary(self) -> str:
+        """One-line coverage summary for the compliance dashboard."""
+        return (
+            f"{self.total} accesses; {self.explained_count} explained "
+            f"({self.coverage:.1%}); {self.unexplained_count} in the "
+            f"review queue"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "explained": self.explained_count,
+            "unexplained": self.unexplained_count,
+            "coverage": self.coverage,
+            "queue": [e.to_dict() for e in self.queue],
+            "user_risk": [
+                {"user": jsonable(u), "unexplained": n} for u, n in self.user_risk
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# mining
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MineRequest:
+    """Mine explanation templates from the service's database."""
+
+    algorithm: str = "one-way"
+    support_fraction: float = 0.01
+    max_length: int = 4
+    max_tables: int = 3
+    bridge_length: int = 2
+    #: When True, mined templates are registered with the engine so they
+    #: immediately participate in explain/report.
+    register: bool = False
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in MINING_ALGORITHMS:
+            raise ValueError(
+                f"algorithm must be one of {MINING_ALGORITHMS}, "
+                f"got {self.algorithm!r}"
+            )
+        if not 0 < self.support_fraction <= 1:
+            raise ValueError("support_fraction must be in (0, 1]")
+        if self.max_length < 1:
+            raise ValueError("max_length must be >= 1")
+        if self.max_tables < 1:
+            raise ValueError("max_tables must be >= 1")
+        if self.bridge_length < 1:
+            raise ValueError("bridge_length must be >= 1")
+
+
+@dataclass(frozen=True)
+class MinedTemplateView:
+    """One mined template: presentation fields plus the template object
+    itself (excluded from ``to_dict``), so API consumers never reach into
+    the raw mining result."""
+
+    sql: str
+    support: int
+    length: int
+    template: Any = field(repr=False, compare=False, default=None)
+
+    def to_dict(self) -> dict:
+        return {"sql": self.sql, "support": self.support, "length": self.length}
+
+
+@dataclass(frozen=True)
+class MineResult:
+    """A mining run's output, with the raw result attached."""
+
+    algorithm: str
+    threshold: float
+    templates: tuple[MinedTemplateView, ...]
+    support_stats: dict
+    raw: MiningResult = field(repr=False, compare=False)
+
+    def library(self) -> TemplateLibrary:
+        """The mined templates as a reviewable library (all *suggested*),
+        ready for :meth:`TemplateLibrary.dump`/``save``."""
+        return TemplateLibrary.from_mining_result(self.raw)
+
+    def explanation_templates(self) -> tuple:
+        """The mined :class:`ExplanationTemplate` objects, mining order."""
+        return tuple(v.template for v in self.templates)
+
+    def templates_by_length(self) -> dict[int, tuple[MinedTemplateView, ...]]:
+        """Mined templates grouped by join-path length."""
+        out: dict[int, list[MinedTemplateView]] = {}
+        for view in self.templates:
+            out.setdefault(view.length, []).append(view)
+        return {length: tuple(views) for length, views in out.items()}
+
+    def signatures(self) -> set:
+        """Condition-set signatures of every mined template (the
+        algorithm-agreement identity)."""
+        return {v.template.signature() for v in self.templates}
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "threshold": self.threshold,
+            "templates": [t.to_dict() for t in self.templates],
+            "support_stats": jsonable(self.support_stats),
+        }
+
+
+__all__ = [
+    "AccessView",
+    "AuditReport",
+    "ExplainRequest",
+    "ExplainResult",
+    "ExplanationView",
+    "IngestResult",
+    "MINING_ALGORITHMS",
+    "MineRequest",
+    "MineResult",
+    "MinedTemplateView",
+    "PatientReport",
+    "UnexplainedView",
+    "jsonable",
+]

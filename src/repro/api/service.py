@@ -1,0 +1,572 @@
+"""The :class:`AuditService` facade — one thread-safe entry point.
+
+The paper describes a single auditing *system*: explain accesses, alert
+on unexplainable ones, mine new templates, report to the compliance
+office.  Before this module those capabilities were five independently
+wired classes, each duplicating database/template setup and each growing
+its own tuning kwargs.  :class:`AuditService` owns all of it behind an
+explicit lifecycle::
+
+    from repro.api import AuditConfig, AuditService
+
+    with AuditService.open("hospital/", config=AuditConfig()) as service:
+        result = service.explain(lid=17)
+        report = service.report()
+        service.ingest("u0042", "p00017")
+
+Concurrency model
+-----------------
+The service owns a writer-preferring readers-writer lock
+(:class:`~repro.api.locks.RWLock`): ``explain``/``report``/``stats`` and
+the other queries run concurrently as readers against the
+delta-maintained caches, while ``ingest``/``mine``/template registration
+serialize as writers.  With the default ``AuditConfig.eager_warm``, every
+writer leaves the aggregate caches warm before releasing the lock, so
+readers only ever *read* shared state — the first step toward
+multi-worker serving.
+
+Everything the service returns is a typed, frozen dataclass from
+:mod:`repro.api.messages` with ``to_dict()`` for JSON serving.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from ..audit.streaming import AccessMonitor
+from ..core.engine import ExplanationEngine
+from ..core.library import ReviewStatus, TemplateLibrary
+from ..core.mining import BridgedMiner, MiningConfig, OneWayMiner, TwoWayMiner
+from ..core.template import ExplanationTemplate
+from ..db.csvio import load_database
+from ..db.database import Database
+from ..db.executor import Executor
+from ..db.optimizer import PlanCache
+from .config import AuditConfig
+from .locks import RWLock
+from .messages import (
+    AccessView,
+    AuditReport,
+    ExplainRequest,
+    ExplainResult,
+    ExplanationView,
+    IngestResult,
+    MinedTemplateView,
+    MineRequest,
+    MineResult,
+    PatientReport,
+    UnexplainedView,
+    jsonable,
+)
+
+#: Callback type for unexplained-access alerts.
+AlertHandler = Callable[[IngestResult], None]
+
+
+def standard_templates(
+    db: Database, include_groups: bool = True
+) -> list[ExplanationTemplate]:
+    """The hand-crafted CareWeb template set (paper Section 5.3.1): event
+    w/doctor templates, the repeat-access template, and — when a Groups
+    table exists — the depth-1 collaborative-group templates, all with
+    natural-language descriptions attached."""
+    from ..audit.handcrafted import (
+        all_event_user_templates,
+        dataset_a_doctor_templates,
+        group_templates,
+        repeat_access_template,
+    )
+    from ..audit.nl import with_careweb_description
+    from ..ehr.schema import build_careweb_graph
+
+    graph = build_careweb_graph(db)
+    templates = dataset_a_doctor_templates(graph)
+    templates.extend(all_event_user_templates(graph))
+    templates.append(repeat_access_template(graph))
+    if include_groups and db.has_table("Groups"):
+        templates.extend(group_templates(graph, depth=1))
+    return [with_careweb_description(t) for t in templates]
+
+
+@dataclass(frozen=True)
+class GroupsResult:
+    """Outcome of :meth:`AuditService.build_groups`."""
+
+    group_rows: int
+    users: int
+    max_depth: int
+    density: float
+    groups_per_depth: dict[int, int]
+    hierarchy: Any = field(repr=False, compare=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "group_rows": self.group_rows,
+            "users": self.users,
+            "max_depth": self.max_depth,
+            "density": self.density,
+            "groups_per_depth": jsonable(self.groups_per_depth),
+        }
+
+
+class AuditService:
+    """The unified, thread-safe facade over the whole auditing system."""
+
+    def __init__(
+        self,
+        db: Database,
+        templates: Iterable[ExplanationTemplate],
+        config: AuditConfig,
+        clock: Callable[[], Any] | None = None,
+    ) -> None:
+        self.db = db
+        self.config = config
+        #: Per-service LRU plan cache (bounded by the config; hit/miss
+        #: counters surface through :meth:`stats`).
+        self.plan_cache = PlanCache(max_size=config.plan_cache_size)
+        executor = Executor(
+            db,
+            distinct_reduction=config.distinct_reduction,
+            predicate_pushdown=config.predicate_pushdown,
+            plan_cache=self.plan_cache,
+        )
+        self.engine = ExplanationEngine(
+            db,
+            templates,
+            log_table=config.log_table,
+            log_id_attr=config.log_id_attr,
+            use_batch_path=config.use_batch_path,
+            executor=executor,
+            semijoin_batch_min=config.semijoin_batch_min,
+        )
+        self._clock = clock
+        self._monitor: AccessMonitor | None = None
+        self._alert_handlers: list[AlertHandler] = []
+        self._lock = RWLock()
+        self._closed = False
+        if config.eager_warm:
+            self._warm()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        db: Database | str | os.PathLike,
+        templates: Iterable[ExplanationTemplate]
+        | TemplateLibrary
+        | str
+        | os.PathLike
+        | None = None,
+        config: AuditConfig | None = None,
+        clock: Callable[[], Any] | None = None,
+    ) -> "AuditService":
+        """Open a service over a database (or a CSV database directory).
+
+        ``templates`` may be an iterable of templates, a
+        :class:`TemplateLibrary` (or a path to one saved with
+        ``save``/``dump`` — approved entries are applied, falling back to
+        suggested ones when nothing is approved yet), or None for the
+        standard hand-crafted CareWeb set.  Usable as a context manager.
+        """
+        if isinstance(db, (str, os.PathLike)):
+            db = load_database(str(db))
+        config = config if config is not None else AuditConfig()
+        if isinstance(templates, (str, os.PathLike)):
+            templates = TemplateLibrary.load(str(templates))
+        if isinstance(templates, TemplateLibrary):
+            templates, _fallback = templates.production_templates()
+        elif templates is None:
+            templates = standard_templates(db)
+        return cls(db, templates, config, clock=clock)
+
+    @classmethod
+    def from_engine(
+        cls, engine: ExplanationEngine, config: AuditConfig | None = None
+    ) -> "AuditService":
+        """Wrap an existing engine (the compatibility-shim path).
+
+        The engine's executor, caches, and template set are used as-is;
+        nothing is eagerly warmed.
+        """
+        if config is None:
+            config = AuditConfig(
+                log_table=engine.log_table,
+                log_id_attr=engine.log_id_attr,
+                use_batch_path=engine.use_batch_path,
+                semijoin_batch_min=engine.semijoin_batch_min,
+                eager_warm=False,
+            )
+        service = cls.__new__(cls)
+        service.db = engine.db
+        service.config = config
+        service.plan_cache = engine.executor.plan_cache
+        service.engine = engine
+        service._clock = None
+        service._monitor = None
+        service._alert_handlers = []
+        service._lock = RWLock()
+        service._closed = False
+        return service
+
+    def close(self) -> None:
+        """End the lifecycle; subsequent calls raise RuntimeError."""
+        self._closed = True
+
+    def __enter__(self) -> "AuditService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("AuditService is closed")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _warm(self) -> None:
+        """Materialize the aggregate caches (explained set, unexplained
+        queue) so subsequent readers never mutate shared state."""
+        self.engine.unexplained_lids()
+
+    def _monitor_instance(self) -> AccessMonitor:
+        if self._monitor is None:
+            self._monitor = AccessMonitor(
+                self.engine,
+                clock=self._clock,
+                incremental=self.config.incremental_ingest,
+                batch=self.config.batch_ingest,
+            )
+        return self._monitor
+
+    def _dispatch_alerts(self, results: Sequence[IngestResult]) -> None:
+        """Fire alert handlers outside the write lock (a handler may call
+        back into the service as a reader)."""
+        for result in results:
+            if result.alerted:
+                for handler in self._alert_handlers:
+                    handler(result)
+
+    # ------------------------------------------------------------------
+    # readers
+    # ------------------------------------------------------------------
+    def explain(self, request: ExplainRequest | Any) -> ExplainResult:
+        """Why did this access happen?  Ranked explanation instances
+        (ascending path length); empty means candidate misuse.
+
+        Accepts an :class:`ExplainRequest` or a bare log id.
+        """
+        self._check_open()
+        if not isinstance(request, ExplainRequest):
+            request = ExplainRequest(lid=request)
+        with self._lock.read_locked():
+            instances = self.engine.explain(request.lid)
+        if request.limit is not None:
+            instances = instances[: request.limit]
+        return ExplainResult(
+            lid=request.lid,
+            explanations=tuple(
+                ExplanationView.from_instance(i) for i in instances
+            ),
+        )
+
+    def patient_report(
+        self, patient: Any, limit: int | None = None
+    ) -> PatientReport:
+        """Every access to one patient's record in time order, each with
+        ranked explanations (the portal screen, paper Example 1.1)."""
+        self._check_open()
+        with self._lock.read_locked():
+            log = self.db.table(self.config.log_table)
+            schema = log.schema
+            lid_i = schema.column_index(self.config.log_id_attr)
+            date_i = schema.column_index("Date")
+            user_i = schema.column_index("User")
+            rows = sorted(
+                log.lookup("Patient", patient),
+                key=lambda r: (r[date_i], r[lid_i]),
+            )
+            if limit is not None:
+                rows = rows[:limit]
+            entries = []
+            for row in rows:
+                instances = self.engine.explain(row[lid_i])
+                entries.append(
+                    AccessView(
+                        lid=row[lid_i],
+                        date=row[date_i],
+                        user=row[user_i],
+                        explanations=tuple(i.render() for i in instances),
+                    )
+                )
+        return PatientReport(patient=patient, entries=tuple(entries))
+
+    def render_patient_report(
+        self, patient: Any, limit: int | None = None
+    ) -> str:
+        """Plain-text portal screen, one access per block."""
+        report = self.patient_report(patient, limit=limit)
+        lines = [f"Access report for patient {patient}:"]
+        if not report.entries:
+            lines.append("  (no accesses recorded)")
+        for entry in report.entries:
+            flag = "  [!] " if entry.suspicious else "      "
+            lines.append(f"{flag}{entry.lid}  {entry.date}  by {entry.user}")
+            lines.append(f"        {entry.headline()}")
+        return "\n".join(lines)
+
+    def report(self, limit: int | None = None) -> AuditReport:
+        """The compliance-office artifact: coverage, the unexplained
+        review queue (oldest first, optionally capped), and per-user
+        unexplained counts (always over the full queue)."""
+        self._check_open()
+        with self._lock.read_locked():
+            log = self.db.table(self.config.log_table)
+            schema = log.schema
+            lid_i = schema.column_index(self.config.log_id_attr)
+            date_i = schema.column_index("Date")
+            user_i = schema.column_index("User")
+            patient_i = schema.column_index("Patient")
+            unexplained = self.engine.unexplained_lids()
+            total = len(self.engine.all_lids())
+            coverage = self.engine.coverage()
+            rows = [r for r in log.rows() if r[lid_i] in unexplained]
+        rows.sort(key=lambda r: (r[date_i], r[lid_i]))
+        counts: dict[Any, int] = {}
+        for r in rows:
+            counts[r[user_i]] = counts.get(r[user_i], 0) + 1
+        queue = [
+            UnexplainedView(
+                lid=r[lid_i], date=r[date_i], user=r[user_i], patient=r[patient_i]
+            )
+            for r in rows
+        ]
+        if limit is not None:
+            queue = queue[:limit]
+        return AuditReport(
+            total=total,
+            unexplained_count=len(rows),
+            coverage=coverage,
+            queue=tuple(queue),
+            user_risk=tuple(
+                sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+            ),
+        )
+
+    def summary(self) -> str:
+        """The one-line coverage summary, from the warm aggregate caches
+        alone — no queue materialization (cheap enough for a dashboard
+        poll; :meth:`report` builds the full artifact)."""
+        self._check_open()
+        with self._lock.read_locked():
+            total = len(self.engine.all_lids())
+            unexplained = len(self.engine.unexplained_lids())
+            coverage = self.engine.coverage()
+        return (
+            f"{total} accesses; {total - unexplained} explained "
+            f"({coverage:.1%}); {unexplained} in the review queue"
+        )
+
+    def coverage(self) -> float:
+        """Fraction of the log explained by at least one template."""
+        self._check_open()
+        with self._lock.read_locked():
+            return self.engine.coverage()
+
+    def unexplained_lids(self) -> frozenset:
+        """Accesses no template explains — the candidate-misuse set."""
+        self._check_open()
+        with self._lock.read_locked():
+            return frozenset(self.engine.unexplained_lids())
+
+    def explained_lids(self, template: ExplanationTemplate) -> frozenset:
+        """Distinct log ids one template explains (evaluation helper; the
+        template need not be registered with the service)."""
+        self._check_open()
+        with self._lock.read_locked():
+            return frozenset(self.engine.explained_lids(template))
+
+    def templates(self) -> tuple[ExplanationTemplate, ...]:
+        """The registered (deduplicated) template set."""
+        self._check_open()
+        with self._lock.read_locked():
+            return self.engine.templates
+
+    def template_library(self) -> TemplateLibrary:
+        """The registered templates as an all-approved library (they are
+        in production use), ready for :meth:`TemplateLibrary.dump`."""
+        self._check_open()
+        library = TemplateLibrary()
+        for template in self.templates():
+            library.add(template, ReviewStatus.APPROVED)
+        return library
+
+    def save_templates(self, path: str) -> None:
+        """Persist the registered templates as a versioned JSON library
+        (reload with ``AuditService.open(db, templates=path)``)."""
+        self.template_library().dump(path)
+
+    def stats(self) -> dict:
+        """Operational counters: plan-cache hit/miss, query counts, lock
+        acquisitions, ingest counters, template/log sizes."""
+        self._check_open()
+        with self._lock.read_locked():
+            monitor = self._monitor
+            return {
+                "log_rows": len(self.db.table(self.config.log_table)),
+                "templates": len(self.engine.templates),
+                "queries_executed": self.engine.executor.queries_executed,
+                "plan_cache": self.plan_cache.stats(),
+                "lock": self._lock.stats(),
+                "ingest": monitor.stats() if monitor is not None else None,
+                "config": self.config.to_dict(),
+            }
+
+    # ------------------------------------------------------------------
+    # writers
+    # ------------------------------------------------------------------
+    def on_alert(self, handler: AlertHandler) -> None:
+        """Register a callback for unexplained ingested accesses (fired
+        outside the write lock, after the ingest completes).  Inert when
+        ``AuditConfig.alert_on_unexplained`` is False."""
+        self._check_open()
+        self._alert_handlers.append(handler)
+
+    def ingest(
+        self, user: Any, patient: Any, date: dt.datetime | None = None
+    ) -> IngestResult:
+        """Append one access to the audited log, explain it immediately,
+        and alert when no explanation exists."""
+        self._check_open()
+        with self._lock.write_locked():
+            access = self._monitor_instance().ingest(user, patient, date)
+            if self.config.eager_warm:
+                self._warm()
+        result = IngestResult.from_streamed(
+            access, access.suspicious and self.config.alert_on_unexplained
+        )
+        self._dispatch_alerts([result])
+        return result
+
+    def ingest_many(
+        self, accesses: Sequence[tuple[Any, Any, dt.datetime | None]]
+    ) -> list[IngestResult]:
+        """Ingest a batch of ``(user, patient, date)`` accesses in one
+        maintenance pass (strategy per ``AuditConfig.batch_ingest``)."""
+        self._check_open()
+        with self._lock.write_locked():
+            streamed = self._monitor_instance().ingest_many(list(accesses))
+            if self.config.eager_warm:
+                self._warm()
+        results = [
+            IngestResult.from_streamed(
+                a, a.suspicious and self.config.alert_on_unexplained
+            )
+            for a in streamed
+        ]
+        self._dispatch_alerts(results)
+        return results
+
+    def add_templates(
+        self, templates: Iterable[ExplanationTemplate] | TemplateLibrary
+    ) -> int:
+        """Register more templates (from an iterable or a library's
+        approved set); returns how many were offered."""
+        self._check_open()
+        if isinstance(templates, TemplateLibrary):
+            templates = templates.approved_templates()
+        templates = list(templates)
+        with self._lock.write_locked():
+            for template in templates:
+                self.engine.add_template(template)
+            if self.config.eager_warm:
+                self._warm()
+        return len(templates)
+
+    def load_templates(self, path: str) -> int:
+        """Register the approved templates of a saved library (JSON or
+        SQL form); returns how many were offered."""
+        return self.add_templates(TemplateLibrary.load(path))
+
+    def mine(self, request: MineRequest, graph=None) -> MineResult:
+        """Mine frequent explanation templates from the service's own
+        database (paper Section 3).  ``graph`` defaults to the standard
+        CareWeb explanation graph; pass one for other schemas.  With
+        ``request.register`` the mined templates join the engine."""
+        self._check_open()
+        with self._lock.write_locked():
+            if graph is None:
+                from ..ehr.schema import build_careweb_graph
+
+                graph = build_careweb_graph(self.db)
+            config = MiningConfig(
+                support_fraction=request.support_fraction,
+                max_length=request.max_length,
+                max_tables=request.max_tables,
+            )
+            miners = {
+                "one-way": lambda: OneWayMiner(self.db, graph, config),
+                "two-way": lambda: TwoWayMiner(self.db, graph, config),
+                "bridge": lambda: BridgedMiner(
+                    self.db, graph, config, bridge_length=request.bridge_length
+                ),
+            }
+            raw = miners[request.algorithm]().mine()
+            if request.register:
+                for mined in raw.templates:
+                    self.engine.add_template(mined.template)
+                if self.config.eager_warm:
+                    self._warm()
+        return MineResult(
+            algorithm=raw.algorithm,
+            threshold=raw.threshold,
+            templates=tuple(
+                MinedTemplateView(
+                    sql=m.template.to_sql(),
+                    support=m.support,
+                    length=m.length,
+                    template=m.template,
+                )
+                for m in raw.templates
+            ),
+            support_stats=dict(raw.support_stats),
+            raw=raw,
+        )
+
+    def build_groups(self, max_depth: int = 8) -> GroupsResult:
+        """Infer collaborative groups from the access log (paper Section
+        4) and materialize the Groups table in the service's database."""
+        self._check_open()
+        from ..groups.hierarchy import build_groups_table, hierarchy_from_log
+
+        with self._lock.write_locked():
+            hierarchy, access = hierarchy_from_log(self.db, max_depth=max_depth)
+            build_groups_table(self.db, hierarchy)
+            # Groups change what group templates can explain; rebuild.
+            self.engine.invalidate_cache()
+            if self.config.eager_warm:
+                self._warm()
+        return GroupsResult(
+            group_rows=len(hierarchy.rows()),
+            users=len(hierarchy.users()),
+            max_depth=hierarchy.max_depth,
+            density=access.density(),
+            groups_per_depth={
+                depth: len(hierarchy.groups_at(depth))
+                for depth in range(hierarchy.max_depth + 1)
+            },
+            hierarchy=hierarchy,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"<AuditService {state} db={self.db.name!r} "
+            f"templates={len(self.engine.templates)}>"
+        )

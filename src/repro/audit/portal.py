@@ -3,6 +3,11 @@
 "Construct a portal where individual patients can login and view a list
 of all accesses to their medical records ... if Alice clicks on a log
 record, she should be presented with a short snippet of text."
+
+Since the ``repro.api`` redesign this class is a thin adapter: the report
+logic lives in :meth:`repro.api.AuditService.patient_report`, and
+:class:`PatientPortal` remains as the engine-based compatibility surface
+(new code should call the service directly).
 """
 
 from __future__ import annotations
@@ -35,10 +40,14 @@ class AccessReportEntry:
 
 
 class PatientPortal:
-    """Explains every access to one patient's record."""
+    """Explains every access to one patient's record (adapter over
+    :class:`repro.api.AuditService`)."""
 
     def __init__(self, engine: ExplanationEngine) -> None:
+        from ..api.service import AuditService  # lazy: avoids import cycle
+
         self.engine = engine
+        self._service = AuditService.from_engine(engine)
 
     def accesses_of(self, patient: Any) -> list[tuple]:
         """Raw log rows touching ``patient``, in time order."""
@@ -51,35 +60,17 @@ class PatientPortal:
     def access_report(self, patient: Any) -> list[AccessReportEntry]:
         """The full report: one entry per access, each with ranked
         explanations (ascending path length, paper Section 2.1)."""
-        log = self.engine.db.table(self.engine.log_table)
-        lid_i = log.schema.column_index("Lid")
-        date_i = log.schema.column_index("Date")
-        user_i = log.schema.column_index("User")
-        entries = []
-        for row in self.accesses_of(patient):
-            instances = self.engine.explain(row[lid_i])
-            entries.append(
-                AccessReportEntry(
-                    lid=row[lid_i],
-                    date=row[date_i],
-                    user=row[user_i],
-                    explanations=tuple(inst.render() for inst in instances),
-                )
+        report = self._service.patient_report(patient)
+        return [
+            AccessReportEntry(
+                lid=entry.lid,
+                date=entry.date,
+                user=entry.user,
+                explanations=entry.explanations,
             )
-        return entries
+            for entry in report.entries
+        ]
 
     def render(self, patient: Any, limit: int | None = None) -> str:
         """Plain-text report, one access per block (the portal screen)."""
-        entries = self.access_report(patient)
-        if limit is not None:
-            entries = entries[:limit]
-        lines = [f"Access report for patient {patient}:"]
-        if not entries:
-            lines.append("  (no accesses recorded)")
-        for entry in entries:
-            flag = "  [!] " if entry.suspicious else "      "
-            lines.append(
-                f"{flag}{entry.lid}  {entry.date}  by {entry.user}"
-            )
-            lines.append(f"        {entry.headline()}")
-        return "\n".join(lines)
+        return self._service.render_patient_report(patient, limit=limit)

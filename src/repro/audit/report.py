@@ -6,6 +6,11 @@ reduce the set of accesses that must be examined to those that are
 unexplained."  This module turns the engine's unexplained set into the
 artifacts a compliance office works from: a triage queue, per-user risk
 counts, and a coverage summary.
+
+Since the ``repro.api`` redesign the computation lives in
+:meth:`repro.api.AuditService.report`; :class:`ComplianceAuditor` remains
+as the engine-based compatibility adapter (new code should call the
+service directly).
 """
 
 from __future__ import annotations
@@ -26,44 +31,30 @@ class UnexplainedAccess:
 
 
 class ComplianceAuditor:
-    """Summarizes what the explanation engine could *not* explain."""
+    """Summarizes what the explanation engine could *not* explain
+    (adapter over :class:`repro.api.AuditService`)."""
 
     def __init__(self, engine: ExplanationEngine) -> None:
+        from ..api.service import AuditService  # lazy: avoids import cycle
+
         self.engine = engine
+        self._service = AuditService.from_engine(engine)
 
     def queue(self) -> list[UnexplainedAccess]:
         """Unexplained accesses, oldest first — the manual-review queue."""
-        log = self.engine.db.table(self.engine.log_table)
-        schema = log.schema
-        lid_i = schema.column_index("Lid")
-        date_i = schema.column_index("Date")
-        user_i = schema.column_index("User")
-        patient_i = schema.column_index("Patient")
-        unexplained = self.engine.unexplained_lids()
-        rows = [row for row in log.rows() if row[lid_i] in unexplained]
-        rows.sort(key=lambda r: (r[date_i], r[lid_i]))
         return [
             UnexplainedAccess(
-                lid=r[lid_i], date=r[date_i], user=r[user_i], patient=r[patient_i]
+                lid=e.lid, date=e.date, user=e.user, patient=e.patient
             )
-            for r in rows
+            for e in self._service.report().queue
         ]
 
     def user_risk_ranking(self) -> list[tuple[Any, int]]:
         """Users by number of unexplained accesses, descending — the
         paper's observation that isolated bad accesses (not anomalous
         users) are the target makes this a triage aid, not a verdict."""
-        counts: dict[Any, int] = {}
-        for entry in self.queue():
-            counts[entry.user] = counts.get(entry.user, 0) + 1
-        return sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        return list(self._service.report().user_risk)
 
     def summary(self) -> str:
         """One-line coverage summary for the compliance dashboard."""
-        total = len(self.engine.all_lids())
-        unexplained = len(self.engine.unexplained_lids())
-        coverage = self.engine.coverage()
-        return (
-            f"{total} accesses; {total - unexplained} explained "
-            f"({coverage:.1%}); {unexplained} in the review queue"
-        )
+        return self._service.summary()

@@ -239,19 +239,30 @@ class AccessMonitor:
         return access
 
     def alert_rate(self) -> float:
-        """Fraction of streamed accesses that raised an alert."""
+        """Fraction of streamed accesses that raised an alert.
+
+        Well-defined before any ingest: an empty stream alerts on 0.0 of
+        its accesses (never a ZeroDivisionError).
+        """
         if self.seen == 0:
             return 0.0
         return self.alerts / self.seen
 
     def stats(self) -> dict:
-        """Counters for dashboards and the streaming benchmark."""
+        """Counters for dashboards and the streaming benchmark.
+
+        Safe to call before any ingest — every derived rate/average
+        reports 0.0 over an empty stream.
+        """
+        seen = self.seen
         return {
-            "seen": self.seen,
+            "seen": seen,
             "alerts": self.alerts,
             "alert_rate": self.alert_rate(),
             "total_queries": self.total_queries,
             "total_seconds": self.total_seconds,
+            "avg_ingest_queries": self.total_queries / seen if seen else 0.0,
+            "avg_ingest_seconds": self.total_seconds / seen if seen else 0.0,
             "last_ingest_queries": self.last_ingest_queries,
             "last_ingest_seconds": self.last_ingest_seconds,
         }

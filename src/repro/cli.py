@@ -1,5 +1,10 @@
 """Command-line interface: ``python -m repro`` / ``repro-audit``.
 
+Every subcommand routes through the public API — the
+:class:`repro.api.AuditService` facade — so the CLI is a thin shell over
+exactly what a web tier would call; ``--json`` on the query subcommands
+prints the typed response's ``to_dict()`` form instead of text.
+
 Subcommands mirror the system's lifecycle:
 
 * ``generate`` — simulate a CareWeb-like week and save it as CSVs;
@@ -15,60 +20,49 @@ Example session::
     repro-audit groups --db hospital/
     repro-audit mine --db hospital/ --support 0.01 --max-length 4
     repro-audit explain --db hospital/ --patient p00017
-    repro-audit audit --db hospital/
+    repro-audit audit --db hospital/ --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from .audit.handcrafted import (
-    all_event_user_templates,
-    dataset_a_doctor_templates,
-    group_templates,
-    repeat_access_template,
+from .api import (
+    AuditConfig,
+    AuditService,
+    ExplainRequest,
+    MineRequest,
+    TemplateLibrary,
+    load_database,
+    save_database,
+    with_careweb_description,
+    write_report,
 )
-from .audit.nl import with_careweb_description
-from .audit.portal import PatientPortal
-from .audit.report import ComplianceAuditor
-from .core.engine import ExplanationEngine
-from .core.mining import BridgedMiner, MiningConfig, OneWayMiner, TwoWayMiner
-from .db.csvio import load_database, save_database
-from .ehr.config import SimulationConfig
-from .ehr.schema import build_careweb_graph
-from .ehr.simulator import simulate
-from .groups.hierarchy import build_groups_table, hierarchy_from_log
-
-
-def _standard_templates(db, include_groups: bool = True):
-    graph = build_careweb_graph(db)
-    templates = dataset_a_doctor_templates(graph)
-    templates.extend(all_event_user_templates(graph))
-    templates.append(repeat_access_template(graph))
-    if include_groups and db.has_table("Groups"):
-        templates.extend(group_templates(graph, depth=1))
-    return templates
+from .ehr import SimulationConfig, simulate
 
 
 def _templates_for(db, templates_path: str | None):
-    """The template set to apply: a reviewed library when given, else the
-    standard hand-crafted set.  From a library, approved templates are
-    used; when nothing is approved yet, suggested ones are (with a note).
+    """The template set to apply: a reviewed library when given, else None
+    (the service resolves None to the standard hand-crafted set).  From a
+    library, approved templates are used; when nothing is approved yet,
+    suggested ones are (with a note).
     """
     if templates_path is None:
-        return _standard_templates(db)
-    from .core.library import ReviewStatus, TemplateLibrary
-
+        return None
     library = TemplateLibrary.load(templates_path)
-    approved = library.approved_templates()
-    if approved:
-        return approved
-    print(
-        f"note: no approved templates in {templates_path}; "
-        "using all suggested ones"
-    )
-    return [e.template for e in library.entries(ReviewStatus.SUGGESTED)]
+    templates, fallback = library.production_templates()
+    if fallback:
+        print(
+            f"note: no approved templates in {templates_path}; "
+            "using all suggested ones"
+        )
+    return templates
+
+
+def _print_json(payload) -> None:
+    print(json.dumps(payload, indent=2, default=str))
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -88,80 +82,101 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_groups(args: argparse.Namespace) -> int:
     """``groups``: infer collaborative groups and persist the Groups table."""
-    db = load_database(args.db)
-    hierarchy, access = hierarchy_from_log(db, max_depth=args.max_depth)
-    build_groups_table(db, hierarchy)
-    save_database(db, args.db)
-    print(
-        f"built {len(hierarchy.rows())} group rows over "
-        f"{len(hierarchy.users())} users "
-        f"(hierarchy depth {hierarchy.max_depth}, "
-        f"user-patient density {access.density():.5f})"
+    service = AuditService.open(
+        args.db, templates=(), config=AuditConfig(eager_warm=False)
     )
-    for depth in range(min(hierarchy.max_depth, 2) + 1):
-        print(f"  depth {depth}: {len(hierarchy.groups_at(depth))} groups")
+    groups = service.build_groups(max_depth=args.max_depth)
+    save_database(service.db, args.db)
+    print(
+        f"built {groups.group_rows} group rows over "
+        f"{groups.users} users "
+        f"(hierarchy depth {groups.max_depth}, "
+        f"user-patient density {groups.density:.5f})"
+    )
+    for depth in range(min(groups.max_depth, 2) + 1):
+        print(f"  depth {depth}: {groups.groups_per_depth[depth]} groups")
     return 0
 
 
 def cmd_mine(args: argparse.Namespace) -> int:
     """``mine``: run a mining algorithm and print/save the templates."""
-    db = load_database(args.db)
-    graph = build_careweb_graph(db)
-    config = MiningConfig(
-        support_fraction=args.support,
-        max_length=args.max_length,
-        max_tables=args.max_tables,
+    service = AuditService.open(
+        args.db, templates=(), config=AuditConfig(eager_warm=False)
     )
-    miners = {
-        "one-way": lambda: OneWayMiner(db, graph, config),
-        "two-way": lambda: TwoWayMiner(db, graph, config),
-        "bridge": lambda: BridgedMiner(
-            db, graph, config, bridge_length=args.bridge_length
-        ),
-    }
-    result = miners[args.algorithm]().mine()
-    print(
-        f"{result.algorithm}: {len(result.templates)} templates "
-        f"(support threshold {result.threshold:.1f} accesses); "
-        f"{result.support_stats['queries_run']} support queries, "
-        f"{result.support_stats['skipped']} skipped, "
-        f"{result.support_stats['cache_hits']} cache hits"
-    )
-    for mined in result.templates:
-        print(f"\n-- length {mined.length}, support {mined.support}")
-        print(mined.template.to_sql())
-    if args.save:
-        from .core.library import TemplateLibrary
-
-        TemplateLibrary.from_mining_result(result).save(args.save)
-        print(
-            f"\nsaved {len(result.templates)} suggested templates to "
-            f"{args.save} (review, set '-- status: approved', then pass "
-            f"--templates to explain/audit)"
+    result = service.mine(
+        MineRequest(
+            algorithm=args.algorithm,
+            support_fraction=args.support,
+            max_length=args.max_length,
+            max_tables=args.max_tables,
+            bridge_length=args.bridge_length,
         )
+    )
+    if args.json:
+        _print_json(result.to_dict())
+    else:
+        print(
+            f"{result.algorithm}: {len(result.templates)} templates "
+            f"(support threshold {result.threshold:.1f} accesses); "
+            f"{result.support_stats['queries_run']} support queries, "
+            f"{result.support_stats['skipped']} skipped, "
+            f"{result.support_stats['cache_hits']} cache hits"
+        )
+        for mined in result.templates:
+            print(f"\n-- length {mined.length}, support {mined.support}")
+            print(mined.sql)
+    if args.save:
+        result.library().save(args.save)
+        if not args.json:
+            print(
+                f"\nsaved {len(result.templates)} suggested templates to "
+                f"{args.save} (review, set '-- status: approved', then pass "
+                f"--templates to explain/audit)"
+            )
+    if args.save_json:
+        result.library().dump(args.save_json)
+        if not args.json:
+            print(
+                f"\nsaved {len(result.templates)} suggested templates to "
+                f"{args.save_json} (versioned JSON library)"
+            )
     return 0
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
     """``explain``: explain one access or render a patient's report."""
     db = load_database(args.db)
-    engine = ExplanationEngine(
+    templates = _templates_for(db, args.templates)
+    if templates is not None:
+        # library templates usually carry no description; attach the
+        # CareWeb natural-language phrasing so instances render readably
+        templates = [with_careweb_description(t) for t in templates]
+    service = AuditService.open(
         db,
-        [with_careweb_description(t) for t in _templates_for(db, args.templates)],
+        templates=templates,
+        config=AuditConfig(eager_warm=False),
     )
     if args.patient:
-        print(PatientPortal(engine).render(args.patient, limit=args.limit))
+        if args.json:
+            _print_json(
+                service.patient_report(args.patient, limit=args.limit).to_dict()
+            )
+        else:
+            print(service.render_patient_report(args.patient, limit=args.limit))
         return 0
     if args.lid is None:
         print("provide --lid or --patient", file=sys.stderr)
         return 2
-    instances = engine.explain(args.lid)
-    if not instances:
+    result = service.explain(ExplainRequest(lid=args.lid))
+    if args.json:
+        _print_json(result.to_dict())
+        return 0 if result.explained else 1
+    if not result.explained:
         print(f"access {args.lid}: NO explanation found (flag for review)")
         return 1
-    print(f"access {args.lid}: {len(instances)} explanation(s)")
-    for inst in instances:
-        print(f"  [len {inst.path_length}] {inst.render()}")
+    print(f"access {args.lid}: {len(result.explanations)} explanation(s)")
+    for view in result.explanations:
+        print(f"  [len {view.path_length}] {view.text}")
     return 0
 
 
@@ -169,24 +184,29 @@ def cmd_audit(args: argparse.Namespace) -> int:
     """``audit``: compliance summary plus the unexplained queue.
 
     ``--batch`` (default) evaluates every template once as a set-at-a-time
-    semijoin over the whole log (``ExplanationEngine.explain_all``);
-    ``--no-batch`` keeps the per-template point path.  Both produce
-    identical output — the toggle exists so either path is selectable and
-    testable end to end.  (Streamed batches have the equivalent switch on
-    ``AccessMonitor(batch=...)``.)
+    semijoin over the whole log; ``--no-batch`` keeps the per-template
+    point path.  Both produce identical output — the toggle exists so
+    either path is selectable and testable end to end.
     """
     db = load_database(args.db)
-    engine = ExplanationEngine(
-        db, _templates_for(db, args.templates), use_batch_path=args.batch
+    service = AuditService.open(
+        db,
+        templates=_templates_for(db, args.templates),
+        config=AuditConfig(use_batch_path=args.batch),
     )
-    auditor = ComplianceAuditor(engine)
-    print(auditor.summary())
-    queue = auditor.queue()
+    report = service.report()
+    if args.json:
+        payload = report.to_dict()
+        payload["queue"] = payload["queue"][: args.limit]
+        payload["user_risk"] = payload["user_risk"][: args.limit]
+        _print_json(payload)
+        return 0
+    print(report.summary())
     print(f"\ntop unexplained accesses (showing up to {args.limit}):")
-    for entry in queue[: args.limit]:
+    for entry in report.queue[: args.limit]:
         print(f"  {entry.lid}  {entry.date}  {entry.user} -> {entry.patient}")
     print("\nusers by unexplained-access count:")
-    for user, count in auditor.user_risk_ranking()[: args.limit]:
+    for user, count in report.user_risk[: args.limit]:
         print(f"  {user}: {count}")
     return 0
 
@@ -194,17 +214,19 @@ def cmd_audit(args: argparse.Namespace) -> int:
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """``evaluate``: the paper's headline coverage measurement."""
     db = load_database(args.db)
-    engine = ExplanationEngine(db, _templates_for(db, args.templates))
-    coverage = engine.coverage()
-    print(f"explained {coverage:.1%} of {len(engine.all_lids())} accesses")
+    service = AuditService.open(db, templates=_templates_for(db, args.templates))
+    coverage = service.coverage()
+    total = service.stats()["log_rows"]
+    if args.json:
+        _print_json({"coverage": coverage, "total": total})
+        return 0
+    print(f"explained {coverage:.1%} of {total} accesses")
     print("(paper reports over 94% with groups at depth 1)")
     return 0
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
     """``reproduce``: run every paper experiment into a markdown report."""
-    from .evalx.reportgen import write_report
-
     presets = {
         "tiny": SimulationConfig.tiny,
         "small": SimulationConfig.small,
@@ -254,6 +276,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--save", help="write mined templates to a reviewable SQL library"
     )
+    p.add_argument(
+        "--save-json",
+        help="write mined templates to a versioned JSON library "
+        "(TemplateLibrary.dump)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the MineResult as JSON"
+    )
     p.set_defaults(func=cmd_mine)
 
     p = sub.add_parser("explain", help="explain an access / patient report")
@@ -261,13 +291,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lid", type=int, help="log id to explain")
     p.add_argument("--patient", help="print this patient's access report")
     p.add_argument("--limit", type=int, default=20)
-    p.add_argument("--templates", help="reviewed SQL template library")
+    p.add_argument("--templates", help="reviewed SQL/JSON template library")
+    p.add_argument(
+        "--json", action="store_true", help="print the typed result as JSON"
+    )
     p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("audit", help="compliance summary + unexplained queue")
     p.add_argument("--db", required=True)
     p.add_argument("--limit", type=int, default=10)
-    p.add_argument("--templates", help="reviewed SQL template library")
+    p.add_argument("--templates", help="reviewed SQL/JSON template library")
     p.add_argument(
         "--batch",
         action=argparse.BooleanOptionalAction,
@@ -275,11 +308,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate templates set-at-a-time via batch semijoins "
         "(--no-batch keeps the per-template point path)",
     )
+    p.add_argument(
+        "--json", action="store_true", help="print the AuditReport as JSON"
+    )
     p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("evaluate", help="headline coverage measurement")
     p.add_argument("--db", required=True)
-    p.add_argument("--templates", help="reviewed SQL template library")
+    p.add_argument("--templates", help="reviewed SQL/JSON template library")
+    p.add_argument(
+        "--json", action="store_true", help="print coverage as JSON"
+    )
     p.set_defaults(func=cmd_evaluate)
 
     p = sub.add_parser(

@@ -103,11 +103,20 @@ class ExplanationEngine:
         log_table: str = "Log",
         log_id_attr: str = "Lid",
         use_batch_path: bool = True,
+        executor: Executor | None = None,
+        semijoin_batch_min: int = SEMIJOIN_BATCH_MIN,
     ) -> None:
         self.db = db
         self.log_table = log_table
         self.log_id_attr = log_id_attr
-        self.executor = Executor(db)
+        #: The executor carries the pipeline toggles (pushdown, distinct
+        #: reduction) and the plan cache; pass one in to control them —
+        #: ``repro.api.AuditService`` builds it from an AuditConfig.
+        self.executor = executor if executor is not None else Executor(db)
+        #: Batches at least this large take the semijoin delta strategy
+        #: when :meth:`notify_appended_many` auto-selects (``AuditConfig.
+        #: semijoin_batch_min`` routes here).
+        self.semijoin_batch_min = semijoin_batch_min
         #: When True (default), whole-log evaluation routes through the
         #: set-at-a-time :meth:`explain_all` semijoin path; False keeps
         #: the per-template point path (the CLI's ``--no-batch``, and the
@@ -346,7 +355,7 @@ class ExplanationEngine:
         """
         lids = list(lids)
         if use_semijoin is None:
-            use_semijoin = len(lids) >= SEMIJOIN_BATCH_MIN
+            use_semijoin = len(lids) >= self.semijoin_batch_min
         if self._all_lids is not None:
             self._all_lids.update(lids)
         batch = set(lids)

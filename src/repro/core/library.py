@@ -25,12 +25,19 @@ review artifact is human-readable and diff-able:
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, replace
 from typing import Iterable, Iterator
 
 from ..db.parser import template_from_sql
 from .mining import MiningResult
 from .template import ExplanationTemplate
+
+#: Identifies the versioned JSON on-disk form of a template library.
+LIBRARY_JSON_FORMAT = "repro.template-library"
+#: Bump when the JSON schema changes; :meth:`TemplateLibrary.loads_json`
+#: rejects versions it does not understand.
+LIBRARY_JSON_VERSION = 1
 
 
 class ReviewStatus(enum.Enum):
@@ -130,6 +137,19 @@ class TemplateLibrary:
         """What the explanation engine should actually apply."""
         return [e.template for e in self.entries(ReviewStatus.APPROVED)]
 
+    def production_templates(self) -> tuple[list[ExplanationTemplate], bool]:
+        """The set a deployment should apply, as ``(templates, fallback)``.
+
+        Approved templates when any exist; otherwise every *suggested*
+        one with ``fallback=True`` so callers can surface that unreviewed
+        templates are in use (the CLI prints a note).  The one policy
+        shared by ``AuditService.open`` and ``repro-audit --templates``.
+        """
+        approved = self.approved_templates()
+        if approved:
+            return approved, False
+        return [e.template for e in self.entries(ReviewStatus.SUGGESTED)], True
+
     def counts(self) -> dict[str, int]:
         """Entry counts per review status."""
         out = {status.value: 0 for status in ReviewStatus}
@@ -162,6 +182,81 @@ class TemplateLibrary:
         """Write the SQL-file form to ``path``."""
         with open(path, "w") as fh:
             fh.write(self.dumps())
+
+    # ------------------------------------------------------------------
+    # persistence (versioned JSON — the repro.api serving format)
+    # ------------------------------------------------------------------
+    def dumps_json(self) -> str:
+        """Serialize the library to its versioned JSON form.
+
+        Unlike :meth:`dumps` (the human-reviewable SQL artifact), the JSON
+        form is lossless: descriptions keep their exact text (including
+        newlines), and each entry carries the path-anchoring metadata
+        (``log_table``/``start_attr``/``end_attr``/``log_id_attr``) needed
+        to reconstruct the template without caller-supplied defaults — so
+        mined templates survive process restarts byte-identically.
+        """
+        entries = []
+        for entry in self._entries.values():
+            template = entry.template
+            entries.append(
+                {
+                    "name": template.name,
+                    "status": entry.status.value,
+                    "support": entry.support,
+                    "description": template.description,
+                    "sql": template.to_sql(),
+                    "log_table": template.path.log_table,
+                    "start_attr": template.path.start_attr,
+                    "end_attr": template.path.end_attr,
+                    "log_id_attr": template.log_id_attr,
+                }
+            )
+        return json.dumps(
+            {
+                "format": LIBRARY_JSON_FORMAT,
+                "version": LIBRARY_JSON_VERSION,
+                "entries": entries,
+            },
+            indent=2,
+        )
+
+    def dump(self, path: str) -> None:
+        """Write the versioned JSON form to ``path``.
+
+        :meth:`load` reads it back (the format is sniffed, so one loader
+        serves both the SQL and JSON artifacts).
+        """
+        with open(path, "w") as fh:
+            fh.write(self.dumps_json() + "\n")
+
+    @classmethod
+    def loads_json(cls, text: str) -> "TemplateLibrary":
+        """Parse a library from its versioned JSON form."""
+        payload = json.loads(text)
+        if payload.get("format") != LIBRARY_JSON_FORMAT:
+            raise ValueError(
+                f"not a template library (format={payload.get('format')!r})"
+            )
+        version = payload.get("version")
+        if version != LIBRARY_JSON_VERSION:
+            raise ValueError(
+                f"unsupported template-library version {version!r} "
+                f"(this build reads version {LIBRARY_JSON_VERSION})"
+            )
+        library = cls()
+        for raw in payload["entries"]:
+            template = template_from_sql(
+                raw["sql"],
+                log_table=raw["log_table"],
+                start_attr=raw["start_attr"],
+                end_attr=raw["end_attr"],
+                description=raw["description"],
+                name=raw["name"],
+                log_id_attr=raw["log_id_attr"],
+            )
+            library.add(template, ReviewStatus(raw["status"]), raw["support"])
+        return library
 
     @classmethod
     def loads(
@@ -213,6 +308,15 @@ class TemplateLibrary:
 
     @classmethod
     def load(cls, path: str, **kwargs) -> "TemplateLibrary":
-        """Read a library from a file written by :meth:`save`."""
+        """Read a library written by :meth:`save` (SQL) or :meth:`dump`
+        (versioned JSON); the format is sniffed from the content."""
         with open(path) as fh:
-            return cls.loads(fh.read(), **kwargs)
+            text = fh.read()
+        if text.lstrip().startswith("{"):
+            if kwargs:
+                raise TypeError(
+                    "JSON libraries are self-describing; loader keyword "
+                    f"arguments are not accepted: {sorted(kwargs)}"
+                )
+            return cls.loads_json(text)
+        return cls.loads(text, **kwargs)

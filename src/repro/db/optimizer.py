@@ -42,6 +42,7 @@ Besides cardinalities, this module hosts the executor's *query planner*:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from .database import Database
@@ -139,8 +140,12 @@ class PlanCache:
 
     Shared by default across every :class:`~repro.db.executor.Executor`
     (engine, support evaluator, monitor all reuse one cache), so repeated
-    template evaluation never re-plans.  Bounded FIFO eviction keeps the
-    cache from growing without limit under adversarial workloads.
+    template evaluation never re-plans.  Bounded LRU eviction keeps the
+    cache from growing without limit under adversarial workloads: a hit
+    refreshes the entry's recency, and a full cache evicts the least
+    recently used plan.  All operations hold an internal lock, so one
+    cache may serve concurrent reader threads (``repro.api.AuditService``
+    shares one per service).
     """
 
     def __init__(self, max_size: int = 1024) -> None:
@@ -148,29 +153,37 @@ class PlanCache:
             raise ValueError("max_size must be >= 1")
         self.max_size = max_size
         self._plans: dict[tuple, QueryPlan] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def lookup(self, key: tuple) -> QueryPlan | None:
-        """The cached plan for ``key``, counting the hit/miss."""
-        plan = self._plans.get(key)
-        if plan is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return plan
+        """The cached plan for ``key``, counting the hit/miss.
+
+        A hit moves the entry to most-recently-used position.
+        """
+        with self._lock:
+            plan = self._plans.pop(key, None)
+            if plan is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._plans[key] = plan
+            return plan
 
     def store(self, key: tuple, plan: QueryPlan) -> None:
-        """Memoize one plan, evicting the oldest entry when full."""
-        if key not in self._plans and len(self._plans) >= self.max_size:
-            self._plans.pop(next(iter(self._plans)))
-        self._plans[key] = plan
+        """Memoize one plan, evicting the LRU entry when full."""
+        with self._lock:
+            if key not in self._plans and len(self._plans) >= self.max_size:
+                self._plans.pop(next(iter(self._plans)))
+            self._plans[key] = plan
 
     def clear(self) -> None:
         """Drop every cached plan and zero the counters."""
-        self._plans.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
         return len(self._plans)

@@ -31,7 +31,8 @@ from ..audit.handcrafted import (
     repeat_access_template,
     same_department_templates,
 )
-from ..core.engine import ExplanationEngine
+from ..api.config import AuditConfig
+from ..api.service import AuditService
 from ..core.mining import (
     BridgedMiner,
     MiningConfig,
@@ -49,6 +50,10 @@ from .accesses import (
 )
 from .metrics import PrecisionRecall, score_explained
 from .study import CareWebStudy
+
+#: Evaluation opens services purely as template evaluators: no template
+#: set at open time, no eager warm-up (templates are scored one by one).
+_EVAL_CONFIG = AuditConfig(eager_warm=False)
 
 
 # ----------------------------------------------------------------------
@@ -111,7 +116,7 @@ def handcrafted_recall(
     total = len(selected)
     if total == 0:
         return {}
-    engine = ExplanationEngine(db)
+    service = AuditService.open(db, templates=(), config=_EVAL_CONFIG)
     labels = {
         "Appointments": "Appt w/Dr.",
         "Visits": "Visit w/Dr.",
@@ -120,12 +125,12 @@ def handcrafted_recall(
     out: dict[str, float] = {}
     union: set = set()
     for template in dataset_a_doctor_templates(graph):
-        explained = engine.explained_lids(template) & selected
+        explained = service.explained_lids(template) & selected
         table = next(iter(template.tables_referenced() - {"Log"}))
         out[labels[table]] = len(explained) / total
         union |= explained
     if include_repeat:
-        explained = engine.explained_lids(repeat_access_template(graph)) & selected
+        explained = service.explained_lids(repeat_access_template(graph)) & selected
         out["Repeat Access"] = len(explained) / total
         union |= explained
     out["All w/Dr."] = len(union) / total
@@ -193,7 +198,7 @@ def group_predictive_power(
     (exactly the Figure 12 protocol)."""
     combined, _real, fake_lids = study.combined_db()
     graph = build_careweb_graph(combined)
-    engine = ExplanationEngine(combined)
+    service = AuditService.open(combined, templates=(), config=_EVAL_CONFIG)
     test = study.test_first_lids()
     with_events = lids_with_events(study.db, tables) & test
     depths = range(
@@ -204,7 +209,7 @@ def group_predictive_power(
     for depth in depths:
         explained: set = set()
         for template in group_templates(graph, depth=depth, tables=tables):
-            explained |= engine.explained_lids(template)
+            explained |= service.explained_lids(template)
         rows.append(
             DepthRow(
                 label=str(depth),
@@ -213,7 +218,7 @@ def group_predictive_power(
         )
     explained = set()
     for template in same_department_templates(graph, tables=tables):
-        explained |= engine.explained_lids(template)
+        explained |= service.explained_lids(template)
     rows.append(
         DepthRow(
             label="Same Dept.",
@@ -273,7 +278,7 @@ def mined_predictive_power(
         )
         mining_result = OneWayMiner(study.mining_db(), study.mining_graph(), config).mine()
     combined, _real, fake_lids = study.combined_db()
-    engine = ExplanationEngine(combined)
+    service = AuditService.open(combined, templates=(), config=_EVAL_CONFIG)
     test = study.test_first_lids()
     with_events = lids_with_events(study.db) & test
     by_length = mining_result.templates_by_length()
@@ -282,7 +287,7 @@ def mined_predictive_power(
     for length in sorted(by_length):
         explained: set = set()
         for mined in by_length[length]:
-            explained |= engine.explained_lids(mined.template)
+            explained |= service.explained_lids(mined.template)
         union_all |= explained
         rows.append(
             LengthRow(
@@ -373,7 +378,8 @@ def overall_coverage(study: CareWebStudy, group_depth: int = 1) -> float:
     templates = dataset_a_doctor_templates(graph)
     templates.append(repeat_access_template(graph))
     templates.extend(group_templates(graph, depth=group_depth))
-    # One set-at-a-time pass: every template evaluated once as a batch
-    # semijoin over the whole log (ExplanationEngine.explain_all).
-    engine = ExplanationEngine(study.db, templates)
-    return engine.explain_all().coverage
+    # One set-at-a-time pass through the public API: opening the service
+    # warms the aggregates via one batch semijoin per template
+    # (ExplanationEngine.explain_all under the hood).
+    service = AuditService.open(study.db, templates=templates)
+    return service.coverage()

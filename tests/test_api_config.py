@@ -1,0 +1,146 @@
+"""AuditConfig round-trips and the bounded LRU plan cache it governs."""
+
+import pytest
+
+from repro.api import AuditConfig, AuditService
+from repro.db.optimizer import PlanCache, QueryPlan
+
+
+def _plan() -> QueryPlan:
+    return QueryPlan(needed={}, pushable_idx={}, residual_idx=(), steps=())
+
+
+class TestAuditConfig:
+    def test_defaults_round_trip(self):
+        config = AuditConfig()
+        assert AuditConfig.from_dict(config.to_dict()) == config
+
+    def test_non_default_round_trip(self):
+        config = AuditConfig(
+            log_table="Audit",
+            log_id_attr="Id",
+            use_batch_path=False,
+            semijoin_batch_min=3,
+            predicate_pushdown=False,
+            distinct_reduction=False,
+            plan_cache_size=7,
+            incremental_ingest=False,
+            batch_ingest=True,
+            alert_on_unexplained=False,
+            eager_warm=False,
+        )
+        data = config.to_dict()
+        assert data["plan_cache_size"] == 7
+        assert AuditConfig.from_dict(data) == config
+
+    def test_to_dict_is_json_scalar_only(self):
+        import json
+
+        json.dumps(AuditConfig().to_dict())  # must not raise
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown AuditConfig fields"):
+            AuditConfig.from_dict({"plan_cach_size": 10})
+
+    def test_replace_revalidates(self):
+        config = AuditConfig()
+        assert config.replace(plan_cache_size=2).plan_cache_size == 2
+        with pytest.raises(ValueError):
+            config.replace(plan_cache_size=0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"log_table": ""},
+            {"log_id_attr": ""},
+            {"semijoin_batch_min": 0},
+            {"plan_cache_size": 0},
+            {"batch_ingest": "yes"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AuditConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            AuditConfig().plan_cache_size = 5
+
+
+class TestPlanCacheLRU:
+    def test_hit_refreshes_recency(self):
+        cache = PlanCache(max_size=2)
+        cache.store(("a",), _plan())
+        cache.store(("b",), _plan())
+        assert cache.lookup(("a",)) is not None  # "a" is now most recent
+        cache.store(("c",), _plan())  # evicts LRU = "b", not "a"
+        assert cache.lookup(("a",)) is not None
+        assert cache.lookup(("b",)) is None
+
+    def test_fifo_without_hits(self):
+        cache = PlanCache(max_size=2)
+        cache.store(("a",), _plan())
+        cache.store(("b",), _plan())
+        cache.store(("c",), _plan())
+        assert cache.lookup(("a",)) is None
+        assert len(cache) == 2
+
+    def test_counters_and_stats(self):
+        cache = PlanCache(max_size=4)
+        cache.store(("k",), _plan())
+        cache.lookup(("k",))
+        cache.lookup(("missing",))
+        assert cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_max_size_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_size=0)
+
+
+class TestConfigDrivesService:
+    def test_plan_cache_size_from_config(self, hospital_db):
+        service = AuditService.open(
+            hospital_db,
+            templates=(),
+            config=AuditConfig(plan_cache_size=5, eager_warm=False),
+        )
+        assert service.plan_cache.max_size == 5
+        # private per-service cache, not the process-wide shared one
+        from repro.db.optimizer import shared_plan_cache
+
+        assert service.plan_cache is not shared_plan_cache()
+
+    def test_stats_exposes_plan_cache_counters(self, hospital_db):
+        from repro.audit.handcrafted import event_user_template
+        from repro.core.graph import SchemaGraph
+
+        graph = SchemaGraph(hospital_db)
+        template = event_user_template(graph, "Appointments", "Doctor")
+        service = AuditService.open(hospital_db, templates=[template])
+        service.explain(116)
+        service.explain(130)
+        stats = service.stats()["plan_cache"]
+        assert set(stats) == {"hits", "misses", "size"}
+        assert stats["misses"] >= 1
+        assert stats["hits"] >= 1  # repeated point-query shape re-used
+
+    def test_executor_toggles_from_config(self, hospital_db):
+        service = AuditService.open(
+            hospital_db,
+            templates=(),
+            config=AuditConfig(
+                predicate_pushdown=False,
+                distinct_reduction=False,
+                eager_warm=False,
+            ),
+        )
+        assert service.engine.executor.predicate_pushdown is False
+        assert service.engine.executor.distinct_reduction is False
+
+    def test_semijoin_threshold_reaches_engine(self, hospital_db):
+        service = AuditService.open(
+            hospital_db,
+            templates=(),
+            config=AuditConfig(semijoin_batch_min=3, eager_warm=False),
+        )
+        assert service.engine.semijoin_batch_min == 3

@@ -1,0 +1,148 @@
+"""Versioned JSON persistence of TemplateLibrary (dump/load), including
+mined templates and byte-identical explanation round-trips."""
+
+import json
+
+import pytest
+
+from repro.api import AuditConfig, AuditService, MineRequest, TemplateLibrary
+from repro.core.library import (
+    LIBRARY_JSON_FORMAT,
+    LIBRARY_JSON_VERSION,
+    ReviewStatus,
+)
+from repro.core.template import ExplanationTemplate
+
+from test_api_service import _build_hospital, _graph, _templates
+
+
+def _described_library(db) -> TemplateLibrary:
+    library = TemplateLibrary()
+    appointment, repeat, group = _templates(db)
+    library.add(appointment, ReviewStatus.APPROVED, support=12)
+    library.add(repeat, ReviewStatus.SUGGESTED)
+    library.add(group, ReviewStatus.REJECTED, support=3)
+    return library
+
+
+class TestJsonRoundTrip:
+    def test_dump_load_preserves_everything(self, tmp_path):
+        db = _build_hospital()
+        library = _described_library(db)
+        path = str(tmp_path / "lib.json")
+        library.dump(path)
+        loaded = TemplateLibrary.load(path)
+        assert len(loaded) == len(library)
+        original = {e.key: e for e in library}
+        for entry in loaded:
+            ref = original[entry.key]
+            assert entry.status is ref.status
+            assert entry.support == ref.support
+            assert entry.template.name == ref.template.name
+            assert entry.template.description == ref.template.description
+            assert entry.template.to_sql() == ref.template.to_sql()
+
+    def test_round_trip_is_a_fixed_point(self, tmp_path):
+        """dump -> load -> dumps_json is byte-identical to the original."""
+        db = _build_hospital()
+        library = _described_library(db)
+        path = str(tmp_path / "lib.json")
+        library.dump(path)
+        assert TemplateLibrary.load(path).dumps_json() == library.dumps_json()
+
+    def test_multiline_description_survives_json_not_sql(self, tmp_path):
+        db = _build_hospital()
+        base = _templates(db)[0]
+        template = ExplanationTemplate(
+            path=base.path,
+            description="[L.User] saw [L.Patient].\nSecond line.",
+            name="multiline",
+        )
+        library = TemplateLibrary()
+        library.add(template, ReviewStatus.APPROVED)
+        json_path = str(tmp_path / "lib.json")
+        library.dump(json_path)
+        loaded = next(iter(TemplateLibrary.load(json_path)))
+        assert loaded.template.description == template.description
+        # the SQL artifact flattens newlines (human-reviewable one-liners)
+        sql_path = str(tmp_path / "lib.sql")
+        library.save(sql_path)
+        flat = next(iter(TemplateLibrary.load(sql_path)))
+        assert "\n" not in flat.template.description
+
+    def test_payload_shape_and_version(self, tmp_path):
+        db = _build_hospital()
+        path = str(tmp_path / "lib.json")
+        _described_library(db).dump(path)
+        payload = json.loads(open(path).read())
+        assert payload["format"] == LIBRARY_JSON_FORMAT
+        assert payload["version"] == LIBRARY_JSON_VERSION
+        entry = payload["entries"][0]
+        assert {
+            "name",
+            "status",
+            "support",
+            "description",
+            "sql",
+            "log_table",
+            "start_attr",
+            "end_attr",
+            "log_id_attr",
+        } <= set(entry)
+
+    def test_unsupported_version_rejected(self):
+        payload = json.dumps(
+            {"format": LIBRARY_JSON_FORMAT, "version": 999, "entries": []}
+        )
+        with pytest.raises(ValueError, match="version"):
+            TemplateLibrary.loads_json(payload)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            TemplateLibrary.loads_json(json.dumps({"format": "nope"}))
+
+    def test_load_sniffs_sql_vs_json(self, tmp_path):
+        db = _build_hospital()
+        library = _described_library(db)
+        sql_path, json_path = str(tmp_path / "a.sql"), str(tmp_path / "a.json")
+        library.save(sql_path)
+        library.dump(json_path)
+        assert len(TemplateLibrary.load(sql_path)) == len(library)
+        assert len(TemplateLibrary.load(json_path)) == len(library)
+
+    def test_json_load_rejects_loader_kwargs(self, tmp_path):
+        db = _build_hospital()
+        path = str(tmp_path / "lib.json")
+        _described_library(db).dump(path)
+        with pytest.raises(TypeError, match="self-describing"):
+            TemplateLibrary.load(path, log_table="Log")
+
+
+class TestMinedTemplatesSurviveRestart:
+    def test_byte_identical_explanations_after_reload(self, tmp_path):
+        """Mine on the synthetic hospital log, persist, reload in a
+        'fresh process' (new service over an identical database), and
+        compare every access's rendered explanations byte for byte."""
+        mine_db = _build_hospital()
+        service = AuditService.open(
+            mine_db, templates=(), config=AuditConfig(eager_warm=False)
+        )
+        result = service.mine(
+            MineRequest(support_fraction=0.2, max_length=4),
+            graph=_graph(mine_db),
+        )
+        assert result.templates, "mining must find templates to persist"
+        path = str(tmp_path / "mined.json")
+        result.library().dump(path)
+
+        original = AuditService.open(
+            _build_hospital(),
+            templates=result.explanation_templates(),
+        )
+        restarted = AuditService.open(_build_hospital(), templates=path)
+        lids = sorted(_build_hospital().table("Log").distinct_values("Lid"))
+        for lid in lids:
+            assert (
+                original.explain(lid).to_dict() == restarted.explain(lid).to_dict()
+            ), f"explanations diverged after reload for lid {lid}"
+        assert original.report().to_dict() == restarted.report().to_dict()

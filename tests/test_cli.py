@@ -147,6 +147,34 @@ class TestTemplateLibraryFlow:
         assert "review queue" in out
         assert "note: no approved" not in out
 
+    def test_explain_with_library_renders_descriptions(
+        self, dbdir, tmp_path, capsys
+    ):
+        """Library templates get CareWeb natural-language descriptions in
+        explain output (not the generic join-chain fallback)."""
+        lib_path = str(tmp_path / "desc.sql")
+        main(
+            [
+                "mine", "--db", dbdir, "--support", "0.02",
+                "--max-length", "2", "--save", lib_path,
+            ]
+        )
+        text = open(lib_path).read()
+        with open(lib_path, "w") as fh:
+            fh.write(text.replace("-- status: suggested", "-- status: approved"))
+        capsys.readouterr()
+        for lid in range(1, 40):
+            code = main(
+                ["explain", "--db", dbdir, "--lid", str(lid),
+                 "--templates", lib_path]
+            )
+            out = capsys.readouterr().out
+            if code == 0:
+                assert "because" in out, out
+                assert "connection:" not in out, out
+                return
+        pytest.fail("no explained access found in the first 40 lids")
+
     def test_unapproved_library_falls_back_with_note(self, dbdir, tmp_path, capsys):
         lib_path = str(tmp_path / "raw.sql")
         main(
@@ -159,6 +187,66 @@ class TestTemplateLibraryFlow:
         code = main(["evaluate", "--db", dbdir, "--templates", lib_path])
         assert code == 0
         assert "note: no approved" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    """--json prints the typed response's to_dict() form."""
+
+    def test_audit_json(self, dbdir, capsys):
+        import json
+
+        assert main(["audit", "--db", dbdir, "--json", "--limit", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {"total", "explained", "unexplained", "coverage", "queue",
+                "user_risk"} <= set(payload)
+        assert len(payload["queue"]) <= 3
+
+    def test_explain_lid_json(self, dbdir, capsys):
+        import json
+
+        code = main(["explain", "--db", dbdir, "--lid", "1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["lid"] == 1
+        assert code == (0 if payload["explained"] else 1)
+
+    def test_explain_patient_json(self, dbdir, capsys):
+        import json
+        import os
+
+        with open(os.path.join(dbdir, "Log.csv")) as fh:
+            next(fh)
+            patient = next(fh).strip().split(",")[3]
+        assert main(["explain", "--db", dbdir, "--patient", patient, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["patient"] == patient
+        assert payload["entries"]
+
+    def test_evaluate_json(self, dbdir, capsys):
+        import json
+
+        assert main(["evaluate", "--db", dbdir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 0.0 <= payload["coverage"] <= 1.0 and payload["total"] > 0
+
+    def test_mine_json_and_save_json(self, dbdir, tmp_path, capsys):
+        import json
+
+        lib_path = str(tmp_path / "mined.json")
+        code = main(
+            [
+                "mine", "--db", dbdir, "--support", "0.05",
+                "--max-length", "2", "--json", "--save-json", lib_path,
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "one-way"
+        assert all({"sql", "support", "length"} <= set(t)
+                   for t in payload["templates"])
+        from repro.api import TemplateLibrary
+
+        loaded = TemplateLibrary.load(lib_path)
+        assert len(loaded) == len(payload["templates"])
 
 
 class TestReproduce:
