@@ -130,6 +130,10 @@ def bench_batch_explain_speedup(report):
             "speedup": speedup,
             "min_speedup": MIN_SPEEDUP,
         },
+        throughput={
+            "batch_vs_point_speedup": speedup,
+            "explained_per_second": len(lids) / batch_seconds,
+        },
     )
 
     # differential: identical explained sets on the measured prefix

@@ -152,6 +152,10 @@ def bench_streaming_ingest_speedup(report):
             "speedup": speedup,
             "min_speedup": MIN_SPEEDUP,
         },
+        throughput={
+            "incremental_vs_baseline_speedup": speedup,
+            "accesses_per_second": len(stream) / incremental_total,
+        },
     )
 
     # alert parity: both strategies must agree access-by-access
@@ -193,6 +197,7 @@ def bench_streaming_batch_ingest(report):
             "queries": queries,
             "alerts": monitor.alerts,
         },
+        throughput={"accesses_per_second": len(out) / elapsed},
     )
     assert len(out) == len(stream)
     assert monitor.seen == len(stream)

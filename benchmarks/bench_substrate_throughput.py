@@ -26,6 +26,12 @@ def _mean_seconds(benchmark):
         return None
 
 
+def _qps(benchmark, name="queries_per_second"):
+    """Gated throughput mapping, empty under --benchmark-disable."""
+    mean = _mean_seconds(benchmark)
+    return {name: 1.0 / mean} if mean else {}
+
+
 def bench_support_query_len2(benchmark, study, report):
     """Length-2 appointment template over the full log."""
     graph = build_careweb_graph(study.db)
@@ -49,6 +55,7 @@ def bench_support_query_len2(benchmark, study, report):
             "explained": result,
             "mean_seconds": _mean_seconds(benchmark),
         },
+        throughput=_qps(benchmark),
     )
     assert result > 0
 
@@ -75,6 +82,7 @@ def bench_support_query_len4_groups(benchmark, study, report):
             "explained": result,
             "mean_seconds": _mean_seconds(benchmark),
         },
+        throughput=_qps(benchmark),
     )
     assert result > 0
 
@@ -98,6 +106,7 @@ def bench_support_query_repeat_self_join(benchmark, study, report):
             "explained": result,
             "mean_seconds": _mean_seconds(benchmark),
         },
+        throughput=_qps(benchmark),
     )
     assert result > 0
 
@@ -123,4 +132,5 @@ def bench_support_cache_hit(benchmark, study, report):
             "cache_hits": evaluator.stats.cache_hits,
             "mean_seconds": _mean_seconds(benchmark),
         },
+        throughput=_qps(benchmark, name="hits_per_second"),
     )

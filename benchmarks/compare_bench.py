@@ -1,0 +1,226 @@
+"""CI benchmark-regression gate.
+
+Diffs fresh ``benchmarks/BENCH_*.json`` records against the committed
+``benchmarks/baselines/*.json`` and exits non-zero when any gated
+throughput metric regressed by more than the threshold (default 30%).
+Wired into ``.github/workflows/ci.yml`` after the benchmark smoke steps;
+run it locally the same way::
+
+    REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_batch_explain.py \
+        -o python_files='bench_*.py' -o python_functions='bench_*' -q --benchmark-disable
+    python benchmarks/compare_bench.py
+
+Comparison rules (see ``benchlib.py`` for the record schema):
+
+* only files present in BOTH directories are compared — a baseline whose
+  benchmark did not run in this job is reported as skipped, never failed;
+* ``schema_version`` must match, and smoke-mode records are only
+  compared against smoke-mode baselines (different workload sizes are
+  not comparable);
+* metrics named ``*_speedup``/``*_ratio`` are same-run ratios and are
+  gated on any machine — but with doubled slack when the baseline came
+  from a machine with a different CPU count (cache sizes and core
+  counts shift even single-threaded ratios); absolute rates (everything
+  else) are gated only when the CPU counts match, because a 1-core
+  laptop baseline says nothing about a 4-core runner's ops/sec;
+* improvements and new metrics are reported, never failed.
+
+Refresh the committed baselines after an intentional perf change::
+
+    python benchmarks/compare_bench.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import shutil
+import sys
+
+from benchlib import (
+    BENCH_SCHEMA_VERSION,
+    is_portable_metric,
+    load_record,
+    record_summary,
+    throughput_of,
+)
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_FRESH = _BENCH_DIR
+DEFAULT_BASELINES = os.path.join(_BENCH_DIR, "baselines")
+DEFAULT_THRESHOLD = 0.30
+
+
+def compare_records(
+    baseline: dict, fresh: dict, threshold: float
+) -> tuple[list[str], list[str]]:
+    """``(regressions, notes)`` from one baseline/fresh record pair."""
+    regressions: list[str] = []
+    notes: list[str] = []
+    name = baseline.get("name", "?")
+    if baseline.get("schema_version") != fresh.get("schema_version"):
+        regressions.append(
+            f"{name}: schema_version mismatch "
+            f"(baseline v{baseline.get('schema_version')}, "
+            f"fresh v{fresh.get('schema_version')}) — refresh baselines "
+            f"with --update"
+        )
+        return regressions, notes
+    if bool(baseline.get("smoke")) != bool(fresh.get("smoke")):
+        notes.append(
+            f"{name}: skipped (smoke-mode mismatch: baseline "
+            f"{'smoke' if baseline.get('smoke') else 'full'}, fresh "
+            f"{'smoke' if fresh.get('smoke') else 'full'})"
+        )
+        return regressions, notes
+    base_cpus = (baseline.get("machine") or {}).get("cpu_count")
+    fresh_cpus = (fresh.get("machine") or {}).get("cpu_count")
+    base_metrics = throughput_of(baseline)
+    fresh_metrics = throughput_of(fresh)
+    for metric, base_value in sorted(base_metrics.items()):
+        if base_value <= 0:
+            notes.append(f"{name}.{metric}: skipped (non-positive baseline)")
+            continue
+        if metric not in fresh_metrics:
+            notes.append(
+                f"{name}.{metric}: skipped (not emitted by this run)"
+            )
+            continue
+        same_machine = base_cpus == fresh_cpus
+        if not is_portable_metric(metric) and not same_machine:
+            notes.append(
+                f"{name}.{metric}: skipped (absolute rate; baseline "
+                f"machine had {base_cpus} cpus, this one {fresh_cpus})"
+            )
+            continue
+        # Ratios travel across machines, but not perfectly: give a
+        # cross-machine comparison double the slack so a baseline from
+        # a different runner class cannot fail healthy code.
+        allowed = threshold if same_machine else min(2 * threshold, 0.9)
+        fresh_value = fresh_metrics[metric]
+        change = (fresh_value - base_value) / base_value
+        line = (
+            f"{name}.{metric}: {base_value:.4g} -> {fresh_value:.4g} "
+            f"({change:+.1%})"
+        )
+        if change < -allowed:
+            regressions.append(
+                f"{line}  REGRESSION (allowed -{allowed:.0%})"
+            )
+        else:
+            notes.append(line)
+    for metric in sorted(set(fresh_metrics) - set(base_metrics)):
+        notes.append(
+            f"{name}.{metric}: new metric ({fresh_metrics[metric]:.4g}) — "
+            f"not in baseline"
+        )
+    return regressions, notes
+
+
+def gated_files(fresh_dir: str) -> list[str]:
+    """Fresh records that declare at least one throughput metric (the
+    only ones worth a baseline)."""
+    out = []
+    for path in sorted(glob.glob(os.path.join(fresh_dir, "BENCH_*.json"))):
+        try:
+            record = load_record(path)
+        except (OSError, ValueError):
+            continue
+        if throughput_of(record):
+            out.append(path)
+    return out
+
+
+def update_baselines(fresh_dir: str, baseline_dir: str) -> int:
+    """Copy every gated fresh record over the committed baselines."""
+    os.makedirs(baseline_dir, exist_ok=True)
+    copied = 0
+    for path in gated_files(fresh_dir):
+        target = os.path.join(baseline_dir, os.path.basename(path))
+        shutil.copyfile(path, target)
+        print(f"baseline updated: {os.path.relpath(target)}")
+        copied += 1
+    if not copied:
+        print("no fresh records with throughput metrics found; nothing updated")
+    return 0
+
+
+def run_gate(fresh_dir: str, baseline_dir: str, threshold: float) -> int:
+    baseline_paths = sorted(
+        glob.glob(os.path.join(baseline_dir, "BENCH_*.json"))
+    )
+    if not baseline_paths:
+        print(f"no baselines under {baseline_dir}; nothing to gate")
+        return 0
+    all_regressions: list[str] = []
+    compared = 0
+    for baseline_path in baseline_paths:
+        baseline = load_record(baseline_path)
+        fresh_path = os.path.join(fresh_dir, os.path.basename(baseline_path))
+        if not os.path.exists(fresh_path):
+            print(
+                f"skip {os.path.basename(baseline_path)}: benchmark did "
+                f"not run in this job"
+            )
+            continue
+        fresh = load_record(fresh_path)
+        print(f"compare {record_summary(fresh)}")
+        print(f"   vs   {record_summary(baseline)}")
+        regressions, notes = compare_records(baseline, fresh, threshold)
+        for note in notes:
+            print(f"  ok    {note}")
+        for regression in regressions:
+            print(f"  FAIL  {regression}")
+        all_regressions.extend(regressions)
+        compared += 1
+    print(
+        f"\n{compared} benchmark(s) compared, "
+        f"{len(all_regressions)} regression(s) "
+        f"(threshold {threshold:.0%}, schema v{BENCH_SCHEMA_VERSION})"
+    )
+    if all_regressions:
+        print(
+            "benchmark regression gate FAILED — if the slowdown is "
+            "intentional, refresh baselines with: "
+            "python benchmarks/compare_bench.py --update"
+        )
+        return 1
+    print("benchmark regression gate passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when fresh BENCH_*.json throughput regresses "
+        "vs committed baselines"
+    )
+    parser.add_argument(
+        "--fresh",
+        default=DEFAULT_FRESH,
+        help="directory holding this run's BENCH_*.json",
+    )
+    parser.add_argument(
+        "--baselines",
+        default=DEFAULT_BASELINES,
+        help="directory holding the committed baseline records",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="maximum tolerated fractional drop (default 0.30)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="refresh the baselines from this run instead of gating",
+    )
+    args = parser.parse_args(argv)
+    if args.update:
+        return update_baselines(args.fresh, args.baselines)
+    return run_gate(args.fresh, args.baselines, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,18 +7,22 @@ summary and persisted to ``benchmarks/latest_results.txt`` — so
 with output capturing on.
 
 Each benchmark additionally emits a machine-readable
-``benchmarks/BENCH_<name>.json`` (config, timings, speedups, headline
-numbers) via :meth:`PaperReport.json`, so the performance trajectory can
-be tracked across PRs by diffing/collecting the JSON artifacts.  Both
-artifact kinds are gitignored.
+``benchmarks/BENCH_<name>.json`` via :meth:`PaperReport.json`.  Every
+record shares one schema (``benchlib.make_record``): a versioned
+envelope with machine metadata (git SHA, CPU count, Python version), a
+smoke-mode flag, and an optional ``throughput`` mapping of gated
+higher-is-better metrics — what ``compare_bench.py`` diffs against the
+committed ``benchmarks/baselines/`` to fail CI on regressions.  The
+fresh artifacts are gitignored; the baselines are committed.
 """
 
 from __future__ import annotations
 
-import json
 import os
 
 import pytest
+
+from benchlib import make_record, write_record
 
 from repro.ehr import SimulationConfig
 from repro.evalx import CareWebStudy
@@ -36,18 +40,22 @@ class PaperReport:
         block.extend(str(line) for line in lines)
         _REPORT_SECTIONS.append("\n".join(block))
 
-    def json(self, name: str, payload: dict) -> str:
-        """Write ``BENCH_<name>.json`` (machine-readable result record).
+    def json(
+        self,
+        name: str,
+        payload: dict,
+        throughput: dict[str, float] | None = None,
+    ) -> str:
+        """Write ``BENCH_<name>.json`` in the shared schema.
 
-        ``payload`` should carry the benchmark's config, timings, and
-        headline numbers; non-JSON values (datetimes, dataclasses) are
-        stringified.  Returns the path written.
+        ``payload`` carries the benchmark's config, timings, and headline
+        numbers (non-JSON values are stringified); ``throughput`` lists
+        the gated higher-is-better metrics the CI regression gate
+        compares (None values are dropped, e.g. a pytest-benchmark mean
+        under ``--benchmark-disable``).  Returns the path written.
         """
         path = os.path.join(_BENCH_DIR, f"BENCH_{name}.json")
-        with open(path, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True, default=str)
-            fh.write("\n")
-        return path
+        return write_record(path, make_record(name, payload, throughput))
 
     @staticmethod
     def fmt_bars(values: dict, width: int = 40) -> list[str]:

@@ -89,6 +89,7 @@ from .messages import (
     jsonable,
 )
 from .service import AuditService, GroupsResult, standard_templates
+from .sharded import ShardedAuditService, open_service
 
 
 def __getattr__(name: str):
@@ -135,6 +136,7 @@ __all__ = [
     "SchemaAttr",
     "SchemaEdge",
     "SchemaGraph",
+    "ShardedAuditService",
     "TableSchema",
     "TemplateLibrary",
     "TwoWayMiner",
@@ -155,6 +157,7 @@ __all__ = [
     "lids_on_days",
     "load_database",
     "modularity",
+    "open_service",
     "repeat_access_template",
     "restrict_log",
     "same_department_templates",

@@ -56,6 +56,22 @@ class AuditConfig:
     #: invoked (unexplained accesses are still counted and reported).
     alert_on_unexplained: bool = True
 
+    #: Scatter-gather layout: number of patient-hash shards.  1 keeps the
+    #: single in-process :class:`~repro.api.service.AuditService` layout;
+    #: >1 makes :func:`repro.api.open_service` build a
+    #: :class:`~repro.api.sharded.ShardedAuditService` whose shard
+    #: databases each carry their own indexes and plan cache.
+    shards: int = 1
+    #: Shard executor: ``"thread"`` keeps every shard in-process and
+    #: scatters over a thread pool (cheap, shares the GIL); ``"process"``
+    #: pins each shard to its own worker process (true multi-core
+    #: evaluation; shard state lives in the worker).
+    executor_kind: str = "thread"
+    #: Concurrent scatter width for the thread executor (the process
+    #: executor always runs one worker per shard).  None means one thread
+    #: per shard.
+    parallelism: int | None = None
+
     #: Warm the explained/unexplained aggregates inside ``open()`` (and
     #: after every writer operation), so concurrent readers hit immutable
     #: caches and never race to populate them.  Disable only for
@@ -74,6 +90,19 @@ class AuditConfig:
             raise ValueError("plan_cache_size must be >= 1")
         if self.batch_ingest not in (True, False, None):
             raise ValueError("batch_ingest must be True, False, or None")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.executor_kind not in ("thread", "process"):
+            raise ValueError("executor_kind must be 'thread' or 'process'")
+        if self.parallelism is not None and self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1 when given")
+
+    @property
+    def effective_parallelism(self) -> int:
+        """The scatter width the thread executor actually uses."""
+        if self.parallelism is not None:
+            return min(self.parallelism, self.shards)
+        return self.shards
 
     # ------------------------------------------------------------------
     def replace(self, **changes) -> "AuditConfig":

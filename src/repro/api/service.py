@@ -91,6 +91,41 @@ def standard_templates(
     return [with_careweb_description(t) for t in templates]
 
 
+def format_patient_report(report: PatientReport) -> str:
+    """Plain-text portal screen for a :class:`PatientReport`, one access
+    per block (shared by the single-node and sharded services)."""
+    lines = [f"Access report for patient {report.patient}:"]
+    if not report.entries:
+        lines.append("  (no accesses recorded)")
+    for entry in report.entries:
+        flag = "  [!] " if entry.suspicious else "      "
+        lines.append(f"{flag}{entry.lid}  {entry.date}  by {entry.user}")
+        lines.append(f"        {entry.headline()}")
+    return "\n".join(lines)
+
+
+def resolve_templates(
+    db: Database,
+    templates: Iterable[ExplanationTemplate]
+    | TemplateLibrary
+    | str
+    | os.PathLike
+    | None,
+) -> list[ExplanationTemplate]:
+    """Normalize every accepted ``templates`` form of ``open(...)`` into a
+    concrete list: a path loads a saved library, a library contributes its
+    production set, None means the standard hand-crafted CareWeb set.
+    Shared by :class:`AuditService` and the sharded service so both
+    resolve identically."""
+    if isinstance(templates, (str, os.PathLike)):
+        templates = TemplateLibrary.load(str(templates))
+    if isinstance(templates, TemplateLibrary):
+        templates, _fallback = templates.production_templates()
+    elif templates is None:
+        templates = standard_templates(db)
+    return list(templates)
+
+
 @dataclass(frozen=True)
 class GroupsResult:
     """Outcome of :meth:`AuditService.build_groups`."""
@@ -176,13 +211,7 @@ class AuditService:
         if isinstance(db, (str, os.PathLike)):
             db = load_database(str(db))
         config = config if config is not None else AuditConfig()
-        if isinstance(templates, (str, os.PathLike)):
-            templates = TemplateLibrary.load(str(templates))
-        if isinstance(templates, TemplateLibrary):
-            templates, _fallback = templates.production_templates()
-        elif templates is None:
-            templates = standard_templates(db)
-        return cls(db, templates, config, clock=clock)
+        return cls(db, resolve_templates(db, templates), config, clock=clock)
 
     @classmethod
     def from_engine(
@@ -311,15 +340,7 @@ class AuditService:
         self, patient: Any, limit: int | None = None
     ) -> str:
         """Plain-text portal screen, one access per block."""
-        report = self.patient_report(patient, limit=limit)
-        lines = [f"Access report for patient {patient}:"]
-        if not report.entries:
-            lines.append("  (no accesses recorded)")
-        for entry in report.entries:
-            flag = "  [!] " if entry.suspicious else "      "
-            lines.append(f"{flag}{entry.lid}  {entry.date}  by {entry.user}")
-            lines.append(f"        {entry.headline()}")
-        return "\n".join(lines)
+        return format_patient_report(self.patient_report(patient, limit=limit))
 
     def report(self, limit: int | None = None) -> AuditReport:
         """The compliance-office artifact: coverage, the unexplained
@@ -384,6 +405,30 @@ class AuditService:
         self._check_open()
         with self._lock.read_locked():
             return frozenset(self.engine.unexplained_lids())
+
+    def explain_all(self):
+        """The whole-log explained/unexplained partition (one batch
+        semijoin per template) as a
+        :class:`~repro.core.engine.BatchExplanation`."""
+        self._check_open()
+        with self._lock.read_locked():
+            return self.engine.explain_all()
+
+    def explain_batch(self, lids: Iterable[Any]):
+        """Partition a set of log ids into explained/unexplained in one
+        set-at-a-time pass (ids absent from the log are unexplained)."""
+        self._check_open()
+        with self._lock.read_locked():
+            return self.engine.explain_batch(lids)
+
+    def support_many(
+        self, templates: Sequence[ExplanationTemplate]
+    ) -> list[int]:
+        """Distinct explained-access counts for the given templates (the
+        mining *support* quantity); templates need not be registered."""
+        self._check_open()
+        with self._lock.read_locked():
+            return self.engine.support_counts(templates)
 
     def explained_lids(self, template: ExplanationTemplate) -> frozenset:
         """Distinct log ids one template explains (evaluation helper; the

@@ -144,38 +144,31 @@ class AccessMonitor:
         self.total_queries += self.last_ingest_queries
         self.total_seconds += self.last_ingest_seconds
 
+    def _log_row(self, lid: Any, stamp: Any, user: Any, patient: Any) -> dict:
+        """The one place an audit-log row dict is built (both ingest
+        paths and both maintenance modes must append identical rows)."""
+        return {
+            self.engine.log_id_attr: lid,
+            "Date": stamp,
+            "User": user,
+            "Patient": patient,
+        }
+
     def ingest(
         self, user: Any, patient: Any, date: dt.datetime | None = None
     ) -> StreamedAccess:
         """Append one access to the log and explain it.
 
         Returns the :class:`StreamedAccess`; alert handlers fire before it
-        is returned when no explanation exists.
+        is returned when no explanation exists.  One-row case of
+        :meth:`ingest_prepared` (incremental mode delta-patches the
+        engine's caches with just this row; non-incremental restores the
+        seed's invalidate-everything behavior).
         """
-        with self._measured():
-            log = self.engine.db.table(self.engine.log_table)
-            lid = self._next_lid
-            self._next_lid += 1
-            stamp = date if date is not None else self.clock()
-            log.insert(
-                {
-                    self.engine.log_id_attr: lid,
-                    "Date": stamp,
-                    "User": user,
-                    "Patient": patient,
-                }
-            )
-            if self.incremental:
-                # delta-patch the engine's explained/unexplained sets with
-                # just this row; the table's own indexes were patched by
-                # insert()
-                self.engine.notify_appended(lid)
-            else:
-                # seed behavior: drop everything, rebuild on next read
-                log.invalidate_caches()
-                self.engine.invalidate_cache()
-            access = self._finish(lid, stamp, user, patient)
-        return access
+        lid = self._next_lid
+        self._next_lid += 1
+        stamp = date if date is not None else self.clock()
+        return self.ingest_prepared([(lid, stamp, user, patient)])[0]
 
     def ingest_many(
         self, accesses: list[tuple[Any, Any, dt.datetime]]
@@ -202,27 +195,63 @@ class AccessMonitor:
             self.last_ingest_queries = self.total_queries - queries_before
             self.last_ingest_seconds = self.total_seconds - seconds_before
             return out
+        batch = []
+        for user, patient, date in accesses:
+            lid = self._next_lid
+            self._next_lid += 1
+            stamp = date if date is not None else self.clock()
+            batch.append((lid, stamp, user, patient))
+        return self.ingest_prepared(batch)
+
+    def ingest_prepared(
+        self, rows: list[tuple[Any, Any, Any, Any]]
+    ) -> list[StreamedAccess]:
+        """Ingest ``(lid, date, user, patient)`` rows with *caller-assigned*
+        log ids — the shard-local half of a scatter-gather ingest, where a
+        routing layer owns the global lid sequence and each shard monitor
+        appends only the rows it was dealt.
+
+        Maintenance matches :meth:`ingest_many`: one table append pass,
+        one engine maintenance pass (strategy per the ``batch`` toggle),
+        then each row is explained and alerted on in input order.  The
+        monitor's own lid counter is advanced past every given integer id
+        so later un-prepared :meth:`ingest` calls cannot collide.
+        """
+        ints = [
+            lid
+            for lid, _, _, _ in rows
+            if isinstance(lid, int) and not isinstance(lid, bool)
+        ]
+        if ints:
+            self._next_lid = max(self._next_lid, max(ints) + 1)
+        if not rows:
+            return []
+        if not self.incremental:
+            # mirror per-item ingest(): each row is appended, caches are
+            # dropped, and the row is explained before the next lands
+            queries_before = self.total_queries
+            seconds_before = self.total_seconds
+            out = []
+            log = self.engine.db.table(self.engine.log_table)
+            for lid, stamp, user, patient in rows:
+                with self._measured():
+                    log.insert(self._log_row(lid, stamp, user, patient))
+                    log.invalidate_caches()
+                    self.engine.invalidate_cache()
+                    out.append(self._finish(lid, stamp, user, patient))
+            self.last_ingest_queries = self.total_queries - queries_before
+            self.last_ingest_seconds = self.total_seconds - seconds_before
+            return out
         with self._measured():
             log = self.engine.db.table(self.engine.log_table)
-            batch = []
-            for user, patient, date in accesses:
-                lid = self._next_lid
-                self._next_lid += 1
-                stamp = date if date is not None else self.clock()
-                batch.append((lid, stamp, user, patient))
             log.insert_many(
-                {
-                    self.engine.log_id_attr: lid,
-                    "Date": stamp,
-                    "User": user,
-                    "Patient": patient,
-                }
-                for lid, stamp, user, patient in batch
+                self._log_row(lid, stamp, user, patient)
+                for lid, stamp, user, patient in rows
             )
             self.engine.notify_appended_many(
-                [lid for lid, _, _, _ in batch], use_semijoin=self.batch
+                [lid for lid, _, _, _ in rows], use_semijoin=self.batch
             )
-            out = [self._finish(*entry) for entry in batch]
+            out = [self._finish(*entry) for entry in rows]
         return out
 
     def _finish(self, lid: Any, stamp: Any, user: Any, patient: Any) -> StreamedAccess:

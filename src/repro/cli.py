@@ -36,6 +36,7 @@ from .api import (
     MineRequest,
     TemplateLibrary,
     load_database,
+    open_service,
     save_database,
     with_careweb_description,
     write_report,
@@ -189,12 +190,15 @@ def cmd_audit(args: argparse.Namespace) -> int:
     either path is selectable and testable end to end.
     """
     db = load_database(args.db)
-    service = AuditService.open(
-        db,
-        templates=_templates_for(db, args.templates),
-        config=AuditConfig(use_batch_path=args.batch),
+    config = AuditConfig(
+        use_batch_path=args.batch,
+        shards=args.shards,
+        executor_kind=args.executor_kind,
     )
-    report = service.report()
+    with open_service(
+        db, templates=_templates_for(db, args.templates), config=config
+    ) as service:
+        report = service.report()
     if args.json:
         payload = report.to_dict()
         payload["queue"] = payload["queue"][: args.limit]
@@ -214,9 +218,12 @@ def cmd_audit(args: argparse.Namespace) -> int:
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """``evaluate``: the paper's headline coverage measurement."""
     db = load_database(args.db)
-    service = AuditService.open(db, templates=_templates_for(db, args.templates))
-    coverage = service.coverage()
-    total = service.stats()["log_rows"]
+    config = AuditConfig(shards=args.shards, executor_kind=args.executor_kind)
+    with open_service(
+        db, templates=_templates_for(db, args.templates), config=config
+    ) as service:
+        coverage = service.coverage()
+        total = service.stats()["log_rows"]
     if args.json:
         _print_json({"coverage": coverage, "total": total})
         return 0
@@ -241,6 +248,25 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         )
     print(f"reproduction report written to {args.out}")
     return 0
+
+
+def _add_sharding_args(p: argparse.ArgumentParser) -> None:
+    """The scatter-gather knobs shared by audit/evaluate."""
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="hash-partition the log by patient into N shards and "
+        "scatter-gather evaluation over them (1 = single-node service)",
+    )
+    p.add_argument(
+        "--executor-kind",
+        choices=["thread", "process"],
+        default="thread",
+        help="shard executor: 'thread' keeps shards in-process, "
+        "'process' pins each shard to its own worker process "
+        "(multi-core evaluation)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -301,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--db", required=True)
     p.add_argument("--limit", type=int, default=10)
     p.add_argument("--templates", help="reviewed SQL/JSON template library")
+    _add_sharding_args(p)
     p.add_argument(
         "--batch",
         action=argparse.BooleanOptionalAction,
@@ -316,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("evaluate", help="headline coverage measurement")
     p.add_argument("--db", required=True)
     p.add_argument("--templates", help="reviewed SQL/JSON template library")
+    _add_sharding_args(p)
     p.add_argument(
         "--json", action="store_true", help="print coverage as JSON"
     )

@@ -53,8 +53,17 @@ def rank_instances(
     instances: Iterable[ExplanationInstance],
 ) -> list[ExplanationInstance]:
     """Rank ascending by path length (shorter = more direct explanation),
-    breaking ties by template display name for deterministic output."""
-    return sorted(
-        instances,
-        key=lambda inst: (inst.path_length, inst.template.display_name(), str(inst.lid)),
-    )
+    breaking ties by template display name, then by the witnessing
+    bindings — a *total* deterministic order, so the ranking never
+    depends on the executor's row order (point vs batch plans, sharded
+    vs single-node tables all agree)."""
+
+    def key(inst: ExplanationInstance):
+        return (
+            inst.path_length,
+            inst.template.display_name(),
+            str(inst.lid),
+            sorted((k, str(v)) for k, v in inst.bindings.items()),
+        )
+
+    return sorted(instances, key=key)

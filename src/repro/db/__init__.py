@@ -42,6 +42,7 @@ from .query import (
     canonical_query_signature,
 )
 from .schema import Column, ColumnType, ForeignKey, TableSchema
+from .sharding import partition_by_patient, shard_of, shard_row_counts
 from .parser import parse_query, template_from_sql
 from .sql import render_query, render_query_reduced
 from .table import Table
@@ -75,7 +76,10 @@ __all__ = [
     "explain_query",
     "extract_point_predicates",
     "load_database",
+    "partition_by_patient",
     "query_shape",
+    "shard_of",
+    "shard_row_counts",
     "shared_plan_cache",
     "parse_query",
     "read_table_csv",
