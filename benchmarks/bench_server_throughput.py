@@ -1,0 +1,164 @@
+"""Wire-API serving throughput: explain requests/sec through the stack.
+
+The whole v1 serving path — asyncio HTTP parsing, route dispatch, the
+worker-pool hop, the facade's RWLock'd ``explain``, envelope
+serialization, keep-alive framing, and the typed client's parse — is
+exercised as one pipeline: an in-process :class:`~repro.server.
+AuditServer` over a synthetic hospital, hammered by a few persistent
+:class:`~repro.client.AuditClient` connections issuing single-access
+explains (the latency-sensitive serving operation; bulk audits take the
+NDJSON batch route instead).
+
+The floor: **>= 500 explain requests/sec single-process on the CI smoke
+dataset** (``REPRO_BENCH_SMOKE=1``) — the paper pitches near-real-time
+auditing, and a serving tier that cannot sustain hundreds of point
+explains per second on a small log would be the bottleneck in front of
+an engine that explains thousands per second in-process.  On the full
+dataset the rate is recorded (and gated against the committed baseline
+by ``compare_bench.py``) but no absolute floor is asserted.
+
+Every response is verified against the in-process facade during the
+measured run, so throughput cannot be bought with wrong answers.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.api import AuditConfig, AuditService
+from repro.client import AuditClient
+from repro.ehr import SimulationConfig, simulate
+from repro.server import AuditServer
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Required serving rate on the CI smoke dataset (asserted smoke-only).
+MIN_SMOKE_RPS = 500.0
+#: Persistent client connections (single server process regardless).
+CLIENTS = 4
+#: Measured requests in total, spread over the clients.
+TOTAL_REQUESTS = 2_000 if _SMOKE else 6_000
+#: Per-client warmup requests (plan caches, engine caches, TCP).
+WARMUP = 25
+
+
+def _world():
+    config = (
+        SimulationConfig.tiny(seed=7) if _SMOKE else SimulationConfig.small(seed=7)
+    )
+    db = simulate(config).db
+    service = AuditService.open(db, config=AuditConfig())
+    lids = sorted(service.engine.all_lids(), key=str)
+    return service, lids
+
+
+def bench_server_throughput(report):
+    """>= 500 explain req/s through HTTP on the smoke dataset, answers
+    byte-equal to the in-process facade."""
+    service, lids = _world()
+    per_client = TOTAL_REQUESTS // CLIENTS
+    errors: list[BaseException] = []
+    latencies: list[list[float]] = [[] for _ in range(CLIENTS)]
+
+    with AuditServer(service, port=0, max_workers=CLIENTS) as server:
+        # spot-check correctness through the full stack before timing
+        probe = AuditClient(server.host, server.port)
+        for lid in lids[:5]:
+            assert (
+                probe.explain(lid).to_dict() == service.explain(lid).to_dict()
+            )
+
+        barrier = threading.Barrier(CLIENTS + 1)
+
+        def worker(index: int) -> None:
+            client = AuditClient(server.host, server.port)
+            try:
+                for lid in lids[:WARMUP]:
+                    client.explain(lid)
+                barrier.wait()
+                # stride so clients don't march over the same lid together
+                for i in range(per_client):
+                    lid = lids[(index + i * CLIENTS) % len(lids)]
+                    started = time.perf_counter()
+                    result = client.explain(lid)
+                    latencies[index].append(time.perf_counter() - started)
+                    if result.lid != lid:
+                        raise AssertionError(
+                            f"served lid {result.lid!r} for {lid!r}"
+                        )
+            except BaseException as exc:  # surface worker failures
+                errors.append(exc)
+                try:
+                    barrier.abort()
+                except Exception:
+                    pass
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+
+        if errors:
+            raise errors[0]
+        server_metrics = probe.metrics()
+        probe.close()
+
+    total = per_client * CLIENTS
+    rps = total / elapsed
+    flat = sorted(t for per in latencies for t in per)
+    p50 = flat[len(flat) // 2]
+    p99 = flat[min(len(flat) - 1, (len(flat) * 99) // 100)]
+
+    report.section(
+        "Wire-API serving throughput — explain over HTTP",
+        [
+            f"  dataset                {'smoke' if _SMOKE else 'full'} "
+            f"({len(lids)} accesses)",
+            f"  clients (keep-alive)   {CLIENTS}",
+            f"  requests               {total}",
+            f"  elapsed                {elapsed:8.2f} s",
+            f"  throughput             {rps:8.0f} req/s "
+            + (f"(floor {MIN_SMOKE_RPS:.0f})" if _SMOKE else "(no floor)"),
+            f"  client-side latency    p50 {p50 * 1e3:6.2f} ms   "
+            f"p99 {p99 * 1e3:6.2f} ms",
+            f"  server in-flight gauge {server_metrics['in_flight']}",
+        ],
+    )
+    report.json(
+        "server_throughput",
+        {
+            "config": {
+                "smoke": _SMOKE,
+                "accesses": len(lids),
+                "clients": CLIENTS,
+                "requests": total,
+                "warmup_per_client": WARMUP,
+                "min_smoke_rps": MIN_SMOKE_RPS,
+            },
+            "timings": {
+                "elapsed_seconds": elapsed,
+                "client_latency_p50_seconds": p50,
+                "client_latency_p99_seconds": p99,
+            },
+            "server_metrics": server_metrics,
+            "requests_per_second": rps,
+        },
+        throughput={"explain_requests_per_second": rps},
+    )
+
+    if _SMOKE:
+        assert rps >= MIN_SMOKE_RPS, (
+            f"served only {rps:.0f} explain req/s on the smoke dataset "
+            f"(floor {MIN_SMOKE_RPS:.0f})"
+        )

@@ -1,0 +1,137 @@
+"""Serving over HTTP, end to end: ``repro-audit serve`` + the typed client.
+
+Simulates a tiny hospital week, spawns the real CLI server as a
+subprocess on an ephemeral port, then drives every major ``/v1/``
+endpoint through :class:`repro.client.AuditClient` — health, explain
+(single and NDJSON batch), the compliance report, cursor-paginated
+unexplained walking, streaming ingest, template listing, and the
+metrics counters — and finally shuts the server down with SIGINT and
+checks the exit is clean.
+
+This is also the CI server-smoke step:  Run:  python examples/serve_demo.py
+"""
+
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.api import NotFoundError, save_database
+from repro.client import AuditClient
+from repro.ehr import SimulationConfig, simulate
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def spawn_server(db_dir: str) -> tuple[subprocess.Popen, int]:
+    """Start ``repro-audit serve`` on an ephemeral port; returns the
+    process and the port parsed from its ``listening on`` line."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--db", db_dir, "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={"PYTHONPATH": str(SRC), "PYTHONUNBUFFERED": "1"},
+    )
+    assert process.stdout is not None
+    line = process.stdout.readline().strip()
+    if "listening on" not in line:
+        process.kill()
+        raise RuntimeError(f"server failed to start: {line!r}")
+    port = int(line.rsplit(":", 1)[1])
+    print(f"server up: {line}")
+    return process, port
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. a synthetic hospital, saved as a CSV database directory
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        db_dir = str(Path(tmp) / "hospital")
+        result = simulate(SimulationConfig.tiny(seed=7))
+        save_database(result.db, db_dir)
+        print(result.summary())
+
+        process, port = spawn_server(db_dir)
+        try:
+            drive(port)
+        finally:
+            process.send_signal(signal.SIGINT)
+            output, _ = process.communicate(timeout=30)
+            print(output.strip())
+            if process.returncode != 0:
+                raise SystemExit(
+                    f"server exited with {process.returncode}, not 0"
+                )
+        print("clean shutdown confirmed")
+
+
+def drive(port: int) -> None:
+    """Every major endpoint, through the typed client."""
+    with AuditClient("127.0.0.1", port) as client:
+        # -------------------------------------------------------- health
+        assert client.healthz()["status"] == "ok"
+
+        # ------------------------------------------------- the audit view
+        report = client.report()
+        print(report.summary())
+        coverage = client.coverage()
+        assert abs(coverage - report.coverage) < 1e-12
+
+        # ------------------------------------- explain: single and batch
+        some_lids = [view.lid for view in report.queue[:3]]
+        if some_lids:
+            single = client.explain(some_lids[0])
+            print(
+                f"explain({single.lid}): "
+                f"{'explained' if single.explained else 'SUSPICIOUS'}"
+            )
+            streamed = list(client.explain_batch(some_lids))
+            assert [r.lid for r in streamed] == some_lids
+            print(f"explain/batch streamed {len(streamed)} NDJSON results")
+
+        # --------------------------- the unexplained queue, cursor-walked
+        walked = list(client.unexplained(page_size=5))
+        assert [v.lid for v in walked] == [v.lid for v in report.queue]
+        print(
+            f"cursor-walked {len(walked)} unexplained accesses "
+            f"in pages of 5"
+        )
+
+        # ------------------------------------------------ patient report
+        patient = report.queue[0].patient if report.queue else None
+        if patient is not None:
+            print(client.render_patient_report(patient, limit=3))
+
+        # ------------------------------------------------ streaming ingest
+        ingested = client.ingest("u9999", "p9999")
+        print(
+            f"ingested lid={ingested.lid}: "
+            f"{'explained' if ingested.explained else 'alerted'}"
+        )
+
+        # -------------------------------------------- templates and stats
+        templates = client.templates()
+        print(f"{len(templates)} registered templates")
+        stats = client.stats()
+        print(f"service stats: {stats['log_rows']} log rows")
+
+        # ----------------------------------------------- typed wire errors
+        try:
+            client._request("GET", "/v1/nope")
+        except NotFoundError as exc:
+            print(f"typed 404 works: {exc.code}")
+        else:
+            raise AssertionError("unknown route did not raise NotFoundError")
+
+        metrics = client.metrics()
+        print(
+            f"server metrics: {metrics['requests_total']} requests, "
+            f"p50 latency {metrics['latency_seconds']['p50'] * 1e3:.2f} ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

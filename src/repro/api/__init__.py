@@ -72,9 +72,23 @@ from ..groups.modularity import modularity
 
 # the new unified service surface
 from .config import AuditConfig
+from .errors import (
+    WIRE_VERSION,
+    AuditApiError,
+    InternalServerError,
+    InvalidCursorError,
+    InvalidRequestError,
+    MethodNotAllowedError,
+    NotFoundError,
+    PayloadTooLargeError,
+    UnsupportedOperationError,
+    WireFormatError,
+    error_from_wire,
+)
 from .locks import RWLock
 from .messages import (
     MINING_ALGORITHMS,
+    WIRE_KINDS,
     AccessView,
     AuditReport,
     ExplainRequest,
@@ -86,7 +100,10 @@ from .messages import (
     MineResult,
     PatientReport,
     UnexplainedView,
+    from_wire,
     jsonable,
+    temporal,
+    to_wire,
 )
 from .service import AuditService, GroupsResult, standard_templates
 from .sharded import ShardedAuditService, open_service
@@ -104,7 +121,10 @@ def __getattr__(name: str):
 
 __all__ = [
     "MINING_ALGORITHMS",
+    "WIRE_KINDS",
+    "WIRE_VERSION",
     "AccessView",
+    "AuditApiError",
     "AuditConfig",
     "AuditReport",
     "AuditService",
@@ -122,6 +142,9 @@ __all__ = [
     "ExplanationView",
     "GroupsResult",
     "IngestResult",
+    "InternalServerError",
+    "InvalidCursorError",
+    "InvalidRequestError",
     "LibraryEntry",
     "MineRequest",
     "MineResult",
@@ -129,8 +152,11 @@ __all__ = [
     "MinedTemplateView",
     "MiningConfig",
     "MiningResult",
+    "MethodNotAllowedError",
+    "NotFoundError",
     "OneWayMiner",
     "PatientReport",
+    "PayloadTooLargeError",
     "RWLock",
     "ReviewStatus",
     "SchemaAttr",
@@ -141,15 +167,19 @@ __all__ = [
     "TemplateLibrary",
     "TwoWayMiner",
     "UnexplainedView",
+    "UnsupportedOperationError",
+    "WireFormatError",
     "access_matrix_from_log",
     "all_event_user_templates",
     "build_groups_table",
     "build_hierarchy",
     "dataset_a_doctor_templates",
     "describe_careweb_path",
+    "error_from_wire",
     "event_group_template",
     "event_same_department_template",
     "event_user_template",
+    "from_wire",
     "group_depth_attr",
     "group_templates",
     "hierarchy_from_log",
@@ -164,6 +194,8 @@ __all__ = [
     "save_database",
     "similarity_graph",
     "standard_templates",
+    "temporal",
+    "to_wire",
     "with_careweb_description",
     "write_report",
 ]

@@ -13,6 +13,7 @@ deployment's tuning, one dict to put in a config file.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
 
 from ..core.engine import SEMIJOIN_BATCH_MIN
@@ -114,11 +115,28 @@ class AuditConfig:
         return dataclasses.asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "AuditConfig":
-        """Rebuild from :meth:`to_dict` output; unknown keys are errors
-        (a misspelled knob must not silently fall back to its default)."""
+    def from_dict(cls, data: dict, strict: bool = True) -> "AuditConfig":
+        """Rebuild from :meth:`to_dict` output.
+
+        In strict mode (the default) unknown keys are errors — a
+        misspelled knob must not silently fall back to its default.  With
+        ``strict=False`` unknown keys are dropped with a warning instead,
+        so a config posted by a client built against a newer (or older)
+        schema still opens a service with every knob this build knows.
+        """
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = sorted(set(data) - known)
         if unknown:
-            raise ValueError(f"unknown AuditConfig fields: {unknown}")
+            if strict:
+                raise ValueError(
+                    f"unknown AuditConfig fields: {unknown} (a misspelled "
+                    f"knob would silently fall back to its default; pass "
+                    f"strict=False to accept-and-warn on keys from other "
+                    f"schema versions)"
+                )
+            warnings.warn(
+                f"ignoring unknown AuditConfig fields: {unknown}",
+                stacklevel=2,
+            )
+            data = {k: v for k, v in data.items() if k in known}
         return cls(**data)

@@ -1,9 +1,19 @@
 """Typed requests and responses of the public audit API.
 
-Every response dataclass is frozen and offers :meth:`to_dict`, producing
+Every dataclass here is frozen and offers :meth:`to_dict`, producing
 plain JSON-serializable structures (datetimes become ISO strings, sets
 become sorted lists) — the contract a web tier can serve directly, and
-what ``repro-audit --json`` prints.
+what ``repro-audit --json`` prints — plus the exact inverse
+:meth:`from_dict`, so ``from_dict(to_dict(x)) == x`` for every message
+type and a client can rebuild the typed object from wire JSON.
+
+The wire layer wraps each message in a versioned envelope::
+
+    {"v": 1, "kind": "ExplainResult", "data": {...to_dict()...}}
+
+via :func:`to_wire`/:func:`from_wire`; version or kind mismatches raise
+the typed :class:`~repro.api.errors.WireFormatError` instead of
+producing a half-parsed object.
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ from ..audit.streaming import StreamedAccess
 from ..core.instance import ExplanationInstance
 from ..core.library import TemplateLibrary
 from ..core.mining import MiningResult
+from .errors import WIRE_VERSION, WireFormatError
 
 #: Mining algorithms :class:`MineRequest` accepts.
 MINING_ALGORITHMS = ("one-way", "two-way", "bridge")
@@ -34,6 +45,24 @@ def jsonable(value: Any) -> Any:
     return value
 
 
+def temporal(value: Any) -> Any:
+    """Inverse of the temporal half of :func:`jsonable`: ISO-formatted
+    strings come back as ``datetime``/``date`` objects (a bare
+    ``YYYY-MM-DD`` is a date, anything with a time part a datetime);
+    everything else passes through untouched.  A string that merely
+    *looks* like a timestamp converts too — the wire format reserves ISO
+    shapes for temporal values.
+    """
+    if isinstance(value, str):
+        try:
+            if len(value) == 10 and "T" not in value:
+                return dt.date.fromisoformat(value)
+            return dt.datetime.fromisoformat(value)
+        except ValueError:
+            return value
+    return value
+
+
 # ----------------------------------------------------------------------
 # explain
 # ----------------------------------------------------------------------
@@ -49,6 +78,13 @@ class ExplainRequest:
             raise ValueError("ExplainRequest requires a log id")
         if self.limit is not None and self.limit < 1:
             raise ValueError("limit must be >= 1 when given")
+
+    def to_dict(self) -> dict:
+        return {"lid": jsonable(self.lid), "limit": self.limit}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExplainRequest":
+        return cls(lid=data.get("lid"), limit=data.get("limit"))
 
 
 @dataclass(frozen=True)
@@ -77,6 +113,17 @@ class ExplanationView:
             "bindings": jsonable(self.bindings),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExplanationView":
+        return cls(
+            text=data["text"],
+            path_length=data["path_length"],
+            template=data.get("template"),
+            bindings={
+                k: temporal(v) for k, v in (data.get("bindings") or {}).items()
+            },
+        )
+
 
 @dataclass(frozen=True)
 class ExplainResult:
@@ -100,6 +147,16 @@ class ExplainResult:
             "explained": self.explained,
             "explanations": [e.to_dict() for e in self.explanations],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExplainResult":
+        return cls(
+            lid=temporal(data.get("lid")),
+            explanations=tuple(
+                ExplanationView.from_dict(e)
+                for e in data.get("explanations") or ()
+            ),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -132,6 +189,15 @@ class AccessView:
             "explanations": list(self.explanations),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "AccessView":
+        return cls(
+            lid=temporal(data.get("lid")),
+            date=temporal(data.get("date")),
+            user=data.get("user"),
+            explanations=tuple(data.get("explanations") or ()),
+        )
+
 
 @dataclass(frozen=True)
 class PatientReport:
@@ -145,6 +211,15 @@ class PatientReport:
             "patient": jsonable(self.patient),
             "entries": [e.to_dict() for e in self.entries],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PatientReport":
+        return cls(
+            patient=data.get("patient"),
+            entries=tuple(
+                AccessView.from_dict(e) for e in data.get("entries") or ()
+            ),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -201,6 +276,20 @@ class IngestResult:
             "explanations": [e.to_dict() for e in self.explanations],
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "IngestResult":
+        return cls(
+            lid=temporal(data.get("lid")),
+            date=temporal(data.get("date")),
+            user=data.get("user"),
+            patient=data.get("patient"),
+            explanations=tuple(
+                ExplanationView.from_dict(e)
+                for e in data.get("explanations") or ()
+            ),
+            alerted=bool(data.get("alerted", False)),
+        )
+
 
 # ----------------------------------------------------------------------
 # compliance report
@@ -221,6 +310,15 @@ class UnexplainedView:
             "user": jsonable(self.user),
             "patient": jsonable(self.patient),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UnexplainedView":
+        return cls(
+            lid=temporal(data.get("lid")),
+            date=temporal(data.get("date")),
+            user=data.get("user"),
+            patient=data.get("patient"),
+        )
 
 
 @dataclass(frozen=True)
@@ -257,6 +355,21 @@ class AuditReport:
             ],
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "AuditReport":
+        return cls(
+            total=data["total"],
+            unexplained_count=data["unexplained"],
+            coverage=data["coverage"],
+            queue=tuple(
+                UnexplainedView.from_dict(e) for e in data.get("queue") or ()
+            ),
+            user_risk=tuple(
+                (entry["user"], entry["unexplained"])
+                for entry in data.get("user_risk") or ()
+            ),
+        )
+
 
 # ----------------------------------------------------------------------
 # mining
@@ -289,6 +402,28 @@ class MineRequest:
         if self.bridge_length < 1:
             raise ValueError("bridge_length must be >= 1")
 
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "support_fraction": self.support_fraction,
+            "max_length": self.max_length,
+            "max_tables": self.max_tables,
+            "bridge_length": self.bridge_length,
+            "register": self.register,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MineRequest":
+        known = {
+            "algorithm",
+            "support_fraction",
+            "max_length",
+            "max_tables",
+            "bridge_length",
+            "register",
+        }
+        return cls(**{k: v for k, v in data.items() if k in known})
+
 
 @dataclass(frozen=True)
 class MinedTemplateView:
@@ -303,6 +438,12 @@ class MinedTemplateView:
 
     def to_dict(self) -> dict:
         return {"sql": self.sql, "support": self.support, "length": self.length}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MinedTemplateView":
+        return cls(
+            sql=data["sql"], support=data["support"], length=data["length"]
+        )
 
 
 @dataclass(frozen=True)
@@ -344,6 +485,88 @@ class MineResult:
             "support_stats": jsonable(self.support_stats),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "MineResult":
+        """Rebuild the presentation half from wire JSON.  ``raw`` (and the
+        per-view template objects) cannot travel; the reconstructed result
+        compares equal but :meth:`library`/:meth:`explanation_templates`
+        are unavailable on it."""
+        return cls(
+            algorithm=data["algorithm"],
+            threshold=data["threshold"],
+            templates=tuple(
+                MinedTemplateView.from_dict(t) for t in data.get("templates") or ()
+            ),
+            support_stats=dict(data.get("support_stats") or {}),
+            raw=None,
+        )
+
+
+# ----------------------------------------------------------------------
+# versioned wire envelopes
+# ----------------------------------------------------------------------
+#: ``kind -> class`` registry of every wire-transportable message type.
+WIRE_KINDS: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        AccessView,
+        AuditReport,
+        ExplainRequest,
+        ExplainResult,
+        ExplanationView,
+        IngestResult,
+        MineRequest,
+        MineResult,
+        MinedTemplateView,
+        PatientReport,
+        UnexplainedView,
+    )
+}
+
+
+def to_wire(message: Any) -> dict:
+    """Wrap a typed message in the versioned wire envelope::
+
+        {"v": 1, "kind": "ExplainResult", "data": {...to_dict()...}}
+    """
+    kind = type(message).__name__
+    if kind not in WIRE_KINDS:
+        raise WireFormatError(f"{kind} is not a wire-transportable message")
+    return {"v": WIRE_VERSION, "kind": kind, "data": message.to_dict()}
+
+
+def from_wire(payload: Any, expected: str | None = None) -> Any:
+    """Rebuild the typed message from a wire envelope.
+
+    Raises :class:`~repro.api.errors.WireFormatError` on a non-dict
+    payload, an unsupported version, an unknown kind, or — when
+    ``expected`` is given — a kind other than the one the caller is
+    prepared to handle.
+    """
+    if not isinstance(payload, dict):
+        raise WireFormatError(
+            f"wire envelope must be an object, got {type(payload).__name__}"
+        )
+    version = payload.get("v")
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire version {version!r} "
+            f"(this build speaks v{WIRE_VERSION})"
+        )
+    kind = payload.get("kind")
+    cls = WIRE_KINDS.get(kind)
+    if cls is None:
+        raise WireFormatError(f"unknown wire kind {kind!r}")
+    if expected is not None and kind != expected:
+        raise WireFormatError(f"expected a {expected} envelope, got {kind}")
+    data = payload.get("data")
+    if not isinstance(data, dict):
+        raise WireFormatError(f"{kind} envelope carries no data object")
+    try:
+        return cls.from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireFormatError(f"malformed {kind} data: {exc}") from exc
+
 
 __all__ = [
     "AccessView",
@@ -358,5 +581,10 @@ __all__ = [
     "MinedTemplateView",
     "PatientReport",
     "UnexplainedView",
+    "WIRE_KINDS",
+    "WIRE_VERSION",
+    "from_wire",
     "jsonable",
+    "temporal",
+    "to_wire",
 ]

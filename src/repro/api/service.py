@@ -342,37 +342,51 @@ class AuditService:
         """Plain-text portal screen, one access per block."""
         return format_patient_report(self.patient_report(patient, limit=limit))
 
+    def _unexplained_queue_locked(self) -> tuple[UnexplainedView, ...]:
+        """Queue assembly under an already-held read lock."""
+        log = self.db.table(self.config.log_table)
+        schema = log.schema
+        lid_i = schema.column_index(self.config.log_id_attr)
+        date_i = schema.column_index("Date")
+        user_i = schema.column_index("User")
+        patient_i = schema.column_index("Patient")
+        unexplained = self.engine.unexplained_lids()
+        rows = [r for r in log.rows() if r[lid_i] in unexplained]
+        rows.sort(key=lambda r: (r[date_i], r[lid_i]))
+        return tuple(
+            UnexplainedView(
+                lid=r[lid_i], date=r[date_i], user=r[user_i], patient=r[patient_i]
+            )
+            for r in rows
+        )
+
+    def unexplained_queue(self) -> tuple[UnexplainedView, ...]:
+        """The unexplained review queue alone, oldest first (stable
+        ``(date, lid)`` order) — :meth:`report` without the coverage and
+        per-user aggregates, which is what the paginated wire endpoint
+        serves page-by-page."""
+        self._check_open()
+        with self._lock.read_locked():
+            return self._unexplained_queue_locked()
+
     def report(self, limit: int | None = None) -> AuditReport:
         """The compliance-office artifact: coverage, the unexplained
         review queue (oldest first, optionally capped), and per-user
         unexplained counts (always over the full queue)."""
         self._check_open()
         with self._lock.read_locked():
-            log = self.db.table(self.config.log_table)
-            schema = log.schema
-            lid_i = schema.column_index(self.config.log_id_attr)
-            date_i = schema.column_index("Date")
-            user_i = schema.column_index("User")
-            patient_i = schema.column_index("Patient")
-            unexplained = self.engine.unexplained_lids()
+            queue_views = self._unexplained_queue_locked()
             total = len(self.engine.all_lids())
             coverage = self.engine.coverage()
-            rows = [r for r in log.rows() if r[lid_i] in unexplained]
-        rows.sort(key=lambda r: (r[date_i], r[lid_i]))
         counts: dict[Any, int] = {}
-        for r in rows:
-            counts[r[user_i]] = counts.get(r[user_i], 0) + 1
-        queue = [
-            UnexplainedView(
-                lid=r[lid_i], date=r[date_i], user=r[user_i], patient=r[patient_i]
-            )
-            for r in rows
-        ]
+        for view in queue_views:
+            counts[view.user] = counts.get(view.user, 0) + 1
+        queue = list(queue_views)
         if limit is not None:
             queue = queue[:limit]
         return AuditReport(
             total=total,
-            unexplained_count=len(rows),
+            unexplained_count=len(queue_views),
             coverage=coverage,
             queue=tuple(queue),
             user_risk=tuple(

@@ -67,6 +67,7 @@ from ..db.executor import Executor
 from ..db.optimizer import PlanCache
 from ..db.sharding import partition_by_patient, shard_of
 from .config import AuditConfig
+from .errors import UnsupportedOperationError
 from .locks import RWLock
 from .messages import (
     AccessView,
@@ -523,6 +524,21 @@ class ShardedAuditService:
         """Plain-text portal screen, one access per block."""
         return format_patient_report(self.patient_report(patient, limit=limit))
 
+    def unexplained_queue(self) -> tuple[UnexplainedView, ...]:
+        """The unexplained review queue alone in the stable ``(date,
+        lid)`` order, merged from per-shard rows — :meth:`report` without
+        the coverage and per-user aggregates (the paginated wire
+        endpoint's surface)."""
+        self._check_open()
+        with self._lock.read_locked():
+            gathered = self._scatter("report_rows")
+        rows = [row for _, shard_rows in gathered for row in shard_rows]
+        rows.sort(key=lambda r: (r[1], r[0]))
+        return tuple(
+            UnexplainedView(lid=lid, date=date, user=user, patient=patient)
+            for lid, date, user, patient in rows
+        )
+
     def report(self, limit: int | None = None) -> AuditReport:
         """The compliance-office artifact, merged from per-shard
         partitions: totals add, unexplained queues concatenate and
@@ -646,6 +662,21 @@ class ShardedAuditService:
         with self._lock.read_locked():
             return tuple(self._on_shard(0, "templates"))
 
+    def template_library(self) -> TemplateLibrary:
+        """The registered templates as an all-approved library (facade
+        mirror; they are in production use on every shard)."""
+        from ..core.library import ReviewStatus
+
+        library = TemplateLibrary()
+        for template in self.templates():
+            library.add(template, ReviewStatus.APPROVED)
+        return library
+
+    def save_templates(self, path: str) -> None:
+        """Persist the registered templates as a versioned JSON library
+        (facade mirror)."""
+        self.template_library().dump(path)
+
     def stats(self) -> dict:
         """Aggregated operational counters plus the per-shard breakdown."""
         self._check_open()
@@ -756,20 +787,23 @@ class ShardedAuditService:
 
     def mine(self, *args, **kwargs):
         """Mining is a whole-database writer the patient partition cannot
-        host; mine on a single-node service, then broadcast."""
-        raise NotImplementedError(
-            "mine() is not available on ShardedAuditService: run it on "
-            "AuditService.open(db) over the same database, then register "
-            "the results here with add_templates()"
+        host; mine on a single-node service, then broadcast.  Raises the
+        typed :class:`~repro.api.errors.UnsupportedOperationError` (an
+        ``NotImplementedError`` subclass), which the HTTP server layer
+        maps to 501."""
+        raise UnsupportedOperationError(
+            "mine() is not available on ShardedAuditService",
+            hint="run it on AuditService.open(db) over the same database, "
+            "then register the results here with add_templates()",
         )
 
     def build_groups(self, *args, **kwargs):
         """Group inference rewrites a shared table; same recipe as
         :meth:`mine` — build on a single-node service, reopen sharded."""
-        raise NotImplementedError(
-            "build_groups() is not available on ShardedAuditService: run "
-            "it on AuditService.open(db), then reopen the sharded service "
-            "over the updated database"
+        raise UnsupportedOperationError(
+            "build_groups() is not available on ShardedAuditService",
+            hint="run it on AuditService.open(db) over the same database, "
+            "then reopen the sharded service over the updated database",
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -12,7 +12,8 @@ Subcommands mirror the system's lifecycle:
 * ``mine``     — mine explanation templates and print them as SQL;
 * ``explain``  — explain one access, or print a patient's access report;
 * ``audit``    — print the compliance summary and the unexplained queue;
-* ``evaluate`` — run the paper's headline coverage measurement.
+* ``evaluate`` — run the paper's headline coverage measurement;
+* ``serve``    — expose the service as the v1 HTTP/NDJSON wire API.
 
 Example session::
 
@@ -232,6 +233,24 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: the v1 wire API over an opened service.
+
+    ``--shards N --executor-kind process`` serves the scatter-gather
+    backend transparently — the wire contract is identical.  ``--port 0``
+    binds an ephemeral port; the ``listening on http://...`` line names
+    it (scripts parse that line).  SIGINT/SIGTERM shut down cleanly.
+    """
+    from .server import serve
+
+    db = load_database(args.db)
+    config = AuditConfig(shards=args.shards, executor_kind=args.executor_kind)
+    with open_service(
+        db, templates=_templates_for(db, args.templates), config=config
+    ) as service:
+        return serve(service, host=args.host, port=args.port)
+
+
 def cmd_reproduce(args: argparse.Namespace) -> int:
     """``reproduce``: run every paper experiment into a markdown report."""
     presets = {
@@ -348,6 +367,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print coverage as JSON"
     )
     p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("serve", help="serve the v1 HTTP/NDJSON wire API")
+    p.add_argument("--db", required=True, help="database directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listening port (0 binds an ephemeral one, printed on stdout)",
+    )
+    p.add_argument("--templates", help="reviewed SQL/JSON template library")
+    _add_sharding_args(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "reproduce", help="run every paper experiment into a markdown report"

@@ -1,0 +1,11 @@
+"""``repro.client`` — the typed blocking client of the wire API.
+
+Mirror of the :class:`repro.api.AuditService` facade over HTTP; see
+:mod:`repro.client.client`.  Typed errors raised here are the same
+classes :mod:`repro.api.errors` defines, so remote and in-process
+error handling share one ``except`` clause.
+"""
+
+from .client import AuditClient
+
+__all__ = ["AuditClient"]

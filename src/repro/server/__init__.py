@@ -1,0 +1,53 @@
+"""``repro.server`` — the stdlib HTTP/NDJSON wire tier.
+
+A dependency-free asyncio HTTP server exposing any opened audit service
+(single-node or sharded, via :func:`repro.api.open_service`) as the
+versioned ``/v1/`` JSON wire API; see :mod:`repro.server.app` for the
+route table.  The blocking counterpart lives in :mod:`repro.client`.
+
+Embedding (tests, benchmarks, notebooks)::
+
+    from repro.api import open_service
+    from repro.server import AuditServer
+
+    service = open_service("hospital/")
+    with AuditServer(service, port=0) as server:   # ephemeral port
+        ...  # hit server.base_url with repro.client.AuditClient
+
+Production-style (the ``repro-audit serve`` subcommand)::
+
+    from repro.server import serve
+    serve(service, host="0.0.0.0", port=8080)      # blocks until SIGINT
+"""
+
+from .app import (
+    DEFAULT_PAGE_LIMIT,
+    MAX_PAGE_LIMIT,
+    AuditAPI,
+    AuditServer,
+    envelope,
+    parse_scalar,
+    serve,
+)
+from .cursor import CURSOR_VERSION, decode_cursor, encode_cursor
+from .http import ChunkedWriter, Request, dump_json, read_request, response_bytes
+from .metrics import ServerMetrics
+
+__all__ = [
+    "CURSOR_VERSION",
+    "DEFAULT_PAGE_LIMIT",
+    "MAX_PAGE_LIMIT",
+    "AuditAPI",
+    "AuditServer",
+    "ChunkedWriter",
+    "Request",
+    "ServerMetrics",
+    "decode_cursor",
+    "dump_json",
+    "encode_cursor",
+    "envelope",
+    "parse_scalar",
+    "read_request",
+    "response_bytes",
+    "serve",
+]

@@ -1,0 +1,632 @@
+"""The versioned audit wire API: routes, dispatch, and server lifecycle.
+
+:class:`AuditAPI` binds an opened service — the single-node
+:class:`~repro.api.AuditService` or the scatter-gather
+:class:`~repro.api.ShardedAuditService`, transparently via
+:func:`repro.api.open_service` — to the ``/v1/`` route table:
+
+=========  ===========================  =====================================
+method     path                         result
+=========  ===========================  =====================================
+GET        /healthz                     liveness (also under ``/v1/``)
+GET        /metrics                     request counters + latency percentiles
+GET/POST   /v1/explain                  one ``ExplainResult`` envelope
+POST       /v1/explain/batch            NDJSON stream, one result line per lid
+GET        /v1/patients/{id}/report     ``PatientReport`` envelope
+GET        /v1/report                   ``AuditReport`` envelope
+GET        /v1/coverage                 ``{"coverage": fraction}``
+GET        /v1/stats                    operational counters
+POST       /v1/ingest                   ``IngestResult`` envelope
+POST       /v1/ingest/batch             all results of one batched ingest
+GET        /v1/templates                registered templates (list form)
+POST       /v1/templates                register a posted template library
+GET        /v1/templates/dump           the versioned JSON library document
+GET        /v1/unexplained              cursor-paginated review queue
+=========  ===========================  =====================================
+
+Every response is a versioned envelope (``{"v": 1, "kind": ..., "data":
+...}``); every failure is a typed wire error from
+:mod:`repro.api.errors` with its mapped HTTP status — including
+:class:`~repro.api.errors.UnsupportedOperationError` → 501 for
+operations a sharded deployment cannot host.
+
+Service calls are blocking (they take the service's RWLock), so the
+asyncio loop dispatches them to a small thread pool; concurrent readers
+then genuinely overlap inside the service while the loop keeps
+accepting connections.  :class:`AuditServer` owns the loop: ``serve()``
+blocks a CLI process until SIGINT/SIGTERM, ``start()``/``close()`` run
+the whole server on a background thread for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import logging
+import re
+import threading
+import time
+from bisect import bisect_right
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+from urllib.parse import unquote
+
+from ..api.errors import (
+    WIRE_VERSION,
+    AuditApiError,
+    InternalServerError,
+    InvalidCursorError,
+    InvalidRequestError,
+    MethodNotAllowedError,
+    NotFoundError,
+)
+from ..api.messages import ExplainRequest, jsonable, temporal, to_wire
+from ..core.library import TemplateLibrary
+from .cursor import decode_cursor, encode_cursor
+from .http import ChunkedWriter, Request, dump_json, read_request, response_bytes
+from .metrics import ServerMetrics
+
+log = logging.getLogger("repro.server")
+
+#: Default and maximum page sizes of ``/v1/unexplained``.
+DEFAULT_PAGE_LIMIT = 100
+MAX_PAGE_LIMIT = 500
+
+#: Route label metrics use for requests matching no route.
+UNMATCHED = "<unmatched>"
+
+
+def parse_scalar(raw: str) -> Any:
+    """Recover a typed id from its query/path string form: a *canonical*
+    integer representation comes back as ``int`` (log ids), everything
+    else stays a string — including forms like ``"0042"`` whose leading
+    zeros an int round trip would destroy.  A database whose ids are
+    numeric *strings* is the one shape URL typing cannot distinguish;
+    such clients should use ``POST /v1/explain``, which carries JSON
+    types exactly."""
+    try:
+        value = int(raw)
+    except ValueError:
+        return raw
+    return value if str(value) == raw else raw
+
+
+def envelope(kind: str, data: Any) -> dict:
+    """A versioned wire envelope around an ad-hoc (non-dataclass) payload
+    — same shape :func:`repro.api.messages.to_wire` produces."""
+    return {"v": WIRE_VERSION, "kind": kind, "data": data}
+
+
+def _parse_access(obj: Any) -> tuple[Any, Any, Any]:
+    """One ``(user, patient, date)`` access from its wire form (an object
+    with ``user``/``patient`` and an optional ISO ``date``)."""
+    if not isinstance(obj, dict):
+        raise InvalidRequestError(
+            f"each access must be an object, got {type(obj).__name__}"
+        )
+    user = obj.get("user")
+    patient = obj.get("patient")
+    if user is None or patient is None:
+        raise InvalidRequestError("an access requires 'user' and 'patient'")
+    date = obj.get("date")
+    if isinstance(date, str):
+        parsed = temporal(date)
+        if isinstance(parsed, str):
+            raise InvalidRequestError(
+                f"access date must be ISO-formatted, got {date!r}"
+            )
+        date = parsed
+    return user, patient, date
+
+
+class AuditAPI:
+    """The route table and handlers over one opened audit service."""
+
+    def __init__(
+        self,
+        service: Any,
+        *,
+        metrics: ServerMetrics | None = None,
+        max_workers: int = 8,
+    ) -> None:
+        self.service = service
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._routes: list[tuple[str, str, re.Pattern, Callable, bool]] = []
+        for method, pattern, handler, streaming in (
+            ("GET", "/healthz", self.h_healthz, False),
+            ("GET", "/v1/healthz", self.h_healthz, False),
+            ("GET", "/metrics", self.h_metrics, False),
+            ("GET", "/v1/metrics", self.h_metrics, False),
+            ("GET", "/v1/explain", self.h_explain_get, False),
+            ("POST", "/v1/explain", self.h_explain_post, False),
+            ("POST", "/v1/explain/batch", self.s_explain_batch, True),
+            ("GET", "/v1/patients/{patient}/report", self.h_patient_report, False),
+            ("GET", "/v1/report", self.h_report, False),
+            ("GET", "/v1/coverage", self.h_coverage, False),
+            ("GET", "/v1/stats", self.h_stats, False),
+            ("POST", "/v1/ingest", self.h_ingest, False),
+            ("POST", "/v1/ingest/batch", self.h_ingest_batch, False),
+            ("GET", "/v1/templates", self.h_templates_list, False),
+            ("POST", "/v1/templates", self.h_templates_add, False),
+            ("GET", "/v1/templates/dump", self.h_templates_dump, False),
+            ("GET", "/v1/unexplained", self.h_unexplained, False),
+        ):
+            regex = re.compile(
+                "^"
+                + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern)
+                + "$"
+            )
+            self._routes.append((method, pattern, regex, handler, streaming))
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def resolve(
+        self, request: Request
+    ) -> tuple[str, Callable, bool]:
+        """``(route label, handler, streaming)`` — or the typed 404/405."""
+        allowed: list[str] = []
+        for method, pattern, regex, handler, streaming in self._routes:
+            match = regex.match(request.path)
+            if match is None:
+                continue
+            if method != request.method:
+                allowed.append(method)
+                continue
+            request.path_params = {
+                k: unquote(v) for k, v in match.groupdict().items()
+            }
+            return f"{method} {pattern}", handler, streaming
+        if allowed:
+            raise MethodNotAllowedError(
+                f"{request.method} is not allowed on {request.path} "
+                f"(allowed: {', '.join(sorted(set(allowed)))})"
+            )
+        raise NotFoundError(f"no route for {request.path}")
+
+    async def _call(self, fn: Callable, *args: Any, **kwargs: Any) -> Any:
+        """Run one blocking service call on the worker pool."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, functools.partial(fn, *args, **kwargs)
+        )
+
+    # ------------------------------------------------------------------
+    # plain handlers (return the envelope dict; dispatch serializes)
+    # ------------------------------------------------------------------
+    async def h_healthz(self, request: Request) -> dict:
+        return envelope("Health", {"status": "ok"})
+
+    async def h_metrics(self, request: Request) -> dict:
+        return envelope("Metrics", self.metrics.snapshot())
+
+    async def h_explain_get(self, request: Request) -> dict:
+        raw = request.query.get("lid")
+        if raw is None:
+            raise InvalidRequestError("explain requires a 'lid' query parameter")
+        limit = request.query_int("limit", None, minimum=1)
+        explain_request = ExplainRequest(lid=parse_scalar(raw), limit=limit)
+        result = await self._call(self.service.explain, explain_request)
+        return to_wire(result)
+
+    async def h_explain_post(self, request: Request) -> dict:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise InvalidRequestError("explain body must be a JSON object")
+        data = payload.get("data") if "kind" in payload else payload
+        if not isinstance(data, dict):
+            raise InvalidRequestError("explain body carries no request object")
+        explain_request = ExplainRequest.from_dict(data)
+        result = await self._call(self.service.explain, explain_request)
+        return to_wire(result)
+
+    async def h_patient_report(self, request: Request) -> dict:
+        patient = parse_scalar(request.path_params["patient"])
+        limit = request.query_int("limit", None, minimum=0)
+        result = await self._call(self.service.patient_report, patient, limit=limit)
+        return to_wire(result)
+
+    async def h_report(self, request: Request) -> dict:
+        limit = request.query_int("limit", None, minimum=0)
+        result = await self._call(self.service.report, limit=limit)
+        return to_wire(result)
+
+    async def h_coverage(self, request: Request) -> dict:
+        coverage = await self._call(self.service.coverage)
+        return envelope("Coverage", {"coverage": coverage})
+
+    async def h_stats(self, request: Request) -> dict:
+        stats = await self._call(self.service.stats)
+        return envelope("Stats", jsonable(stats))
+
+    async def h_ingest(self, request: Request) -> dict:
+        user, patient, date = _parse_access(request.json())
+        result = await self._call(self.service.ingest, user, patient, date)
+        return to_wire(result)
+
+    async def h_ingest_batch(self, request: Request) -> dict:
+        payload = request.json()
+        accesses = payload.get("accesses") if isinstance(payload, dict) else None
+        if not isinstance(accesses, list):
+            raise InvalidRequestError(
+                'ingest batch body must be {"accesses": [...]}'
+            )
+        parsed = [_parse_access(a) for a in accesses]
+        results = await self._call(self.service.ingest_many, parsed)
+        return envelope(
+            "IngestBatch",
+            {"count": len(results), "results": [r.to_dict() for r in results]},
+        )
+
+    async def h_templates_list(self, request: Request) -> dict:
+        templates = await self._call(self.service.templates)
+        return envelope(
+            "Templates",
+            {
+                "count": len(templates),
+                "templates": [
+                    {
+                        "name": t.name,
+                        "sql": t.to_sql(),
+                        "description": t.description,
+                    }
+                    for t in templates
+                ],
+            },
+        )
+
+    async def h_templates_dump(self, request: Request) -> dict:
+        library = await self._call(self.service.template_library)
+        return envelope("TemplateLibrary", json.loads(library.dumps_json()))
+
+    async def h_templates_add(self, request: Request) -> dict:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise InvalidRequestError(
+                "templates body must be a versioned library document "
+                "(TemplateLibrary.dumps_json form)"
+            )
+        library = TemplateLibrary.loads_json(json.dumps(payload))
+        added = await self._call(self.service.add_templates, library)
+        return envelope("TemplatesAdded", {"added": added})
+
+    async def h_unexplained(self, request: Request) -> dict:
+        """One page of the review queue.  The cursor is the ``(date,
+        lid)`` key of the last item served (in JSON form, matching the
+        queue's sort order), so the walk resumes strictly after it —
+        stable even when back-dated ingests or newly registered
+        templates reshape the queue between pages.
+
+        Each page re-materializes the queue from the engine's
+        delta-maintained unexplained set (one log scan + sort); pages
+        stay correct under concurrent writes at the cost of
+        O(log rows) work per page.  A generation-tagged queue cache is
+        the known next step if walks over very large queues become a
+        hot path."""
+        limit = request.query_int("limit", DEFAULT_PAGE_LIMIT, minimum=1)
+        limit = min(limit, MAX_PAGE_LIMIT)
+        cursor = request.query.get("cursor")
+        after = decode_cursor(cursor) if cursor else None
+        queue = await self._call(self.service.unexplained_queue)
+        offset = 0
+        if after is not None:
+            try:
+                offset = bisect_right(
+                    queue,
+                    after,
+                    key=lambda v: (jsonable(v.date), jsonable(v.lid)),
+                )
+            except TypeError:
+                raise InvalidCursorError(
+                    "cursor key is not comparable with this queue"
+                ) from None
+        page = queue[offset : offset + limit]
+        next_cursor = None
+        if page and offset + limit < len(queue):
+            last = page[-1]
+            next_cursor = encode_cursor(
+                (jsonable(last.date), jsonable(last.lid))
+            )
+        return envelope(
+            "UnexplainedPage",
+            {
+                "items": [view.to_dict() for view in page],
+                "next_cursor": next_cursor,
+                "total": len(queue),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # streaming handlers (write the body themselves)
+    # ------------------------------------------------------------------
+    async def s_explain_batch(
+        self, request: Request, chunks: ChunkedWriter
+    ) -> None:
+        """One NDJSON ``ExplainResult`` envelope per lid, in request
+        order, each line flushed before the next lid is evaluated — a
+        large batch streams instead of materializing."""
+        payload = request.json()
+        lids = payload.get("lids") if isinstance(payload, dict) else None
+        if not isinstance(lids, list):
+            raise InvalidRequestError('explain batch body must be {"lids": [...]}')
+        limit = payload.get("limit")
+        if limit is not None and (not isinstance(limit, int) or limit < 1):
+            raise InvalidRequestError("limit must be an integer >= 1 when given")
+        if any(lid is None for lid in lids):
+            raise InvalidRequestError("lids must not contain null")
+        for lid in lids:
+            result = await self._call(
+                self.service.explain, ExplainRequest(lid=lid, limit=limit)
+            )
+            await chunks.send(dump_json(to_wire(result)))
+        await chunks.finish()
+
+
+class AuditServer:
+    """The asyncio HTTP server around one :class:`AuditAPI`.
+
+    Two lifecycles:
+
+    * ``await serve_async()`` inside a running loop (what :func:`serve`
+      does for the CLI);
+    * ``start()``/``close()`` — spin the loop on a daemon thread and
+      return once the port is bound, for tests and benchmarks that need
+      a live server next to blocking client code.
+    """
+
+    def __init__(
+        self,
+        service: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_workers: int = 8,
+    ) -> None:
+        self.api = AuditAPI(service, max_workers=max_workers)
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, writer)
+                except AuditApiError as exc:
+                    # framing is broken; answer once and drop the link
+                    writer.write(
+                        response_bytes(
+                            exc.http_status,
+                            dump_json(exc.to_wire()),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                keep_alive = await self._dispatch(
+                    request, writer, request.keep_alive
+                )
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        """Serve one request; returns whether the connection may be
+        kept alive (an unframed HTTP/1.0 stream must close — the body
+        has no other delimiter than EOF)."""
+        metrics = self.api.metrics
+        metrics.request_started()
+        started = time.perf_counter()
+        route = UNMATCHED
+        error = False
+        chunks: ChunkedWriter | None = None
+        chunked = request.version != "HTTP/1.0"
+        try:
+            route, handler, streaming = self.api.resolve(request)
+            if streaming:
+                chunks = ChunkedWriter(
+                    writer, keep_alive=keep_alive, chunked=chunked
+                )
+                keep_alive = keep_alive and chunked
+                await handler(request, chunks)
+            else:
+                payload = await handler(request)
+                writer.write(
+                    response_bytes(
+                        200, dump_json(payload), keep_alive=keep_alive
+                    )
+                )
+                await writer.drain()
+        except Exception as exc:  # noqa: BLE001 - the wire boundary
+            error = True
+            wire_error = self._as_wire_error(exc)
+            if chunks is not None and chunks.started:
+                # mid-stream failure: emit a final error line, then end
+                # the chunked body so the client sees a complete frame
+                await chunks.send(dump_json(wire_error.to_wire()))
+                await chunks.finish()
+            else:
+                writer.write(
+                    response_bytes(
+                        wire_error.http_status,
+                        dump_json(wire_error.to_wire()),
+                        keep_alive=keep_alive,
+                    )
+                )
+                await writer.drain()
+        finally:
+            metrics.request_finished(
+                route, time.perf_counter() - started, error
+            )
+        return keep_alive
+
+    @staticmethod
+    def _as_wire_error(exc: Exception) -> AuditApiError:
+        """Every failure leaves as a typed wire error: API errors pass
+        through (501 for unsupported operations included), bad values
+        from request construction map to 400, anything else to 500."""
+        if isinstance(exc, AuditApiError):
+            return exc
+        if isinstance(exc, ValueError):
+            return InvalidRequestError(str(exc))
+        log.exception("unhandled error serving request")
+        return InternalServerError(f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start_async(self) -> None:
+        """Bind the listening socket inside the running loop."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop_async(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.api.close()
+
+    # --- background-thread mode (tests, benchmarks) -------------------
+    def start(self) -> "AuditServer":
+        """Run the server on a daemon thread; returns once bound."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.start_async())
+            except BaseException as exc:  # surface bind errors to start()
+                self._startup_error = exc
+                self._started.set()
+                loop.close()
+                return
+            self._started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.stop_async())
+                # open keep-alive connections idle in read_request();
+                # cancel them so the loop closes without leaked tasks
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def close(self) -> None:
+        """Stop the background-thread server and release the executor."""
+        loop, thread = self._loop, self._thread
+        self._loop = self._thread = None
+        if loop is not None and thread is not None:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)
+        else:
+            self.api.close()
+
+    def __enter__(self) -> "AuditServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def serve(
+    service: Any,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    print_fn: Callable[[str], None] = print,
+) -> int:
+    """Serve blocking until SIGINT/SIGTERM — the ``repro-audit serve``
+    engine.  Prints one ``listening on http://host:port`` line once the
+    socket is bound (scripts parse it to learn an ephemeral port) and
+    returns 0 on a clean signal-driven shutdown."""
+
+    async def main() -> None:
+        import signal
+
+        server = AuditServer(service, host, port)
+        await server.start_async()
+        print_fn(f"listening on {server.base_url}")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix platforms fall back to KeyboardInterrupt
+        try:
+            await stop.wait()
+        finally:
+            await server.stop_async()
+        print_fn("shutdown complete")
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback
+        pass
+    return 0
+
+
+__all__ = [
+    "DEFAULT_PAGE_LIMIT",
+    "MAX_PAGE_LIMIT",
+    "AuditAPI",
+    "AuditServer",
+    "envelope",
+    "parse_scalar",
+    "serve",
+]

@@ -1,0 +1,64 @@
+"""Opaque pagination cursors for the streaming endpoints.
+
+A cursor is a base64url-encoded, versioned JSON object — opaque on the
+wire (clients must not parse it; the format may change between
+releases) but cheap and dependency-free to mint and verify on the
+server.  ``/v1/unexplained`` cursors are **key-based**: they carry the
+``(date, lid)`` sort key of the last item served, and the next page
+starts strictly after that key in the queue's stable ordering.  Unlike
+an offset, a key survives concurrent mutation of the queue — a
+back-dated ingest landing *before* the cursor position, or earlier
+entries becoming explained after ``add_templates``, shifts no
+boundaries: already-served items are never re-served and unserved
+survivors are never skipped (newly inserted earlier rows are simply not
+part of this walk's snapshot).
+
+Tampered, truncated, or cross-version cursors decode to the typed
+:class:`~repro.api.errors.InvalidCursorError` — never a stack trace,
+never a silently wrong page.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from typing import Any
+
+from ..api.errors import InvalidCursorError
+
+#: Bump when the cursor payload shape changes; old cursors then fail
+#: loudly instead of decoding into the wrong position.
+CURSOR_VERSION = 1
+
+
+def encode_cursor(after: tuple[Any, Any]) -> str:
+    """Mint the opaque cursor for a ``(date, lid)`` sort key (already in
+    JSON form — what :func:`repro.api.messages.jsonable` produces)."""
+    payload = {"v": CURSOR_VERSION, "after": list(after)}
+    raw = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return base64.urlsafe_b64encode(raw.encode("utf-8")).decode("ascii")
+
+
+def decode_cursor(cursor: str) -> tuple[Any, Any]:
+    """Recover the ``(date, lid)`` key from an opaque cursor, or raise
+    :class:`InvalidCursorError`."""
+    try:
+        raw = base64.urlsafe_b64decode(cursor.encode("ascii"))
+        payload = json.loads(raw.decode("utf-8"))
+    except (ValueError, binascii.Error, UnicodeError) as exc:
+        raise InvalidCursorError(f"undecodable cursor: {cursor!r}") from exc
+    if not isinstance(payload, dict):
+        raise InvalidCursorError("cursor payload is not an object")
+    if payload.get("v") != CURSOR_VERSION:
+        raise InvalidCursorError(
+            f"unsupported cursor version {payload.get('v')!r} "
+            f"(this build mints v{CURSOR_VERSION})"
+        )
+    after = payload.get("after")
+    if not isinstance(after, list) or len(after) != 2:
+        raise InvalidCursorError("cursor key must be a [date, lid] pair")
+    return tuple(after)
+
+
+__all__ = ["CURSOR_VERSION", "decode_cursor", "encode_cursor"]

@@ -1,0 +1,296 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the audit server.
+
+The container bakes in no web framework, so the wire tier is built on
+``asyncio.start_server`` directly: a small request parser (request line,
+headers, ``Content-Length`` body), a JSON response writer, and a chunked
+``Transfer-Encoding`` writer for the NDJSON streaming endpoints.  The
+subset implemented is exactly what the v1 API needs:
+
+* HTTP/1.1 with keep-alive (the default) and ``Connection: close``;
+* request bodies via ``Content-Length`` only (chunked *requests* are
+  rejected — no v1 endpoint needs them);
+* bounded request line/header/body sizes, mapped to typed 400/413 wire
+  errors instead of stack traces.
+
+Everything here is transport; routing and handlers live in
+:mod:`repro.server.app`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, urlsplit
+
+from ..api.errors import (
+    InvalidRequestError,
+    PayloadTooLargeError,
+)
+
+#: Upper bound on the request line plus all headers.
+MAX_HEADER_BYTES = 64 * 1024
+#: Upper bound on a request body (ingest batches, template libraries).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+#: Maximum number of request headers.
+MAX_HEADERS = 100
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+    #: Filled by the router with ``{param: value}`` from the path pattern.
+    path_params: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def json(self) -> Any:
+        """The body parsed as JSON (typed 400 on absence or bad syntax)."""
+        if not self.body:
+            raise InvalidRequestError("request body must be JSON, got nothing")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise InvalidRequestError(f"request body is not JSON: {exc}") from exc
+
+    def query_int(
+        self, name: str, default: int | None = None, minimum: int | None = None
+    ) -> int | None:
+        """An integer query parameter, typed-400 on junk or range."""
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise InvalidRequestError(
+                f"query parameter {name!r} must be an integer, got {raw!r}"
+            ) from None
+        if minimum is not None and value < minimum:
+            raise InvalidRequestError(
+                f"query parameter {name!r} must be >= {minimum}, got {value}"
+            )
+        return value
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter | None = None,
+) -> Request | None:
+    """Parse one request off the stream; None on a clean EOF between
+    requests (the peer closed a keep-alive connection).
+
+    When ``writer`` is given, an ``Expect: 100-continue`` header is
+    answered with the interim ``100 Continue`` response before the body
+    is read — otherwise standards-compliant clients (curl beyond 1 KiB
+    bodies) stall a full expect-timeout on every large POST."""
+    try:
+        line = await reader.readline()
+    except (ValueError, asyncio.LimitOverrunError) as exc:
+        raise PayloadTooLargeError(f"request line too long: {exc}") from exc
+    if not line:
+        return None
+    try:
+        request_line = line.decode("ascii").strip()
+        method, target, version = request_line.split(" ", 2)
+    except ValueError as exc:
+        raise InvalidRequestError(f"malformed request line: {line!r}") from exc
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise InvalidRequestError(f"unsupported HTTP version {version!r}")
+
+    headers: dict[str, str] = {}
+    consumed = len(line)
+    while True:
+        try:
+            line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError) as exc:
+            raise PayloadTooLargeError(f"header line too long: {exc}") from exc
+        consumed += len(line)
+        if consumed > MAX_HEADER_BYTES:
+            raise PayloadTooLargeError("request headers exceed the size limit")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise PayloadTooLargeError("too many request headers")
+        try:
+            name, _, value = line.decode("latin-1").partition(":")
+        except UnicodeDecodeError as exc:
+            raise InvalidRequestError("undecodable header line") from exc
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise InvalidRequestError(
+            "chunked request bodies are not supported; send Content-Length"
+        )
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise InvalidRequestError("malformed Content-Length header") from exc
+        if length < 0:
+            raise InvalidRequestError("negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise PayloadTooLargeError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        if (
+            writer is not None
+            and length > 0
+            and "100-continue" in headers.get("expect", "").lower()
+        ):
+            writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+            await writer.drain()
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise InvalidRequestError(
+                "connection closed mid-body"
+            ) from exc
+
+    parts = urlsplit(target)
+    query = dict(parse_qsl(parts.query, keep_blank_values=True))
+    # the path stays percent-encoded: routes match the raw form and the
+    # router unquotes each captured parameter, so an encoded "/" inside
+    # a path parameter cannot shift segment boundaries
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=parts.path,
+        query=query,
+        headers=headers,
+        body=body,
+        version=version,
+    )
+
+
+def dump_json(payload: Any) -> bytes:
+    """The server's one JSON serialization: compact separators, sorted
+    keys, ``default=str`` — deterministic bytes, which is what lets the
+    differential suite assert byte-identical responses."""
+    return (
+        json.dumps(
+            payload, separators=(",", ":"), sort_keys=True, default=str
+        ).encode("utf-8")
+        + b"\n"
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+) -> bytes:
+    """A full fixed-length HTTP/1.1 response."""
+    reason = _REASONS.get(status, "Unknown")
+    headers = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    )
+    return headers.encode("ascii") + body
+
+
+class ChunkedWriter:
+    """Streaming body writer for the NDJSON endpoints.
+
+    Each :meth:`send` flushes one line to the socket before the next
+    result is computed — the property the streaming differential test
+    pins (first line on the wire before the last lid is evaluated).
+
+    HTTP/1.1 peers get chunked ``Transfer-Encoding``; an HTTP/1.0 peer
+    cannot parse chunked framing, so it gets an unframed body with
+    ``Connection: close`` (the body ends at EOF) — pass
+    ``chunked=False`` for that case and close the connection after.
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        *,
+        status: int = 200,
+        content_type: str = "application/x-ndjson",
+        keep_alive: bool = True,
+        chunked: bool = True,
+    ) -> None:
+        self._writer = writer
+        self._chunked = chunked
+        version = "HTTP/1.1" if chunked else "HTTP/1.0"
+        framing = "Transfer-Encoding: chunked\r\n" if chunked else ""
+        connection = "keep-alive" if (keep_alive and chunked) else "close"
+        self._head = (
+            f"{version} {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"{framing}"
+            f"Connection: {connection}\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        self._started = False
+
+    @property
+    def started(self) -> bool:
+        """Whether the status line and headers already hit the wire."""
+        return self._started
+
+    async def send(self, data: bytes) -> None:
+        if not data:
+            return
+        if not self._started:
+            self._writer.write(self._head)
+            self._started = True
+        if self._chunked:
+            self._writer.write(f"{len(data):x}\r\n".encode("ascii"))
+            self._writer.write(data)
+            self._writer.write(b"\r\n")
+        else:
+            self._writer.write(data)
+        await self._writer.drain()
+
+    async def finish(self) -> None:
+        if not self._started:
+            self._writer.write(self._head)
+            self._started = True
+        if self._chunked:
+            self._writer.write(b"0\r\n\r\n")
+        await self._writer.drain()
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "MAX_HEADERS",
+    "ChunkedWriter",
+    "Request",
+    "dump_json",
+    "read_request",
+    "response_bytes",
+]

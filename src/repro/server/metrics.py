@@ -1,0 +1,98 @@
+"""Operational counters of the audit HTTP server.
+
+One :class:`ServerMetrics` instance per server, updated around every
+dispatched request and served verbatim by ``GET /metrics``.  The
+snapshot follows the benchlib convention: flat counters plus a
+``throughput`` mapping of higher-is-better rates, so a benchmark (or an
+external scraper) can lift the numbers straight into the shared
+``benchmarks/benchlib.py`` record envelope.
+
+Latency percentiles come from a bounded reservoir of the most recent
+observations — constant memory under sustained traffic, exact for the
+short windows benchmarks and smoke tests look at.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+
+class ServerMetrics:
+    """Thread-safe request counters and a latency reservoir."""
+
+    def __init__(self, reservoir: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._started_monotonic = time.monotonic()
+        self._started_at = time.time()
+        self.requests_total = 0
+        self.errors_total = 0
+        self.in_flight = 0
+        self._routes: dict[str, dict[str, int]] = {}
+        self._latencies: deque[float] = deque(maxlen=reservoir)
+
+    # ------------------------------------------------------------------
+    def request_started(self) -> None:
+        with self._lock:
+            self.in_flight += 1
+
+    def request_finished(self, route: str, seconds: float, error: bool) -> None:
+        """Record one completed request under its route label
+        (``"GET /v1/explain"``); unmatched requests land on ``"<404>"``."""
+        with self._lock:
+            self.in_flight -= 1
+            self.requests_total += 1
+            if error:
+                self.errors_total += 1
+            counts = self._routes.setdefault(route, {"count": 0, "errors": 0})
+            counts["count"] += 1
+            if error:
+                counts["errors"] += 1
+            self._latencies.append(seconds)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _percentile(ordered: list[float], fraction: float) -> float:
+        """Nearest-rank percentile over a pre-sorted sample."""
+        if not ordered:
+            return 0.0
+        rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        """The ``GET /metrics`` payload: counters, per-route breakdown,
+        latency percentiles over the reservoir, and benchlib-style
+        ``throughput`` rates."""
+        with self._lock:
+            uptime = time.monotonic() - self._started_monotonic
+            ordered = sorted(self._latencies)
+            requests_total = self.requests_total
+            snapshot = {
+                "started_at": self._started_at,
+                "uptime_seconds": uptime,
+                "requests_total": requests_total,
+                "errors_total": self.errors_total,
+                "in_flight": self.in_flight,
+                "routes": {
+                    route: dict(counts)
+                    for route, counts in sorted(self._routes.items())
+                },
+                "latency_seconds": {
+                    "count": len(ordered),
+                    "mean": sum(ordered) / len(ordered) if ordered else 0.0,
+                    "p50": self._percentile(ordered, 0.50),
+                    "p90": self._percentile(ordered, 0.90),
+                    "p99": self._percentile(ordered, 0.99),
+                    "max": ordered[-1] if ordered else 0.0,
+                },
+                "throughput": {
+                    "requests_per_second": (
+                        requests_total / uptime if uptime > 0 else 0.0
+                    ),
+                },
+            }
+        return snapshot
+
+
+__all__ = ["ServerMetrics"]

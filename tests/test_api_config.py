@@ -42,6 +42,31 @@ class TestAuditConfig:
         with pytest.raises(ValueError, match="unknown AuditConfig fields"):
             AuditConfig.from_dict({"plan_cach_size": 10})
 
+    def test_unknown_key_rejected_message_names_lenient_mode(self):
+        with pytest.raises(ValueError, match="strict=False"):
+            AuditConfig.from_dict({"plan_cach_size": 10})
+
+    def test_lenient_mode_warns_and_ignores_unknown_keys(self):
+        with pytest.warns(UserWarning, match="ignoring unknown AuditConfig"):
+            config = AuditConfig.from_dict(
+                {"shards": 3, "from_the_future": True}, strict=False
+            )
+        assert config.shards == 3
+
+    def test_lenient_mode_still_validates_known_keys(self):
+        with pytest.raises(ValueError):
+            AuditConfig.from_dict({"shards": 0}, strict=False)
+
+    def test_lenient_mode_without_unknown_keys_is_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = AuditConfig.from_dict(
+                AuditConfig().to_dict(), strict=False
+            )
+        assert config == AuditConfig()
+
     def test_replace_revalidates(self):
         config = AuditConfig()
         assert config.replace(plan_cache_size=2).plan_cache_size == 2

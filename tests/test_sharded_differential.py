@@ -17,6 +17,7 @@ from repro.api import (
     AuditConfig,
     AuditService,
     ShardedAuditService,
+    UnsupportedOperationError,
     open_service,
 )
 from repro.ehr import SimulationConfig, simulate
@@ -186,10 +187,17 @@ def test_sharded_lifecycle_and_unsupported_writers():
     service = ShardedAuditService.open(
         _fresh_db(), config=AuditConfig(shards=2)
     )
-    with pytest.raises(NotImplementedError):
+    # typed UnsupportedOperationError (a NotImplementedError subclass so
+    # pre-wire callers keep working), carrying a remediation hint
+    with pytest.raises(NotImplementedError) as excinfo:
         service.mine()
-    with pytest.raises(NotImplementedError):
+    assert isinstance(excinfo.value, UnsupportedOperationError)
+    assert excinfo.value.code == "unsupported_operation"
+    assert excinfo.value.http_status == 501
+    assert "add_templates" in excinfo.value.hint
+    with pytest.raises(UnsupportedOperationError) as excinfo:
         service.build_groups()
+    assert "AuditService.open" in excinfo.value.hint
     service.close()
     service.close()  # idempotent
     with pytest.raises(RuntimeError):
