@@ -99,7 +99,12 @@ from .messages import (
     MineRequest,
     MineResult,
     PatientReport,
+    ScanPage,
+    ScanRequest,
+    ScanState,
     UnexplainedView,
+    assemble_partition,
+    assemble_report,
     from_wire,
     jsonable,
     temporal,
@@ -159,6 +164,9 @@ __all__ = [
     "PayloadTooLargeError",
     "RWLock",
     "ReviewStatus",
+    "ScanPage",
+    "ScanRequest",
+    "ScanState",
     "SchemaAttr",
     "SchemaEdge",
     "SchemaGraph",
@@ -171,6 +179,8 @@ __all__ = [
     "WireFormatError",
     "access_matrix_from_log",
     "all_event_user_templates",
+    "assemble_partition",
+    "assemble_report",
     "build_groups_table",
     "build_hierarchy",
     "dataset_a_doctor_templates",

@@ -73,6 +73,13 @@ class AuditConfig:
     #: per shard.
     parallelism: int | None = None
 
+    #: Resumable-scan budgets (see :meth:`AuditService.scan`): the
+    #: default row budget of one scan slice, and an optional wall-clock
+    #: quantum in seconds after which a slice suspends early (None means
+    #: row-bounded only).  Both can be overridden per request.
+    scan_page_rows: int = 512
+    scan_quantum_seconds: float | None = None
+
     #: Warm the explained/unexplained aggregates inside ``open()`` (and
     #: after every writer operation), so concurrent readers hit immutable
     #: caches and never race to populate them.  Disable only for
@@ -97,6 +104,13 @@ class AuditConfig:
             raise ValueError("executor_kind must be 'thread' or 'process'")
         if self.parallelism is not None and self.parallelism < 1:
             raise ValueError("parallelism must be >= 1 when given")
+        if self.scan_page_rows < 1:
+            raise ValueError("scan_page_rows must be >= 1")
+        if (
+            self.scan_quantum_seconds is not None
+            and not self.scan_quantum_seconds > 0
+        ):
+            raise ValueError("scan_quantum_seconds must be > 0 when given")
 
     @property
     def effective_parallelism(self) -> int:

@@ -503,6 +503,194 @@ class MineResult:
 
 
 # ----------------------------------------------------------------------
+# resumable scans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScanState:
+    """Suspended state of a resumable full-log scan.
+
+    Deliberately compact — the ``(date, lid)`` position of the last
+    classified row plus the partial coverage accumulators — so it rides
+    an opaque wire cursor and any fresh service/server instance over the
+    same log can resume the walk from it.
+    """
+
+    #: Resume position in the stable ``(date, lid)`` order; None means
+    #: the scan has not started.
+    after: tuple | None = None
+    #: Log rows classified so far.
+    seen: int = 0
+    #: How many of them no template explained.
+    unexplained: int = 0
+
+    def __post_init__(self) -> None:
+        if self.after is not None:
+            if not isinstance(self.after, tuple) or len(self.after) != 2:
+                raise ValueError(
+                    f"after must be a (date, lid) pair, got {self.after!r}"
+                )
+        if self.seen < 0 or self.unexplained < 0:
+            raise ValueError("seen and unexplained must be >= 0")
+        if self.unexplained > self.seen:
+            raise ValueError(
+                f"unexplained ({self.unexplained}) cannot exceed "
+                f"seen ({self.seen})"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "after": None if self.after is None else jsonable(self.after),
+            "seen": self.seen,
+            "unexplained": self.unexplained,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScanState":
+        after = data.get("after")
+        if after is not None:
+            if not isinstance(after, (list, tuple)) or len(after) != 2:
+                raise ValueError(
+                    f"after must be a [date, lid] pair, got {after!r}"
+                )
+            after = tuple(temporal(v) for v in after)
+        return cls(
+            after=after,
+            seen=int(data.get("seen", 0)),
+            unexplained=int(data.get("unexplained", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class ScanRequest:
+    """Ask for the next bounded slice of a resumable full-log scan.
+
+    ``None`` budgets fall back to the service's ``AuditConfig``
+    (``scan_page_rows`` / ``scan_quantum_seconds``); a ``None`` state
+    starts a fresh scan.
+    """
+
+    state: ScanState | None = None
+    page_rows: int | None = None
+    quantum_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.page_rows is not None and self.page_rows < 1:
+            raise ValueError(
+                f"page_rows must be >= 1, got {self.page_rows}"
+            )
+        if self.quantum_seconds is not None and not self.quantum_seconds > 0:
+            raise ValueError(
+                f"quantum_seconds must be > 0, got {self.quantum_seconds}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "state": None if self.state is None else self.state.to_dict(),
+            "page_rows": self.page_rows,
+            "quantum_seconds": self.quantum_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScanRequest":
+        state = data.get("state")
+        return cls(
+            state=None if state is None else ScanState.from_dict(state),
+            page_rows=data.get("page_rows"),
+            quantum_seconds=data.get("quantum_seconds"),
+        )
+
+
+@dataclass(frozen=True)
+class ScanPage:
+    """One classified slice of a resumable scan plus the resume state.
+
+    ``explained`` lists the lids this slice explained and
+    ``unexplained`` the full review-queue views for the rest, both in
+    scan order — so accumulating pages until ``done`` rebuilds the exact
+    one-shot ``explain_all`` partition *and* ``report`` artifact (see
+    :func:`assemble_partition` / :func:`assemble_report`).
+    """
+
+    rows: int
+    explained: tuple
+    unexplained: tuple[UnexplainedView, ...]
+    state: ScanState
+    done: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "rows": self.rows,
+            "explained": [jsonable(lid) for lid in self.explained],
+            "unexplained": [v.to_dict() for v in self.unexplained],
+            "state": self.state.to_dict(),
+            "done": self.done,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScanPage":
+        return cls(
+            rows=data["rows"],
+            explained=tuple(
+                temporal(lid) for lid in data.get("explained") or ()
+            ),
+            unexplained=tuple(
+                UnexplainedView.from_dict(v)
+                for v in data.get("unexplained") or ()
+            ),
+            state=ScanState.from_dict(data["state"]),
+            done=bool(data["done"]),
+        )
+
+
+def assemble_partition(pages: Any) -> "BatchExplanation":
+    """Union a completed scan's pages back into the one-shot
+    ``explain_all`` partition (:class:`~repro.core.engine.
+    BatchExplanation`); slices are disjoint, so this is exact."""
+    from ..core.engine import BatchExplanation
+
+    explained: set = set()
+    unexplained: set = set()
+    last = None
+    for page in pages:
+        explained.update(page.explained)
+        unexplained.update(v.lid for v in page.unexplained)
+        last = page
+    if last is not None and not last.done:
+        raise ValueError("scan is incomplete: the final page has done=False")
+    return BatchExplanation(frozenset(explained), frozenset(unexplained))
+
+
+def assemble_report(pages: Any, limit: int | None = None) -> AuditReport:
+    """Fold a completed scan's pages into the exact :class:`AuditReport`
+    the monolithic ``report()`` call returns: same queue order, same
+    coverage arithmetic, same ``(-count, str(user))`` risk ranking."""
+    queue: list[UnexplainedView] = []
+    last = None
+    for page in pages:
+        queue.extend(page.unexplained)
+        last = page
+    if last is not None and not last.done:
+        raise ValueError("scan is incomplete: the final page has done=False")
+    state = last.state if last is not None else ScanState()
+    counts: dict[Any, int] = {}
+    for view in queue:
+        counts[view.user] = counts.get(view.user, 0) + 1
+    total = state.seen
+    coverage = 0.0 if total == 0 else (total - state.unexplained) / total
+    if limit is not None:
+        queue = queue[:limit]
+    return AuditReport(
+        total=total,
+        unexplained_count=state.unexplained,
+        coverage=coverage,
+        queue=tuple(queue),
+        user_risk=tuple(
+            sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
 # versioned wire envelopes
 # ----------------------------------------------------------------------
 #: ``kind -> class`` registry of every wire-transportable message type.
@@ -519,6 +707,9 @@ WIRE_KINDS: dict[str, type] = {
         MineResult,
         MinedTemplateView,
         PatientReport,
+        ScanPage,
+        ScanRequest,
+        ScanState,
         UnexplainedView,
     )
 }
@@ -580,9 +771,14 @@ __all__ = [
     "MineResult",
     "MinedTemplateView",
     "PatientReport",
+    "ScanPage",
+    "ScanRequest",
+    "ScanState",
     "UnexplainedView",
     "WIRE_KINDS",
     "WIRE_VERSION",
+    "assemble_partition",
+    "assemble_report",
     "from_wire",
     "jsonable",
     "temporal",

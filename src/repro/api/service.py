@@ -37,9 +37,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from ..audit.streaming import AccessMonitor
-from ..core.engine import ExplanationEngine
+from ..core.engine import BatchExplanation, ExplanationEngine
 from ..core.library import ReviewStatus, TemplateLibrary
 from ..core.mining import BridgedMiner, MiningConfig, OneWayMiner, TwoWayMiner
+from ..core.scan import LogScanner
 from ..core.template import ExplanationTemplate
 from ..db.csvio import load_database
 from ..db.database import Database
@@ -58,7 +59,12 @@ from .messages import (
     MineRequest,
     MineResult,
     PatientReport,
+    ScanPage,
+    ScanRequest,
+    ScanState,
     UnexplainedView,
+    assemble_partition,
+    assemble_report,
     jsonable,
 )
 
@@ -393,6 +399,100 @@ class AuditService:
                 sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
             ),
         )
+
+    # ------------------------------------------------------------------
+    # resumable scans (web-preemption model)
+    # ------------------------------------------------------------------
+    def scan(self, request: ScanRequest | None = None) -> ScanPage:
+        """One bounded slice of a resumable full-log scan.
+
+        Runs for at most ``page_rows`` rows / ``quantum_seconds`` of
+        wall clock (request overrides, else the config budgets) under a
+        single short read-lock hold, then suspends into the returned
+        page's :class:`ScanState`.  Passing that state back — to this
+        service or to a *fresh* one over the same log — continues the
+        walk; accumulating pages until ``done`` rebuilds the exact
+        one-shot :meth:`report`/:meth:`explain_all` artifacts.
+        """
+        self._check_open()
+        if request is None:
+            request = ScanRequest()
+        state = request.state if request.state is not None else ScanState()
+        page_rows = (
+            request.page_rows
+            if request.page_rows is not None
+            else self.config.scan_page_rows
+        )
+        quantum = (
+            request.quantum_seconds
+            if request.quantum_seconds is not None
+            else self.config.scan_quantum_seconds
+        )
+        with self._lock.read_locked():
+            result = LogScanner(self.engine).slice(
+                state.after, page_rows, quantum
+            )
+        unexplained = tuple(
+            UnexplainedView(
+                lid=r.lid, date=r.date, user=r.user, patient=r.patient
+            )
+            for r in result.rows
+            if not r.explained
+        )
+        return ScanPage(
+            rows=len(result.rows),
+            explained=tuple(r.lid for r in result.rows if r.explained),
+            unexplained=unexplained,
+            state=ScanState(
+                after=result.after,
+                seen=state.seen + len(result.rows),
+                unexplained=state.unexplained + len(unexplained),
+            ),
+            done=result.done,
+        )
+
+    def scan_pages(
+        self,
+        page_rows: int | None = None,
+        quantum_seconds: float | None = None,
+        state: ScanState | None = None,
+    ):
+        """Iterate scan pages to completion (each slice is its own
+        bounded lock hold, so writers interleave between pages).  Pass a
+        suspended ``state`` to resume a walk mid-flight."""
+        while True:
+            page = self.scan(
+                ScanRequest(
+                    state=state,
+                    page_rows=page_rows,
+                    quantum_seconds=quantum_seconds,
+                )
+            )
+            yield page
+            if page.done:
+                return
+            state = page.state
+
+    def scan_report(
+        self,
+        limit: int | None = None,
+        page_rows: int | None = None,
+        quantum_seconds: float | None = None,
+    ) -> AuditReport:
+        """:meth:`report`, produced as a sequence of bounded slices —
+        identical output, preemptable execution."""
+        return assemble_report(
+            self.scan_pages(page_rows, quantum_seconds), limit=limit
+        )
+
+    def scan_explain_all(
+        self,
+        page_rows: int | None = None,
+        quantum_seconds: float | None = None,
+    ) -> BatchExplanation:
+        """:meth:`explain_all`, produced as a sequence of bounded slices
+        — the identical whole-log partition, preemptable execution."""
+        return assemble_partition(self.scan_pages(page_rows, quantum_seconds))
 
     def summary(self) -> str:
         """The one-line coverage summary, from the warm aggregate caches

@@ -60,6 +60,7 @@ from ..audit.streaming import AccessMonitor, StreamedAccess
 from ..core.engine import BatchExplanation, ExplanationEngine
 from ..core.instance import rank_instances
 from ..core.library import TemplateLibrary
+from ..core.scan import LogScanner
 from ..core.template import ExplanationTemplate
 from ..db.csvio import load_database
 from ..db.database import Database
@@ -77,7 +78,12 @@ from .messages import (
     ExplanationView,
     IngestResult,
     PatientReport,
+    ScanPage,
+    ScanRequest,
+    ScanState,
     UnexplainedView,
+    assemble_partition,
+    assemble_report,
 )
 from .service import AuditService, format_patient_report, resolve_templates
 
@@ -225,6 +231,22 @@ def _op_report_rows(state: ShardState) -> tuple[int, list[tuple]]:
     return total, rows
 
 
+def _op_scan_slice(
+    state: ShardState,
+    after: tuple | None,
+    page_rows: int,
+    quantum_seconds: float | None,
+) -> tuple[list[tuple], bool]:
+    """One bounded scan slice of this shard's log: up to ``page_rows``
+    classified rows past ``after`` in ``(date, lid)`` order, plus the
+    shard's done flag.  The parent re-merges and re-cuts globally."""
+    result = LogScanner(state.engine).slice(after, page_rows, quantum_seconds)
+    rows = [
+        (r.lid, r.date, r.user, r.patient, r.explained) for r in result.rows
+    ]
+    return rows, result.done
+
+
 def _op_explained_lids(state: ShardState, template: ExplanationTemplate) -> set:
     return set(state.engine.explained_lids(template))
 
@@ -276,6 +298,7 @@ _OPS: dict[str, Callable] = {
     "explain": _op_explain,
     "patient_report": _op_patient_report,
     "report_rows": _op_report_rows,
+    "scan_slice": _op_scan_slice,
     "explained_lids": _op_explained_lids,
     "support_counts": _op_support_counts,
     "templates": _op_templates,
@@ -568,6 +591,118 @@ class ShardedAuditService:
                 sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
             ),
         )
+
+    # ------------------------------------------------------------------
+    # resumable scans (web-preemption model)
+    # ------------------------------------------------------------------
+    def scan(self, request: ScanRequest | None = None) -> ScanPage:
+        """One bounded slice of a resumable full-log scan, scattered.
+
+        Each shard scans up to the page budget past the suspended
+        position; the gather merge-sorts the disjoint per-shard rows and
+        cuts at the smallest position a quantum-suspended shard reached
+        (a row past that cut cannot be proven next in the global order),
+        then applies the global row budget.  Pages are identical to the
+        single-node :meth:`AuditService.scan` ones — pinned by the scan
+        differential suite.
+        """
+        self._check_open()
+        if request is None:
+            request = ScanRequest()
+        state = request.state if request.state is not None else ScanState()
+        page_rows = (
+            request.page_rows
+            if request.page_rows is not None
+            else self.config.scan_page_rows
+        )
+        quantum = (
+            request.quantum_seconds
+            if request.quantum_seconds is not None
+            else self.config.scan_quantum_seconds
+        )
+        with self._lock.read_locked():
+            gathered = self._scatter(
+                "scan_slice", state.after, page_rows, quantum
+            )
+        merged: list[tuple] = []
+        cut: tuple | None = None
+        for rows, shard_done in gathered:
+            merged.extend(rows)
+            if not shard_done:
+                # A suspended shard always returns >= 1 row; it only
+                # vouches for the order up to its last scanned key.
+                last = (rows[-1][1], rows[-1][0])
+                cut = last if cut is None or last < cut else cut
+        merged.sort(key=lambda r: (r[1], r[0]))
+        eligible = (
+            merged
+            if cut is None
+            else [r for r in merged if (r[1], r[0]) <= cut]
+        )
+        taken = eligible[:page_rows]
+        done = all(shard_done for _, shard_done in gathered) and len(
+            taken
+        ) == len(merged)
+        unexplained = tuple(
+            UnexplainedView(lid=lid, date=date, user=user, patient=patient)
+            for lid, date, user, patient, explained in taken
+            if not explained
+        )
+        return ScanPage(
+            rows=len(taken),
+            explained=tuple(
+                lid for lid, _date, _user, _patient, exp in taken if exp
+            ),
+            unexplained=unexplained,
+            state=ScanState(
+                after=(taken[-1][1], taken[-1][0]) if taken else state.after,
+                seen=state.seen + len(taken),
+                unexplained=state.unexplained + len(unexplained),
+            ),
+            done=done,
+        )
+
+    def scan_pages(
+        self,
+        page_rows: int | None = None,
+        quantum_seconds: float | None = None,
+        state: ScanState | None = None,
+    ):
+        """Iterate scan pages to completion (each slice is its own
+        bounded lock hold).  Pass a suspended ``state`` to resume."""
+        while True:
+            page = self.scan(
+                ScanRequest(
+                    state=state,
+                    page_rows=page_rows,
+                    quantum_seconds=quantum_seconds,
+                )
+            )
+            yield page
+            if page.done:
+                return
+            state = page.state
+
+    def scan_report(
+        self,
+        limit: int | None = None,
+        page_rows: int | None = None,
+        quantum_seconds: float | None = None,
+    ) -> AuditReport:
+        """:meth:`report`, produced as a sequence of bounded slices —
+        identical output, preemptable execution."""
+        return assemble_report(
+            self.scan_pages(page_rows, quantum_seconds), limit=limit
+        )
+
+    def scan_explain_all(
+        self,
+        page_rows: int | None = None,
+        quantum_seconds: float | None = None,
+    ) -> BatchExplanation:
+        """:meth:`explain_all`, produced as a sequence of bounded slices
+        — the identical whole-log partition, preemptable execution."""
+        return assemble_partition(self.scan_pages(page_rows, quantum_seconds))
 
     def summary(self) -> str:
         """The one-line coverage summary from per-shard counts alone."""

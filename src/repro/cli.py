@@ -189,6 +189,12 @@ def cmd_audit(args: argparse.Namespace) -> int:
     semijoin over the whole log; ``--no-batch`` keeps the per-template
     point path.  Both produce identical output — the toggle exists so
     either path is selectable and testable end to end.
+
+    ``--resumable`` builds the identical report as a sequence of bounded
+    scan slices (``--page-rows`` per slice, optionally ``--quantum-ms``
+    of wall clock) instead of one monolithic evaluation — each slice its
+    own short lock hold, the preemptable path a busy deployment serves
+    over ``GET /v1/scan``.
     """
     db = load_database(args.db)
     config = AuditConfig(
@@ -199,7 +205,15 @@ def cmd_audit(args: argparse.Namespace) -> int:
     with open_service(
         db, templates=_templates_for(db, args.templates), config=config
     ) as service:
-        report = service.report()
+        if args.resumable:
+            report = service.scan_report(
+                page_rows=args.page_rows,
+                quantum_seconds=(
+                    None if args.quantum_ms is None else args.quantum_ms / 1000.0
+                ),
+            )
+        else:
+            report = service.report()
     if args.json:
         payload = report.to_dict()
         payload["queue"] = payload["queue"][: args.limit]
@@ -356,6 +370,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--json", action="store_true", help="print the AuditReport as JSON"
+    )
+    p.add_argument(
+        "--resumable",
+        action="store_true",
+        help="build the (identical) report as bounded, suspendable scan "
+        "slices instead of one monolithic evaluation",
+    )
+    p.add_argument(
+        "--page-rows",
+        type=int,
+        default=None,
+        help="row budget per resumable-scan slice "
+        "(default: AuditConfig.scan_page_rows)",
+    )
+    p.add_argument(
+        "--quantum-ms",
+        type=int,
+        default=None,
+        help="wall-clock budget per resumable-scan slice, milliseconds "
+        "(default: row-bounded only)",
     )
     p.set_defaults(func=cmd_audit)
 

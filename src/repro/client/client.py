@@ -44,7 +44,10 @@ from ..api.messages import (
     ExplainResult,
     IngestResult,
     PatientReport,
+    ScanPage,
     UnexplainedView,
+    assemble_partition,
+    assemble_report,
     from_wire,
     jsonable,
 )
@@ -295,6 +298,68 @@ class AuditClient:
     def unexplained_lids(self, page_size: int | None = None) -> frozenset:
         """The candidate-misuse lid set (facade mirror, cursor-walked)."""
         return frozenset(view.lid for view in self.unexplained(page_size))
+
+    # ------------------------------------------------------------------
+    # resumable scans (facade mirror)
+    # ------------------------------------------------------------------
+    def scan_page(
+        self,
+        cursor: str | None = None,
+        page_rows: int | None = None,
+        quantum_seconds: float | None = None,
+    ) -> tuple[ScanPage, str | None]:
+        """One bounded slice of the resumable full-log scan: ``(page,
+        next_cursor)``.  Cursors are opaque and carry the whole
+        suspended scan state — pass one back verbatim to continue, on
+        this server or on any replica over the same log (``None`` means
+        the scan is done)."""
+        body: dict[str, Any] = {}
+        if cursor is not None:
+            body["cursor"] = cursor
+        if page_rows is not None:
+            body["page_rows"] = page_rows
+        if quantum_seconds is not None:
+            body["quantum_seconds"] = quantum_seconds
+        data = self._data(
+            self._request("POST", "/v1/scan", body), "ScanSlice"
+        )
+        return ScanPage.from_dict(data["page"]), data.get("next_cursor")
+
+    def scan_pages(
+        self,
+        page_rows: int | None = None,
+        quantum_seconds: float | None = None,
+        cursor: str | None = None,
+    ) -> Iterator[ScanPage]:
+        """Walk the full-log scan slice by slice (facade
+        ``scan_pages`` mirror).  Pass a suspended ``cursor`` to resume a
+        walk mid-flight."""
+        while True:
+            page, cursor = self.scan_page(cursor, page_rows, quantum_seconds)
+            yield page
+            if cursor is None:
+                return
+
+    def scan_report(
+        self,
+        limit: int | None = None,
+        page_rows: int | None = None,
+        quantum_seconds: float | None = None,
+    ) -> AuditReport:
+        """:meth:`report`, walked as bounded scan slices — identical
+        artifact, each slice its own short request."""
+        return assemble_report(
+            self.scan_pages(page_rows, quantum_seconds), limit=limit
+        )
+
+    def scan_explain_all(
+        self,
+        page_rows: int | None = None,
+        quantum_seconds: float | None = None,
+    ):
+        """The facade's ``explain_all`` partition, walked as bounded
+        scan slices."""
+        return assemble_partition(self.scan_pages(page_rows, quantum_seconds))
 
     # ------------------------------------------------------------------
     # writers (facade mirror)

@@ -469,36 +469,31 @@ class Executor:
                     pending.remove(cond)
                 probe_pos = [cols.index(r) for r in probe_refs]
                 joined: list[tuple] = []
-                if (
-                    vbase.pristine
-                    and vbase.reduce
-                    and len(rows) * INDEX_JOIN_RATIO < vbase.size
-                ):
-                    # Index-nested-loop: probe the table's delta-maintained
-                    # projection index instead of hashing the build side.
-                    index = vbase.table.projection_index(
+                if vbase.pristine and vbase.reduce:
+                    # Probe the table's delta-maintained projection index
+                    # instead of hashing the build side.  The index IS the
+                    # hash map this join would build — but cached across
+                    # calls and maintained on append, so a repeated
+                    # template shape (every batch semijoin of a sliced
+                    # scan, every point explain) skips the per-call
+                    # O(|table|) build entirely.
+                    hashmap = vbase.table.projection_index(
                         vbase.attrs, [r.attr for r in build_refs]
                     )
-                    for row in rows:
-                        key = tuple(row[p] for p in probe_pos)
-                        if any(k is None for k in key):
-                            continue
-                        for vrow in index.get(key, ()):
-                            joined.append(row + vrow)
                 else:
                     build_pos = [vcols.index(r) for r in build_refs]
-                    hashmap: dict[tuple, list[tuple]] = {}
+                    hashmap = {}
                     for vrow in vbase.rows():
                         key = tuple(vrow[p] for p in build_pos)
-                        if any(k is None for k in key):
+                        if None in key:
                             continue  # NULL never joins
                         hashmap.setdefault(key, []).append(vrow)
-                    for row in rows:
-                        key = tuple(row[p] for p in probe_pos)
-                        if any(k is None for k in key):
-                            continue
-                        for vrow in hashmap.get(key, ()):
-                            joined.append(row + vrow)
+                for row in rows:
+                    key = tuple(row[p] for p in probe_pos)
+                    if None in key:
+                        continue
+                    for vrow in hashmap.get(key, ()):
+                        joined.append(row + vrow)
             else:  # explicit cartesian product (opt-in only)
                 joined = [row + vrow for row in rows for vrow in vbase.rows()]
 

@@ -23,13 +23,20 @@ Production-style (the ``repro-audit serve`` subcommand)::
 from .app import (
     DEFAULT_PAGE_LIMIT,
     MAX_PAGE_LIMIT,
+    MAX_SCAN_PAGE_ROWS,
     AuditAPI,
     AuditServer,
     envelope,
     parse_scalar,
     serve,
 )
-from .cursor import CURSOR_VERSION, decode_cursor, encode_cursor
+from .cursor import (
+    CURSOR_VERSION,
+    decode_cursor,
+    decode_scan_cursor,
+    encode_cursor,
+    encode_scan_cursor,
+)
 from .http import ChunkedWriter, Request, dump_json, read_request, response_bytes
 from .metrics import ServerMetrics
 
@@ -37,14 +44,17 @@ __all__ = [
     "CURSOR_VERSION",
     "DEFAULT_PAGE_LIMIT",
     "MAX_PAGE_LIMIT",
+    "MAX_SCAN_PAGE_ROWS",
     "AuditAPI",
     "AuditServer",
     "ChunkedWriter",
     "Request",
     "ServerMetrics",
     "decode_cursor",
+    "decode_scan_cursor",
     "dump_json",
     "encode_cursor",
+    "encode_scan_cursor",
     "envelope",
     "parse_scalar",
     "read_request",

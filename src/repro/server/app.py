@@ -22,6 +22,7 @@ GET        /v1/templates                registered templates (list form)
 POST       /v1/templates                register a posted template library
 GET        /v1/templates/dump           the versioned JSON library document
 GET        /v1/unexplained              cursor-paginated review queue
+GET/POST   /v1/scan                     one bounded slice of a resumable scan
 =========  ===========================  =====================================
 
 Every response is a versioned envelope (``{"v": 1, "kind": ..., "data":
@@ -61,9 +62,21 @@ from ..api.errors import (
     MethodNotAllowedError,
     NotFoundError,
 )
-from ..api.messages import ExplainRequest, jsonable, temporal, to_wire
+from ..api.messages import (
+    ExplainRequest,
+    ScanRequest,
+    ScanState,
+    jsonable,
+    temporal,
+    to_wire,
+)
 from ..core.library import TemplateLibrary
-from .cursor import decode_cursor, encode_cursor
+from .cursor import (
+    decode_cursor,
+    decode_scan_cursor,
+    encode_cursor,
+    encode_scan_cursor,
+)
 from .http import ChunkedWriter, Request, dump_json, read_request, response_bytes
 from .metrics import ServerMetrics
 
@@ -72,6 +85,10 @@ log = logging.getLogger("repro.server")
 #: Default and maximum page sizes of ``/v1/unexplained``.
 DEFAULT_PAGE_LIMIT = 100
 MAX_PAGE_LIMIT = 500
+
+#: Maximum per-slice row budget of ``/v1/scan`` (the default comes from
+#: the service's ``AuditConfig.scan_page_rows``).
+MAX_SCAN_PAGE_ROWS = 10_000
 
 #: Route label metrics use for requests matching no route.
 UNMATCHED = "<unmatched>"
@@ -154,6 +171,8 @@ class AuditAPI:
             ("POST", "/v1/templates", self.h_templates_add, False),
             ("GET", "/v1/templates/dump", self.h_templates_dump, False),
             ("GET", "/v1/unexplained", self.h_unexplained, False),
+            ("GET", "/v1/scan", self.h_scan_get, False),
+            ("POST", "/v1/scan", self.h_scan_post, False),
         ):
             regex = re.compile(
                 "^"
@@ -342,6 +361,93 @@ class AuditAPI:
                 "total": len(queue),
             },
         )
+
+    # --------------------------------------------------------- scans
+    @staticmethod
+    def _scan_state(state_dict: dict) -> ScanState:
+        """Rebuild a suspended scan state from its cursor payload; shape
+        errors are cursor errors (the client cannot have minted it)."""
+        try:
+            return ScanState.from_dict(state_dict)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidCursorError(f"malformed scan state: {exc}") from exc
+
+    async def _scan(
+        self,
+        state: ScanState | None,
+        page_rows: int | None,
+        quantum_seconds: float | None,
+    ) -> dict:
+        page = await self._call(
+            self.service.scan,
+            ScanRequest(
+                state=state,
+                page_rows=page_rows,
+                quantum_seconds=quantum_seconds,
+            ),
+        )
+        next_cursor = (
+            None if page.done else encode_scan_cursor(page.state.to_dict())
+        )
+        return envelope(
+            "ScanSlice", {"page": page.to_dict(), "next_cursor": next_cursor}
+        )
+
+    async def h_scan_get(self, request: Request) -> dict:
+        """One bounded slice of the resumable full-log scan.  A fresh
+        request (no cursor) starts at the head of the stable ``(date,
+        lid)`` order; the returned cursor carries the whole suspended
+        scan state, so the next page may land on any replica — or on a
+        freshly restarted server — and continue exactly where this one
+        stopped."""
+        page_rows = request.query_int("page_rows", None, minimum=1)
+        if page_rows is not None:
+            page_rows = min(page_rows, MAX_SCAN_PAGE_ROWS)
+        quantum_ms = request.query_int("quantum_ms", None, minimum=1)
+        cursor = request.query.get("cursor")
+        state = (
+            self._scan_state(decode_scan_cursor(cursor)) if cursor else None
+        )
+        return await self._scan(
+            state,
+            page_rows,
+            None if quantum_ms is None else quantum_ms / 1000.0,
+        )
+
+    async def h_scan_post(self, request: Request) -> dict:
+        """The typed-body twin of ``GET /v1/scan``: accepts a JSON
+        object (optionally a ``ScanRequest`` envelope) with ``cursor``,
+        ``page_rows``, and ``quantum_seconds`` fields."""
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise InvalidRequestError("scan body must be a JSON object")
+        data = payload.get("data") if "kind" in payload else payload
+        if not isinstance(data, dict):
+            raise InvalidRequestError("scan body carries no request object")
+        cursor = data.get("cursor")
+        state = None
+        if cursor is not None:
+            if not isinstance(cursor, str):
+                raise InvalidCursorError("cursor must be a string")
+            state = self._scan_state(decode_scan_cursor(cursor))
+        page_rows = data.get("page_rows")
+        if page_rows is not None:
+            if not isinstance(page_rows, int) or page_rows < 1:
+                raise InvalidRequestError(
+                    "page_rows must be an integer >= 1 when given"
+                )
+            page_rows = min(page_rows, MAX_SCAN_PAGE_ROWS)
+        quantum_seconds = data.get("quantum_seconds")
+        if quantum_seconds is not None:
+            if (
+                not isinstance(quantum_seconds, (int, float))
+                or isinstance(quantum_seconds, bool)
+                or not quantum_seconds > 0
+            ):
+                raise InvalidRequestError(
+                    "quantum_seconds must be a number > 0 when given"
+                )
+        return await self._scan(state, page_rows, quantum_seconds)
 
     # ------------------------------------------------------------------
     # streaming handlers (write the body themselves)
@@ -624,6 +730,7 @@ def serve(
 __all__ = [
     "DEFAULT_PAGE_LIMIT",
     "MAX_PAGE_LIMIT",
+    "MAX_SCAN_PAGE_ROWS",
     "AuditAPI",
     "AuditServer",
     "envelope",

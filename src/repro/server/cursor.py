@@ -3,19 +3,27 @@
 A cursor is a base64url-encoded, versioned JSON object — opaque on the
 wire (clients must not parse it; the format may change between
 releases) but cheap and dependency-free to mint and verify on the
-server.  ``/v1/unexplained`` cursors are **key-based**: they carry the
-``(date, lid)`` sort key of the last item served, and the next page
-starts strictly after that key in the queue's stable ordering.  Unlike
-an offset, a key survives concurrent mutation of the queue — a
-back-dated ingest landing *before* the cursor position, or earlier
-entries becoming explained after ``add_templates``, shifts no
-boundaries: already-served items are never re-served and unserved
-survivors are never skipped (newly inserted earlier rows are simply not
-part of this walk's snapshot).
+server.  Since v2 the payload is kind-tagged, one envelope carrying two
+cursor families:
 
-Tampered, truncated, or cross-version cursors decode to the typed
-:class:`~repro.api.errors.InvalidCursorError` — never a stack trace,
-never a silently wrong page.
+* ``kind="queue"`` — ``/v1/unexplained`` position cursors.  **Key-
+  based**: they carry the ``(date, lid)`` sort key of the last item
+  served, and the next page starts strictly after that key in the
+  queue's stable ordering.  Unlike an offset, a key survives concurrent
+  mutation of the queue — a back-dated ingest landing *before* the
+  cursor position, or earlier entries becoming explained after
+  ``add_templates``, shifts no boundaries: already-served items are
+  never re-served and unserved survivors are never skipped (newly
+  inserted earlier rows are simply not part of this walk's snapshot).
+* ``kind="scan"`` — ``/v1/scan`` suspended-scan cursors.  They carry a
+  whole :class:`~repro.api.messages.ScanState` dict (the ``(date,
+  lid)`` resume position plus the partial coverage accumulators), so a
+  full-log scan suspended mid-walk resumes on **any** server replica or
+  fresh service instance over the same log.
+
+Tampered, truncated, cross-version, or cross-kind cursors decode to the
+typed :class:`~repro.api.errors.InvalidCursorError` — never a stack
+trace, never a silently wrong page.
 """
 
 from __future__ import annotations
@@ -28,21 +36,18 @@ from typing import Any
 from ..api.errors import InvalidCursorError
 
 #: Bump when the cursor payload shape changes; old cursors then fail
-#: loudly instead of decoding into the wrong position.
-CURSOR_VERSION = 1
+#: loudly instead of decoding into the wrong position.  v2 added the
+#: ``kind`` tag ("queue" | "scan") and the scan-state payload.
+CURSOR_VERSION = 2
 
 
-def encode_cursor(after: tuple[Any, Any]) -> str:
-    """Mint the opaque cursor for a ``(date, lid)`` sort key (already in
-    JSON form — what :func:`repro.api.messages.jsonable` produces)."""
-    payload = {"v": CURSOR_VERSION, "after": list(after)}
+def _encode_payload(payload: dict) -> str:
     raw = json.dumps(payload, separators=(",", ":"), sort_keys=True)
     return base64.urlsafe_b64encode(raw.encode("utf-8")).decode("ascii")
 
 
-def decode_cursor(cursor: str) -> tuple[Any, Any]:
-    """Recover the ``(date, lid)`` key from an opaque cursor, or raise
-    :class:`InvalidCursorError`."""
+def _decode_payload(cursor: str, kind: str) -> dict:
+    """Shared decode/verify half: base64url + JSON + version + kind."""
     try:
         raw = base64.urlsafe_b64decode(cursor.encode("ascii"))
         payload = json.loads(raw.decode("utf-8"))
@@ -55,10 +60,52 @@ def decode_cursor(cursor: str) -> tuple[Any, Any]:
             f"unsupported cursor version {payload.get('v')!r} "
             f"(this build mints v{CURSOR_VERSION})"
         )
+    if payload.get("kind") != kind:
+        raise InvalidCursorError(
+            f"expected a {kind!r} cursor, got {payload.get('kind')!r}"
+        )
+    return payload
+
+
+def encode_cursor(after: tuple[Any, Any]) -> str:
+    """Mint the opaque queue cursor for a ``(date, lid)`` sort key
+    (already in JSON form — what :func:`repro.api.messages.jsonable`
+    produces)."""
+    payload = {"v": CURSOR_VERSION, "kind": "queue", "after": list(after)}
+    return _encode_payload(payload)
+
+
+def decode_cursor(cursor: str) -> tuple[Any, Any]:
+    """Recover the ``(date, lid)`` key from an opaque queue cursor, or
+    raise :class:`InvalidCursorError`."""
+    payload = _decode_payload(cursor, "queue")
     after = payload.get("after")
     if not isinstance(after, list) or len(after) != 2:
         raise InvalidCursorError("cursor key must be a [date, lid] pair")
     return tuple(after)
 
 
-__all__ = ["CURSOR_VERSION", "decode_cursor", "encode_cursor"]
+def encode_scan_cursor(state: dict) -> str:
+    """Mint the opaque scan cursor for a suspended scan state (the
+    ``ScanState.to_dict()`` JSON form)."""
+    payload = {"v": CURSOR_VERSION, "kind": "scan", "state": state}
+    return _encode_payload(payload)
+
+
+def decode_scan_cursor(cursor: str) -> dict:
+    """Recover the suspended ``ScanState`` dict from an opaque scan
+    cursor, or raise :class:`InvalidCursorError`."""
+    payload = _decode_payload(cursor, "scan")
+    state = payload.get("state")
+    if not isinstance(state, dict):
+        raise InvalidCursorError("scan cursor carries no state object")
+    return state
+
+
+__all__ = [
+    "CURSOR_VERSION",
+    "decode_cursor",
+    "decode_scan_cursor",
+    "encode_cursor",
+    "encode_scan_cursor",
+]

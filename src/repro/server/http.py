@@ -63,10 +63,18 @@ class Request:
 
     @property
     def keep_alive(self) -> bool:
-        connection = self.headers.get("connection", "").lower()
+        """Connection persistence per RFC 9112 §9.3: ``Connection`` is a
+        comma-separated token list, so ``Connection: close, TE`` must
+        close just like a bare ``close`` (an exact-string compare would
+        keep the socket alive and hang the peer waiting to reuse it)."""
+        tokens = {
+            token.strip().lower()
+            for token in self.headers.get("connection", "").split(",")
+            if token.strip()
+        }
         if self.version == "HTTP/1.0":
-            return connection == "keep-alive"
-        return connection != "close"
+            return "keep-alive" in tokens
+        return "close" not in tokens
 
     def json(self) -> Any:
         """The body parsed as JSON (typed 400 on absence or bad syntax)."""
@@ -172,6 +180,16 @@ async def read_request(
             raise InvalidRequestError(
                 "connection closed mid-body"
             ) from exc
+    elif "content-type" in headers:
+        # A body announced (Content-Type) but unframed (no
+        # Content-Length, chunked already rejected above): silently
+        # treating it as bodyless would desync the connection — the
+        # unread body bytes would be parsed as the next request line.
+        # The caller answers this typed 400 with Connection: close.
+        raise InvalidRequestError(
+            "a request carrying a body must send Content-Length "
+            "(without it the body would desync the connection)"
+        )
 
     parts = urlsplit(target)
     query = dict(parse_qsl(parts.query, keep_blank_values=True))

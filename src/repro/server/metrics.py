@@ -14,6 +14,7 @@ short windows benchmarks and smoke tests look at.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -54,11 +55,15 @@ class ServerMetrics:
     # ------------------------------------------------------------------
     @staticmethod
     def _percentile(ordered: list[float], fraction: float) -> float:
-        """Nearest-rank percentile over a pre-sorted sample."""
+        """Nearest-rank percentile over a pre-sorted sample: the
+        smallest value with at least ``ceil(fraction * n)`` observations
+        at or below it.  A ``round(fraction * (n - 1))`` rank would
+        banker's-round off-by-one on half-way ranks (p50 of
+        [1, 2, 3, 4] must be 2, the nearest-rank answer, not 3)."""
         if not ordered:
             return 0.0
-        rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
-        return ordered[rank]
+        rank = math.ceil(fraction * len(ordered)) - 1
+        return ordered[min(len(ordered) - 1, max(0, rank))]
 
     def snapshot(self) -> dict:
         """The ``GET /metrics`` payload: counters, per-route breakdown,

@@ -25,6 +25,9 @@ from repro.api import (
     MinedTemplateView,
     NotFoundError,
     PatientReport,
+    ScanPage,
+    ScanRequest,
+    ScanState,
     UnexplainedView,
     UnsupportedOperationError,
     WireFormatError,
@@ -82,6 +85,21 @@ SAMPLES = {
         coverage=0.8,
         queue=(UnexplainedView(lid=900, date=4, user="Eve", patient="Bob"),),
         user_risk=(("Eve", 1),),
+    ),
+    "ScanState": ScanState(after=(STAMP, 17), seen=10, unexplained=3),
+    "ScanRequest": ScanRequest(
+        state=ScanState(after=(4, 900), seen=2, unexplained=1),
+        page_rows=5,
+        quantum_seconds=0.25,
+    ),
+    "ScanPage": ScanPage(
+        rows=2,
+        explained=(17,),
+        unexplained=(
+            UnexplainedView(lid=900, date=STAMP, user="Eve", patient="Bob"),
+        ),
+        state=ScanState(after=(STAMP, 900), seen=2, unexplained=1),
+        done=False,
     ),
     "MineRequest": MineRequest(algorithm="two-way", support_fraction=0.2),
     "MinedTemplateView": MinedTemplateView(sql="SELECT 1", support=4, length=2),

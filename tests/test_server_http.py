@@ -20,6 +20,7 @@ from repro.server import (
     CURSOR_VERSION,
     MAX_PAGE_LIMIT,
     AuditServer,
+    Request,
     ServerMetrics,
     decode_cursor,
     encode_cursor,
@@ -118,6 +119,34 @@ class TestServerMetrics:
         snap = metrics.snapshot()
         assert snap["latency_seconds"]["count"] == 10
         assert snap["requests_total"] == 100
+
+
+class TestPercentile:
+    """Exact nearest-rank values — pins the ``round()`` banker's-rounding
+    off-by-one (p50 of [1, 2, 3, 4] used to come out as 3)."""
+
+    def test_even_sample_halfway_rank(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        assert ServerMetrics._percentile(sample, 0.50) == 2.0
+        assert ServerMetrics._percentile(sample, 0.90) == 4.0
+
+    def test_singleton(self):
+        assert ServerMetrics._percentile([10.0], 0.50) == 10.0
+        assert ServerMetrics._percentile([10.0], 0.99) == 10.0
+
+    def test_hundred_values_hit_the_named_ranks(self):
+        sample = [float(i) for i in range(1, 101)]
+        assert ServerMetrics._percentile(sample, 0.50) == 50.0
+        assert ServerMetrics._percentile(sample, 0.90) == 90.0
+        assert ServerMetrics._percentile(sample, 0.99) == 99.0
+        assert ServerMetrics._percentile(sample, 1.00) == 100.0
+
+    def test_empty_sample(self):
+        assert ServerMetrics._percentile([], 0.50) == 0.0
+
+    def test_extremes_are_clamped(self):
+        assert ServerMetrics._percentile([1.0, 2.0], 0.0) == 1.0
+        assert ServerMetrics._percentile([1.0, 2.0], 1.0) == 2.0
 
 
 # ----------------------------------------------------------------------
@@ -343,6 +372,66 @@ class TestProtocol:
         lines = [json.loads(line) for line in payload.splitlines() if line]
         assert [ln["data"]["lid"] for ln in lines] == [1, 2]
 
+    def test_connection_close_with_extra_tokens_closes(self, stub_server):
+        """RFC 9112 §9.3: ``Connection`` is a comma-separated token
+        list — ``close, TE`` must end the connection exactly like a
+        bare ``close`` (an exact-string compare would keep it alive and
+        hang a peer waiting to reuse the socket)."""
+        import socket
+
+        with socket.create_connection(
+            (stub_server.host, stub_server.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\n"
+                b"Connection: close, TE\r\n"
+                b"\r\n"
+            )
+            raw = b""
+            while True:
+                piece = sock.recv(65536)
+                if not piece:
+                    break  # server honored close
+                raw += piece
+        head = raw.partition(b"\r\n\r\n")[0]
+        assert b" 200 " in head.splitlines()[0]
+        assert b"Connection: close" in head
+
+    def test_body_without_content_length_is_typed_400_and_closes(
+        self, stub_server
+    ):
+        """A body announced (Content-Type) but unframed (no
+        Content-Length): treating it as bodyless would desync the
+        connection — the body bytes would be parsed as the next request
+        line.  The server must answer a typed 400, close, and never
+        interpret the stray bytes as a second request."""
+        import socket
+
+        body = b'{"user": "u", "patient": "p"}'
+        with socket.create_connection(
+            (stub_server.host, stub_server.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                b"POST /v1/ingest HTTP/1.1\r\n"
+                b"Content-Type: application/json\r\n"
+                b"\r\n" + body
+            )
+            raw = b""
+            while True:
+                piece = sock.recv(65536)
+                if not piece:
+                    break  # server closed: the body was never re-parsed
+                raw += piece
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        assert b" 400 " in head.splitlines()[0]
+        assert b"Connection: close" in head
+        error = json.loads(payload)["error"]
+        assert error["code"] == "invalid_request"
+        assert "Content-Length" in error["message"]
+        # exactly one response came back — the stray body bytes did not
+        # produce a second (necessarily malformed) response
+        assert raw.count(b"HTTP/1.1") == 1
+
     def test_expect_100_continue_is_answered(self, stub_server):
         """curl sends Expect: 100-continue on large bodies; the server
         must emit the interim response or such clients stall ~1s per
@@ -371,3 +460,107 @@ class TestProtocol:
                 raw += sock.recv(65536)
         assert b"HTTP/1.1 200" in raw.splitlines()[0]
         assert b'"lid":5' in raw.replace(b" ", b"")
+
+
+# ----------------------------------------------------------------------
+# Connection header token parsing
+# ----------------------------------------------------------------------
+class TestKeepAliveTokens:
+    def _request(self, version, connection=None):
+        headers = {} if connection is None else {"connection": connection}
+        return Request(
+            method="GET",
+            target="/",
+            path="/",
+            query={},
+            headers=headers,
+            version=version,
+        )
+
+    def test_http11_defaults_to_persistent(self):
+        assert self._request("HTTP/1.1").keep_alive
+
+    def test_http10_defaults_to_close(self):
+        assert not self._request("HTTP/1.0").keep_alive
+
+    @pytest.mark.parametrize(
+        "value",
+        ["close", "Close", " close ", "close, TE", "TE, close", "keep-alive, close"],
+    )
+    def test_close_token_closes_regardless_of_list_position(self, value):
+        assert not self._request("HTTP/1.1", value).keep_alive
+
+    @pytest.mark.parametrize("value", ["TE", "upgrade", "te, upgrade", ""])
+    def test_other_tokens_do_not_close_http11(self, value):
+        assert self._request("HTTP/1.1", value).keep_alive
+
+    @pytest.mark.parametrize(
+        "value", ["keep-alive", "Keep-Alive", "keep-alive, TE", "TE , keep-alive"]
+    )
+    def test_keep_alive_token_persists_http10(self, value):
+        assert self._request("HTTP/1.0", value).keep_alive
+
+    def test_closeish_token_is_not_close(self):
+        # token comparison, not substring matching
+        assert self._request("HTTP/1.1", "closed").keep_alive
+        assert self._request("HTTP/1.1", "disclose, TE").keep_alive
+
+
+# ----------------------------------------------------------------------
+# mid-stream NDJSON error semantics
+# ----------------------------------------------------------------------
+class FlakyService(StubService):
+    """explain() succeeds, then blows up on the designated lid — after
+    the first NDJSON line already hit the wire."""
+
+    def explain(self, request):
+        if request.lid == "boom":
+            raise UnsupportedOperationError(
+                "flaky mid-stream", hint="retry later"
+            )
+        return ExplainResult(lid=request.lid, explanations=())
+
+
+class TestMidStreamError:
+    def test_wire_carries_data_line_then_error_line(self):
+        """Once the 200 and a result line are on the wire the status
+        cannot change; the server must append a final wire-error NDJSON
+        line and terminate the chunked body cleanly."""
+        import socket
+
+        with AuditServer(FlakyService(), port=0) as server:
+            body = json.dumps({"lids": ["ok", "boom"]}).encode()
+            with socket.create_connection(
+                (server.host, server.port), timeout=10
+            ) as sock:
+                sock.sendall(
+                    b"POST /v1/explain/batch HTTP/1.1\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                    b"\r\n" + body
+                )
+                raw = b""
+                while b"0\r\n\r\n" not in raw:
+                    raw += sock.recv(65536)
+        head, _, framed = raw.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200" in head.splitlines()[0]
+        # strip the chunked framing down to the NDJSON lines
+        lines = [
+            json.loads(line)
+            for line in framed.splitlines()
+            if line.startswith(b"{")
+        ]
+        assert lines[0]["data"]["lid"] == "ok"
+        assert lines[1]["error"]["code"] == "unsupported_operation"
+
+    def test_client_iterator_raises_rebuilt_typed_exception(self):
+        with AuditServer(FlakyService(), port=0) as server:
+            with AuditClient(server.host, server.port, timeout=10) as client:
+                stream = client.explain_batch(["ok", "boom"])
+                first = next(stream)
+                assert first.lid == "ok"
+                with pytest.raises(UnsupportedOperationError) as excinfo:
+                    next(stream)
+                assert excinfo.value.hint == "retry later"
+                # the client recovers: the next call works normally
+                assert client.explain(5).lid == 5
