@@ -1,0 +1,128 @@
+"""Multi-worker serving, end to end: ``repro-audit serve --workers 2``.
+
+Simulates a tiny hospital week, spawns the real CLI server as a
+subprocess with two SO_REUSEPORT workers on an ephemeral port, then
+drives the fleet through :class:`repro.client.AuditClient`: reads
+(explain, NDJSON batch, report, cursor-paginated unexplained walking)
+all answer from whichever worker accepts the connection; ``/v1/metrics``
+aggregates counters across the whole fleet; mutating endpoints answer a
+typed 501 (independent per-worker replicas must not diverge).  Finally
+SIGINT drains both workers and the exit must be clean.
+
+This is also the CI multi-worker smoke step:  Run:  python examples/fleet_demo.py
+"""
+
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.api import UnsupportedOperationError, save_database
+from repro.client import AuditClient
+from repro.ehr import SimulationConfig, simulate
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+WORKERS = 2
+
+
+def spawn_fleet(db_dir: str) -> tuple[subprocess.Popen, int]:
+    """Start ``repro-audit serve --workers 2`` on an ephemeral port."""
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--db",
+            db_dir,
+            "--port",
+            "0",
+            "--workers",
+            str(WORKERS),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={"PYTHONPATH": str(SRC), "PYTHONUNBUFFERED": "1"},
+    )
+    assert process.stdout is not None
+    line = process.stdout.readline().strip()
+    if "listening on" not in line:
+        process.kill()
+        raise RuntimeError(f"fleet failed to start: {line!r}")
+    port = int(line.rsplit(":", 1)[1])
+    fleet_line = process.stdout.readline().strip()
+    print(f"fleet up: {line}")
+    print(f"          {fleet_line}")
+    assert f"{WORKERS} worker(s)" in fleet_line, fleet_line
+    return process, port
+
+
+def drive(port: int) -> None:
+    """Reads across the fleet, aggregated metrics, typed 501 writes."""
+    with AuditClient("127.0.0.1", port) as client:
+        assert client.healthz()["status"] == "ok"
+
+        report = client.report()
+        print(report.summary())
+        assert abs(client.coverage() - report.coverage) < 1e-12
+
+        some_lids = [view.lid for view in report.queue[:3]]
+        if some_lids:
+            single = client.explain(some_lids[0])
+            print(
+                f"explain({single.lid}): "
+                f"{'explained' if single.explained else 'SUSPICIOUS'}"
+            )
+            streamed = list(client.explain_batch(some_lids))
+            assert [r.lid for r in streamed] == some_lids
+            print(f"explain/batch streamed {len(streamed)} NDJSON results")
+
+        # cursor walks are stateless, so pages may land on either worker
+        walked = list(client.unexplained(page_size=5))
+        assert [v.lid for v in walked] == [v.lid for v in report.queue]
+        print(f"cursor-walked {len(walked)} unexplained accesses")
+
+        # a fleet of independent replicas serves read-only
+        try:
+            client.ingest("u9999", "p9999")
+        except UnsupportedOperationError as exc:
+            print(f"typed 501 on ingest works: {exc.code}")
+        else:
+            raise AssertionError("fleet accepted a write")
+
+        metrics = client.metrics()
+        assert metrics["scope"] == "fleet", metrics.get("scope")
+        assert metrics["workers"] == WORKERS
+        print(
+            f"fleet metrics: {metrics['workers']} workers, "
+            f"{metrics['requests_total']} requests total"
+        )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-") as tmp:
+        db_dir = str(Path(tmp) / "hospital")
+        result = simulate(SimulationConfig.tiny(seed=7))
+        save_database(result.db, db_dir)
+        print(result.summary())
+
+        process, port = spawn_fleet(db_dir)
+        try:
+            drive(port)
+        finally:
+            process.send_signal(signal.SIGINT)
+            output, _ = process.communicate(timeout=60)
+            print(output.strip())
+            if process.returncode != 0:
+                raise SystemExit(
+                    f"fleet exited with {process.returncode}, not 0"
+                )
+        assert "shutdown complete" in output
+        print("clean fleet shutdown confirmed")
+
+
+if __name__ == "__main__":
+    main()

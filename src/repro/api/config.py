@@ -73,6 +73,20 @@ class AuditConfig:
     #: per shard.
     parallelism: int | None = None
 
+    #: Executor hot-path selection: True (the default) runs the
+    #: vectorized join pipeline (columnar set-intersection probes,
+    #: scalar-keyed hashmaps, C-level projections); False keeps the
+    #: original per-row loops — the differential reference.
+    vectorized: bool = True
+
+    #: HTTP serving fleet width for ``repro-audit serve`` — number of
+    #: worker processes sharing one listening port (SO_REUSEPORT, or a
+    #: parent-bound inherited socket where unavailable).  None means one:
+    #: the single in-process server.  Values > 1 require a service spec
+    #: every worker process can open for itself (see
+    #: :mod:`repro.server.supervisor`).
+    workers: int | None = None
+
     #: Resumable-scan budgets (see :meth:`AuditService.scan`): the
     #: default row budget of one scan slice, and an optional wall-clock
     #: quantum in seconds after which a slice suspends early (None means
@@ -104,6 +118,8 @@ class AuditConfig:
             raise ValueError("executor_kind must be 'thread' or 'process'")
         if self.parallelism is not None and self.parallelism < 1:
             raise ValueError("parallelism must be >= 1 when given")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 when given")
         if self.scan_page_rows < 1:
             raise ValueError("scan_page_rows must be >= 1")
         if (
@@ -118,6 +134,11 @@ class AuditConfig:
         if self.parallelism is not None:
             return min(self.parallelism, self.shards)
         return self.shards
+
+    @property
+    def effective_workers(self) -> int:
+        """The serving-fleet width actually used (None means one)."""
+        return self.workers if self.workers is not None else 1
 
     # ------------------------------------------------------------------
     def replace(self, **changes) -> "AuditConfig":

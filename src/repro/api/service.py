@@ -173,6 +173,7 @@ class AuditService:
             distinct_reduction=config.distinct_reduction,
             predicate_pushdown=config.predicate_pushdown,
             plan_cache=self.plan_cache,
+            vectorized=config.vectorized,
         )
         self.engine = ExplanationEngine(
             db,

@@ -129,6 +129,7 @@ def build_shard_state(
         distinct_reduction=config.distinct_reduction,
         predicate_pushdown=config.predicate_pushdown,
         plan_cache=plan_cache,
+        vectorized=config.vectorized,
     )
     engine = ExplanationEngine(
         db,

@@ -253,15 +253,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
     ``--shards N --executor-kind process`` serves the scatter-gather
     backend transparently — the wire contract is identical.  ``--port 0``
     binds an ephemeral port; the ``listening on http://...`` line names
-    it (scripts parse that line).  SIGINT/SIGTERM shut down cleanly.
+    it (scripts parse that line).  SIGINT/SIGTERM shut down cleanly
+    (graceful drain: in-flight requests finish, new dials are refused).
+
+    ``--workers N`` (N > 1) serves a read-only multi-core fleet: one
+    port shared via SO_REUSEPORT (or a fork-inherited fd), one service
+    replica per worker process, ``/v1/metrics`` aggregated fleet-wide.
     """
-    from .server import serve
+    from .server import run_fleet, serve
 
     db = load_database(args.db)
-    config = AuditConfig(shards=args.shards, executor_kind=args.executor_kind)
-    with open_service(
-        db, templates=_templates_for(db, args.templates), config=config
-    ) as service:
+    config = AuditConfig(
+        shards=args.shards,
+        executor_kind=args.executor_kind,
+        workers=args.workers,
+    )
+    templates = _templates_for(db, args.templates)
+    if config.effective_workers > 1:
+        # Each worker opens its own replica post-fork — never share one
+        # live service (thread pools, locks, shard subprocesses) across
+        # server processes.
+        return run_fleet(
+            lambda: open_service(db, templates=templates, config=config),
+            host=args.host,
+            port=args.port,
+            workers=config.effective_workers,
+        )
+    with open_service(db, templates=templates, config=config) as service:
         return serve(service, host=args.host, port=args.port)
 
 
@@ -412,6 +430,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="listening port (0 binds an ephemeral one, printed on stdout)",
     )
     p.add_argument("--templates", help="reviewed SQL/JSON template library")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes sharing the port (default 1; >1 serves a "
+        "read-only fleet via SO_REUSEPORT with fleet-merged /v1/metrics)",
+    )
     _add_sharding_args(p)
     p.set_defaults(func=cmd_serve)
 

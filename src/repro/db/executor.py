@@ -81,6 +81,24 @@ def _compare(op: str, left: Any, right: Any) -> bool:
 #: build-a-hashmap to probing the table's cached projection index.
 INDEX_JOIN_RATIO = 4
 
+#: Shared miss default for vectorized hashmap probes.
+_EMPTY: tuple = ()
+
+
+def _tuple_getter(positions: Sequence[int]) -> Callable[[tuple], tuple]:
+    """A fast ``row -> (row[p] for p in positions)`` projector.
+
+    ``operator.itemgetter`` runs the extraction in C but returns a bare
+    scalar for a single position; wrap that case so callers always get
+    tuples.
+    """
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        p = positions[0]
+        return lambda row: (row[p],)
+    return operator.itemgetter(*positions)
+
 
 class _BaseRelation:
     """One tuple variable's input to the join pipeline, materialized lazily.
@@ -93,7 +111,9 @@ class _BaseRelation:
     materializes the build side at all.
     """
 
-    __slots__ = ("table", "attrs", "cols", "reduce", "pristine", "_rows", "size")
+    __slots__ = (
+        "table", "attrs", "cols", "reduce", "pristine", "vectorized", "_rows", "size"
+    )
 
     def __init__(
         self,
@@ -103,11 +123,13 @@ class _BaseRelation:
         point_conds: list[Condition] | None,
         reduce_rows: bool,
         in_restrict: tuple[str, set] | None = None,
+        vectorized: bool = False,
     ) -> None:
         self.table = table
         self.attrs = attrs
         self.cols = [AttrRef(alias, a) for a in attrs]
         self.reduce = reduce_rows
+        self.vectorized = vectorized
         #: True when rows are exactly the table's (distinct) projection —
         #: the precondition for probing the table's projection index.
         self.pristine = not point_conds and in_restrict is None
@@ -125,7 +147,10 @@ class _BaseRelation:
                     if all(_compare(c.op, r[i], c.right.value) for i, c in rest_idx)
                 ]
             idxs = [table.schema.column_index(a) for a in attrs]
-            rows = [tuple(r[i] for i in idxs) for r in source]
+            if vectorized:
+                rows = list(map(_tuple_getter(idxs), source))
+            else:
+                rows = [tuple(r[i] for i in idxs) for r in source]
             if reduce_rows:
                 rows = list(dict.fromkeys(rows))
             if in_restrict is not None:
@@ -147,14 +172,19 @@ class _BaseRelation:
         Small binding sets probe the delta-maintained (projection) index
         once per value; large ones scan and filter — the same adaptive
         switch as the index-nested-loop join.  ``values`` never contains
-        NULL (stripped by the caller: NULL never joins).
+        NULL (stripped by the caller: NULL never joins).  The vectorized
+        variant probes by set intersection (scalar-keyed projection index,
+        no per-value tuple allocation) and scans through the columnar
+        mirror — the typed ``array('q')`` one for clean int columns.
         """
         attr, values = in_restrict
         table, attrs = self.table, self.attrs
+        if self.vectorized:
+            return self._restricted_rows_vectorized(attr, values)
         if self.reduce:
             if len(values) * INDEX_JOIN_RATIO < max(1, len(table)):
                 probed = table.projection_probe_many(
-                    attrs, (attr,), [(v,) for v in values]
+                    attrs, (attr,), [(v,) for v in values], vectorized=False
                 )
                 return [t for entries in probed.values() for t in entries]
             pos = attrs.index(attr)
@@ -162,17 +192,44 @@ class _BaseRelation:
         idxs = [table.schema.column_index(a) for a in attrs]
         if len(values) * INDEX_JOIN_RATIO < max(1, len(table)):
             return [
-                tuple(r[i] for i in idxs) for r in table.lookup_many(attr, values)
+                tuple(r[i] for i in idxs)
+                for r in table.lookup_many(attr, values, vectorized=False)
             ]
         col = table.schema.column_index(attr)
         return [
             tuple(r[i] for i in idxs) for r in table.rows() if r[col] in values
         ]
 
+    def _restricted_rows_vectorized(self, attr: str, values: set) -> list[tuple]:
+        table, attrs = self.table, self.attrs
+        small = len(values) * INDEX_JOIN_RATIO < max(1, len(table))
+        if self.reduce:
+            if small:
+                probed = table.projection_probe_scalar(attrs, attr, values)
+                return [t for entries in probed.values() for t in entries]
+            pos = attrs.index(attr)
+            return [t for t in table.project_distinct(attrs) if t[pos] in values]
+        idxs = [table.schema.column_index(a) for a in attrs]
+        getter = _tuple_getter(idxs)
+        if small:
+            return list(map(getter, table.lookup_many(attr, values)))
+        col_vals = table.int_column_array(attr)
+        if col_vals is None:
+            col_vals = table.column_array(attr)
+        rows = table.rows()
+        return [getter(rows[i]) for i, v in enumerate(col_vals) if v in values]
+
     def rows(self) -> list[tuple]:
         if self._rows is None:
             if self.reduce:
                 self._rows = list(self.table.project_distinct(self.attrs))
+            elif self.vectorized:
+                idxs = [self.table.schema.column_index(a) for a in self.attrs]
+                source = self.table.rows()
+                if idxs == list(range(self.table.schema.arity())):
+                    self._rows = source  # identity projection: reuse storage
+                else:
+                    self._rows = list(map(_tuple_getter(idxs), source))
             else:
                 idxs = [self.table.schema.column_index(a) for a in self.attrs]
                 self._rows = [tuple(r[i] for i in idxs) for r in self.table.rows()]
@@ -214,9 +271,17 @@ class Executor:
         distinct_reduction: bool = True,
         predicate_pushdown: bool = True,
         plan_cache: PlanCache | None = None,
+        vectorized: bool = True,
     ) -> None:
         self.db = db
         self.allow_cartesian = allow_cartesian
+        #: When True (the default), the join pipeline runs its batch
+        #: (columnar) hot paths: set-intersection index probes, scalar-keyed
+        #: hashmaps for single-attribute joins, C-level ``itemgetter``
+        #: projections, and per-condition specialized filters.  False keeps
+        #: the original per-row loops — the differential reference
+        #: (``tests/test_executor_vectorized.py`` pins both paths equal).
+        self.vectorized = vectorized
         #: When False, base tables are fed to the join pipeline at full
         #: multiplicity and intermediates are never deduplicated — the
         #: paper's *unoptimized* query shape, kept for the ablation bench.
@@ -246,7 +311,10 @@ class Executor:
         self._validate(query)
         rel_cols, rel_rows = self._join_all(query)
         pos = [rel_cols.index(ref) for ref in query.projection]
-        out = [tuple(row[p] for p in pos) for row in rel_rows]
+        if self.vectorized:
+            out = list(map(_tuple_getter(pos), rel_rows))
+        else:
+            out = [tuple(row[p] for p in pos) for row in rel_rows]
         if query.distinct:
             out = list(dict.fromkeys(out))
         return QueryResult(tuple(query.projection), out)
@@ -358,22 +426,23 @@ class Executor:
             self.plan_cache.store(key, plan)
         return plan
 
-    def _join_all(
+    def _prepare(
         self,
         query: ConjunctiveQuery,
-        needed_extra: Sequence[AttrRef] = (),
-        in_restrict: tuple[AttrRef, set] | None = None,
-    ) -> tuple[list[AttrRef], list[tuple]]:
-        """Join every tuple variable along the cached plan; returns
-        (columns, rows)."""
+        needed_extra: Sequence[AttrRef],
+        in_restrict: tuple[AttrRef, set] | None,
+    ):
+        """Plan lookup + base-relation construction, shared by both the
+        row-wise and vectorized pipelines.
+
+        Base relations are projections of the needed attributes — distinct
+        when multiplicity reduction is enabled (paper Section 3.2.1).
+        Point predicates (consumed by the plan's pushdown split) and the
+        batch semijoin restriction resolve through index probes here.
+        """
         plan = self._plan_for(query, needed_extra, in_restrict)
         conditions = query.conditions
         keep_always = {ref for ref in query.projection} | set(needed_extra)
-
-        # Base relations: projections of the needed attributes — distinct
-        # when multiplicity reduction is enabled (paper Section 3.2.1).
-        # Point predicates (consumed by the plan's pushdown split) and the
-        # batch semijoin restriction resolve through index probes here.
         reduce_rows = self.distinct_reduction and query.distinct
         in_alias = in_restrict[0].alias if in_restrict else None
         base: dict[str, _BaseRelation] = {}
@@ -387,10 +456,40 @@ class Executor:
             if var.alias == in_alias:
                 restrict = (in_restrict[0].attr, in_restrict[1])
             base[var.alias] = _BaseRelation(
-                table, var.alias, attrs, point_conds or None, reduce_rows, restrict
+                table,
+                var.alias,
+                attrs,
+                point_conds or None,
+                reduce_rows,
+                restrict,
+                vectorized=self.vectorized,
             )
-
         pending = [conditions[i] for i in plan.residual_idx]
+        return plan, conditions, keep_always, reduce_rows, base, pending
+
+    def _join_all(
+        self,
+        query: ConjunctiveQuery,
+        needed_extra: Sequence[AttrRef] = (),
+        in_restrict: tuple[AttrRef, set] | None = None,
+    ) -> tuple[list[AttrRef], list[tuple]]:
+        """Join every tuple variable along the cached plan; returns
+        (columns, rows)."""
+        if self.vectorized:
+            return self._join_all_vectorized(query, needed_extra, in_restrict)
+        return self._join_all_rowwise(query, needed_extra, in_restrict)
+
+    def _join_all_rowwise(
+        self,
+        query: ConjunctiveQuery,
+        needed_extra: Sequence[AttrRef] = (),
+        in_restrict: tuple[AttrRef, set] | None = None,
+    ) -> tuple[list[AttrRef], list[tuple]]:
+        """The original per-row pipeline — the differential reference for
+        the vectorized path (``Executor(vectorized=False)`` routes here)."""
+        plan, conditions, keep_always, reduce_rows, base, pending = self._prepare(
+            query, needed_extra, in_restrict
+        )
 
         def applicable(cols: list[AttrRef]) -> list[Condition]:
             """Pending conditions whose every attr ref is now bound."""
@@ -494,6 +593,174 @@ class Executor:
                         continue
                     for vrow in hashmap.get(key, ()):
                         joined.append(row + vrow)
+            else:  # explicit cartesian product (opt-in only)
+                joined = [row + vrow for row in rows for vrow in vbase.rows()]
+
+            cols = cols + list(vcols)
+            joined = apply_filters(cols, joined)
+            cols, rows = prune(cols, joined)
+
+        if pending:  # only single-var conditions could remain; apply them
+            rows = apply_filters(cols, rows)
+        if pending:
+            raise QueryError(f"unapplied conditions remain: {pending}")
+        return cols, rows
+
+    def _join_all_vectorized(
+        self,
+        query: ConjunctiveQuery,
+        needed_extra: Sequence[AttrRef] = (),
+        in_restrict: tuple[AttrRef, set] | None = None,
+    ) -> tuple[list[AttrRef], list[tuple]]:
+        """The batch pipeline: same joins, same semantics, C-level loops.
+
+        Differences from :meth:`_join_all_rowwise`, none observable in the
+        result multiset (pinned by ``tests/test_executor_vectorized.py``):
+
+        * probe keys come from one ``itemgetter`` per step (or a bare
+          column read for single-attribute joins, probing a scalar-keyed
+          hashmap — no per-row key-tuple allocation);
+        * NULL probe keys need no explicit skip — neither the projection
+          indexes nor the hashmaps built here ever contain a NULL-bearing
+          key, so a NULL probe simply misses;
+        * filters run as one specialized comprehension per condition
+          (SQL three-valued semantics compiled into the ``is not None``
+          guards) instead of an interpreted per-row condition loop;
+        * prune/projection dedup feed ``dict.fromkeys`` through
+          ``map(itemgetter)``.
+        """
+        plan, conditions, keep_always, reduce_rows, base, pending = self._prepare(
+            query, needed_extra, in_restrict
+        )
+
+        def applicable(cols: list[AttrRef]) -> list[Condition]:
+            """Pending conditions whose every attr ref is now bound."""
+            have = set(cols)
+            out = []
+            for cond in pending:
+                if all(ref in have for ref in cond_attr_refs(cond)):
+                    out.append(cond)
+            return out
+
+        def apply_filters(cols: list[AttrRef], rows: list[tuple]) -> list[tuple]:
+            conds = applicable(cols)
+            if not conds:
+                return rows
+            pos = {c: i for i, c in enumerate(cols)}
+            for cond in conds:
+                pending.remove(cond)
+                if not rows:
+                    continue
+                op, li = cond.op, pos[cond.left]
+                if isinstance(cond.right, AttrRef):
+                    ri = pos[cond.right]
+                    if op == "=":
+                        # x == None is False for every concrete x here, so
+                        # one guard covers both NULL sides.
+                        rows = [r for r in rows if r[li] is not None and r[li] == r[ri]]
+                    else:
+                        cmp = _OPS[op]
+                        rows = [
+                            r
+                            for r in rows
+                            if r[li] is not None
+                            and r[ri] is not None
+                            and cmp(r[li], r[ri])
+                        ]
+                else:
+                    rv = cond.right.value
+                    if rv is None:
+                        rows = []  # comparison with NULL is never true
+                    elif op == "=":
+                        rows = [r for r in rows if r[li] == rv]
+                    else:
+                        cmp = _OPS[op]
+                        rows = [
+                            r for r in rows if r[li] is not None and cmp(r[li], rv)
+                        ]
+            return rows
+
+        def prune(cols: list[AttrRef], rows: list[tuple]) -> tuple[list[AttrRef], list[tuple]]:
+            """Drop columns no pending condition / projection needs; dedup."""
+            still_needed = set(keep_always)
+            for cond in pending:
+                still_needed.update(cond_attr_refs(cond))
+            keep_pos = [i for i, c in enumerate(cols) if c in still_needed]
+            if len(keep_pos) == len(cols):
+                return cols, rows
+            new_cols = [cols[i] for i in keep_pos]
+            projected = map(_tuple_getter(keep_pos), rows)
+            if reduce_rows:
+                new_rows = list(dict.fromkeys(projected))
+            else:
+                new_rows = list(projected)
+            return new_cols, new_rows
+
+        start = plan.steps[0]
+        cols = list(base[start.alias].cols)
+        rows = base[start.alias].rows()
+        rows = apply_filters(cols, rows)
+        cols, rows = prune(cols, rows)
+
+        for step in plan.steps[1:]:
+            join_conds = [conditions[i] for i in step.join_cond_idx]
+            vbase = base[step.alias]
+            vcols = vbase.cols
+            if join_conds:
+                probe_refs: list[AttrRef] = []
+                build_refs: list[AttrRef] = []
+                for cond in join_conds:
+                    if cond.left.alias == step.alias:
+                        build_refs.append(cond.left)
+                        probe_refs.append(cond.right)  # type: ignore[arg-type]
+                    else:
+                        build_refs.append(cond.right)  # type: ignore[arg-type]
+                        probe_refs.append(cond.left)
+                    pending.remove(cond)
+                single = len(probe_refs) == 1
+                if vbase.pristine and vbase.reduce:
+                    # Probe the table's delta-maintained projection index —
+                    # the cached hash map this join would otherwise build
+                    # per call (scalar-keyed for single-attribute joins).
+                    if single:
+                        hashmap: dict = vbase.table.projection_index_scalar(
+                            vbase.attrs, build_refs[0].attr
+                        )
+                    else:
+                        hashmap = vbase.table.projection_index(
+                            vbase.attrs, [r.attr for r in build_refs]
+                        )
+                elif single:
+                    b0 = vcols.index(build_refs[0])
+                    hashmap = {}
+                    for vrow in vbase.rows():
+                        k = vrow[b0]
+                        if k is None:
+                            continue  # NULL never joins
+                        hashmap.setdefault(k, []).append(vrow)
+                else:
+                    bget = operator.itemgetter(
+                        *[vcols.index(r) for r in build_refs]
+                    )
+                    hashmap = {}
+                    for vrow in vbase.rows():
+                        key = bget(vrow)
+                        if None in key:
+                            continue  # NULL never joins
+                        hashmap.setdefault(key, []).append(vrow)
+                get = hashmap.get
+                if single:
+                    p0 = cols.index(probe_refs[0])
+                    joined = [
+                        row + vrow for row in rows for vrow in get(row[p0], _EMPTY)
+                    ]
+                else:
+                    pget = operator.itemgetter(
+                        *[cols.index(r) for r in probe_refs]
+                    )
+                    joined = [
+                        row + vrow for row in rows for vrow in get(pget(row), _EMPTY)
+                    ]
             else:  # explicit cartesian product (opt-in only)
                 joined = [row + vrow for row in rows for vrow in vbase.rows()]
 

@@ -40,10 +40,15 @@ after arbitrary interleavings of inserts and reads.
 
 from __future__ import annotations
 
+from array import array
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from .errors import IntegrityError, UnknownColumnError
-from .schema import TableSchema
+from .schema import ColumnType, TableSchema
+
+#: Sentinel for "no typed mirror possible" in the int-array cache, so a
+#: column that once saw a NULL/overflow is not re-scanned on every call.
+_NO_TYPED_MIRROR = object()
 
 
 class Table:
@@ -61,6 +66,16 @@ class Table:
         self._proj_index_cache: dict[
             tuple[tuple[str, ...], tuple[str, ...]], dict[tuple, list[tuple]]
         ] = {}
+        #: (attrs, key_attr) -> {scalar key -> [distinct projected tuples]}
+        #: — the single-key-column variant of the projection index, keyed
+        #: by the bare value instead of a 1-tuple so the vectorized probe
+        #: path never allocates per-row key tuples.
+        self._proj_scalar_cache: dict[
+            tuple[tuple[str, ...], str], dict[Any, list[tuple]]
+        ] = {}
+        #: column -> array('q') mirror, or _NO_TYPED_MIRROR when the
+        #: column is not cleanly int-typed (NULLs, non-INT type, overflow).
+        self._int_arrays: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # mutation
@@ -177,6 +192,27 @@ class Table:
             if any(k is None for k in key):
                 continue  # NULL never joins
             index.setdefault(key, []).append(proj)
+        for (attrs, key_attr), index in self._proj_scalar_cache.items():
+            if attrs in fresh:
+                if not fresh[attrs]:
+                    continue
+                proj = proj_of[attrs]
+            else:
+                proj = tuple(tup[col_idx(c)] for c in attrs)
+            key = proj[attrs.index(key_attr)]
+            if key is None:
+                continue  # NULL never joins
+            index.setdefault(key, []).append(proj)
+        for column, arr in self._int_arrays.items():
+            if arr is _NO_TYPED_MIRROR:
+                continue
+            value = tup[col_idx(column)]
+            try:
+                arr.append(value)
+            except (TypeError, OverflowError):
+                # A NULL (or out-of-range) value arrived: the typed
+                # mirror can no longer represent the column; tombstone it.
+                self._int_arrays[column] = _NO_TYPED_MIRROR
 
     def _invalidate(self) -> None:
         self._column_store.clear()
@@ -184,6 +220,8 @@ class Table:
         self._distinct_cache.clear()
         self._ndv_cache.clear()
         self._proj_index_cache.clear()
+        self._proj_scalar_cache.clear()
+        self._int_arrays.clear()
 
     # ------------------------------------------------------------------
     # access
@@ -217,6 +255,30 @@ class Table:
     def column_values(self, column: str) -> list[Any]:
         """All values of one column, in row order (a fresh copy)."""
         return list(self.column_array(column))
+
+    def int_column_array(self, column: str) -> array | None:
+        """A typed ``array('q')`` mirror of an INT column, or None.
+
+        Available only while the column is declared INT and every stored
+        value fits a signed 64-bit slot with no NULLs — the moment a NULL
+        (or overflowing) value is appended the mirror is dropped for good
+        (callers fall back to :meth:`column_array`).  Delta-maintained on
+        append like every other cached structure; treat as read-only.
+        The contiguous buffer also supports zero-copy ``memoryview``
+        slicing for consumers that want it.
+        """
+        cached = self._int_arrays.get(column)
+        if cached is None:  # never built
+            col = self.schema.columns[self.schema.column_index(column)]
+            if col.ctype is not ColumnType.INT:
+                cached = _NO_TYPED_MIRROR
+            else:
+                try:
+                    cached = array("q", self.column_array(column))
+                except (TypeError, OverflowError):
+                    cached = _NO_TYPED_MIRROR
+            self._int_arrays[column] = cached
+        return None if cached is _NO_TYPED_MIRROR else cached
 
     def distinct_values(self, column: str) -> set:
         """Distinct values of one column (NULLs excluded)."""
@@ -276,6 +338,29 @@ class Table:
             self._proj_index_cache[cache_key] = index
         return self._proj_index_cache[cache_key]
 
+    def projection_index_scalar(
+        self, attrs: Sequence[str], key_attr: str
+    ) -> dict[Any, list[tuple]]:
+        """:meth:`projection_index` specialized to a single key column.
+
+        Maps each non-NULL *bare value* of ``key_attr`` (no 1-tuple
+        wrapping) to the distinct projected tuples carrying it, so the
+        vectorized semijoin probe hashes scalars instead of allocating a
+        key tuple per probe row.  Built lazily; delta-maintained on
+        append exactly like the tuple-keyed variant.
+        """
+        cache_key = (tuple(attrs), key_attr)
+        if cache_key not in self._proj_scalar_cache:
+            pos = cache_key[0].index(key_attr)
+            index: dict[Any, list[tuple]] = {}
+            for proj in self.project_distinct(attrs):
+                key = proj[pos]
+                if key is None:
+                    continue  # NULL never joins
+                index.setdefault(key, []).append(proj)
+            self._proj_scalar_cache[cache_key] = index
+        return self._proj_scalar_cache[cache_key]
+
     def lookup(self, column: str, value: Any) -> list[tuple]:
         """Rows where ``column == value`` (via the hash index)."""
         return [self._rows[p] for p in self.index_for(column).get(value, ())]
@@ -283,57 +368,94 @@ class Table:
     # ------------------------------------------------------------------
     # batch probes (the storage primitive behind semijoin evaluation)
     # ------------------------------------------------------------------
-    def probe_many(self, column: str, values: Iterable[Any]) -> dict[Any, list[int]]:
+    def probe_many(
+        self, column: str, values: Iterable[Any], *, vectorized: bool = True
+    ) -> dict[Any, list[int]]:
         """Batch hash-index probe: ``value -> [row positions]`` for every
         probe value that matches at least one row.
 
         NULL probe values are skipped (SQL semantics: NULL never joins).
-        One index resolution for the whole batch, so a set-at-a-time
-        semijoin pays O(|values|) dictionary hits instead of |values|
-        full probe calls.
+        The vectorized path resolves the whole batch with one C-level
+        keys-view set intersection against the hash index (NULL discarded
+        afterwards — the index does carry a NULL bucket) instead of one
+        dict probe per value; ``vectorized=False`` keeps the original
+        per-value loop as the differential reference.
         """
         index = self.index_for(column)
-        out: dict[Any, list[int]] = {}
-        for value in values:
-            if value is None:
-                continue
-            positions = index.get(value)
-            if positions:
-                out[value] = positions
-        return out
+        if not vectorized:
+            out: dict[Any, list[int]] = {}
+            for value in values:
+                if value is None:
+                    continue
+                positions = index.get(value)
+                if positions:
+                    out[value] = positions
+            return out
+        if isinstance(values, (set, frozenset)):
+            hits = index.keys() & values
+            hits.discard(None)
+            return {v: index[v] for v in hits}
+        ordered = dict.fromkeys(values)  # dedup, first-seen order kept
+        hits = index.keys() & ordered
+        hits.discard(None)
+        return {v: index[v] for v in ordered if v in hits}
 
-    def lookup_many(self, column: str, values: Iterable[Any]) -> list[tuple]:
+    def lookup_many(
+        self, column: str, values: Iterable[Any], *, vectorized: bool = True
+    ) -> list[tuple]:
         """Rows where ``column`` matches any probe value (full multiplicity,
         grouped by probe value; NULLs never match)."""
         rows = self._rows
-        return [
-            rows[p]
-            for positions in self.probe_many(column, values).values()
-            for p in positions
-        ]
+        probed = self.probe_many(column, values, vectorized=vectorized)
+        return [rows[p] for positions in probed.values() for p in positions]
 
     def projection_probe_many(
         self,
         attrs: Sequence[str],
         key_attrs: Sequence[str],
         keys: Iterable[tuple],
+        *,
+        vectorized: bool = True,
     ) -> dict[tuple, list[tuple]]:
         """Batch probe of :meth:`projection_index`: ``key tuple -> [distinct
         projected tuples]`` for every probe key with at least one match.
 
-        Keys containing NULL are skipped (NULL never joins).  This is the
-        probe the executor uses when a batch semijoin's binding set is
-        small relative to the table.
+        Keys containing NULL are skipped (NULL never joins).  The
+        vectorized path is one keys-view set intersection — no per-key
+        NULL scan is needed because the projection index never contains a
+        NULL-bearing key, so such probes simply cannot intersect.
+        ``vectorized=False`` keeps the original per-key loop.
         """
         index = self.projection_index(attrs, key_attrs)
-        out: dict[tuple, list[tuple]] = {}
-        for key in keys:
-            if any(k is None for k in key):
-                continue
-            entries = index.get(key)
-            if entries:
-                out[key] = entries
-        return out
+        if not vectorized:
+            out: dict[tuple, list[tuple]] = {}
+            for key in keys:
+                if any(k is None for k in key):
+                    continue
+                entries = index.get(key)
+                if entries:
+                    out[key] = entries
+            return out
+        if isinstance(keys, (set, frozenset)):
+            return {k: index[k] for k in index.keys() & keys}
+        ordered = dict.fromkeys(keys)
+        hits = index.keys() & ordered
+        return {k: index[k] for k in ordered if k in hits}
+
+    def projection_probe_scalar(
+        self, attrs: Sequence[str], key_attr: str, values: Iterable[Any]
+    ) -> dict[Any, list[tuple]]:
+        """Batch probe of :meth:`projection_index_scalar`: ``value ->
+        [distinct projected tuples]`` for every probe value with a match.
+
+        The scalar twin of :meth:`projection_probe_many` — bare values in,
+        bare-value keys out, one set intersection for the whole batch.
+        NULL probe values never match (the scalar index has no NULL key).
+        """
+        index = self.projection_index_scalar(attrs, key_attr)
+        if not isinstance(values, (set, frozenset)):
+            values = set(values)
+        return {v: index[v] for v in index.keys() & values}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Table {self.schema.name} rows={len(self._rows)}>"

@@ -61,6 +61,7 @@ from ..api.errors import (
     InvalidRequestError,
     MethodNotAllowedError,
     NotFoundError,
+    UnsupportedOperationError,
 )
 from ..api.messages import (
     ExplainRequest,
@@ -78,7 +79,7 @@ from .cursor import (
     encode_scan_cursor,
 )
 from .http import ChunkedWriter, Request, dump_json, read_request, response_bytes
-from .metrics import ServerMetrics
+from .metrics import ServerMetrics, merge_snapshots
 
 log = logging.getLogger("repro.server")
 
@@ -137,6 +138,27 @@ def _parse_access(obj: Any) -> tuple[Any, Any, Any]:
     return user, patient, date
 
 
+def _fetch_worker_snapshot(port: int, timeout: float = 2.0) -> dict:
+    """One peer worker's own metrics snapshot (with raw latency samples),
+    fetched over its loopback control listener.  Blocking — runs on the
+    API's worker thread pool."""
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("GET", "/metrics?scope=worker&samples=1")
+        response = conn.getresponse()
+        payload = json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()
+    data = payload.get("data")
+    if response.status != 200 or not isinstance(data, dict):
+        raise InternalServerError(
+            f"peer metrics fetch from port {port} failed: {response.status}"
+        )
+    return data
+
+
 class AuditAPI:
     """The route table and handlers over one opened audit service."""
 
@@ -146,9 +168,19 @@ class AuditAPI:
         *,
         metrics: ServerMetrics | None = None,
         max_workers: int = 8,
+        read_only: bool = False,
     ) -> None:
         self.service = service
         self.metrics = metrics if metrics is not None else ServerMetrics()
+        #: Multi-worker fleets serve read-only replicas: a write landing
+        #: on one worker would silently diverge its copy of the log from
+        #: every other worker's, so mutating endpoints answer 501.
+        self.read_only = read_only
+        #: Peer metrics ports (one control listener per fleet worker,
+        #: this worker's own port included) — set post-start by the
+        #: supervisor rendezvous; empty means single-server mode.
+        self._peer_metrics_ports: list[int] = []
+        self._own_metrics_port: int | None = None
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
@@ -183,6 +215,26 @@ class AuditAPI:
 
     def close(self) -> None:
         self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def configure_fleet(
+        self, peer_metrics_ports: list[int], own_metrics_port: int
+    ) -> None:
+        """Wire this worker into a fleet: the full peer control-port list
+        (own port included) makes ``/v1/metrics`` aggregate across every
+        worker instead of answering locally."""
+        self._peer_metrics_ports = list(peer_metrics_ports)
+        self._own_metrics_port = own_metrics_port
+
+    def _check_writable(self, operation: str) -> None:
+        if self.read_only:
+            raise UnsupportedOperationError(
+                f"{operation} is not available on a multi-worker fleet: "
+                f"every worker serves an independent replica of the audit "
+                f"state, so a write accepted by one worker would silently "
+                f"diverge it from the others; run `repro-audit serve` "
+                f"with --workers 1 (or ingest offline and restart the "
+                f"fleet) to mutate"
+            )
 
     # ------------------------------------------------------------------
     # dispatch
@@ -224,7 +276,34 @@ class AuditAPI:
         return envelope("Health", {"status": "ok"})
 
     async def h_metrics(self, request: Request) -> dict:
-        return envelope("Metrics", self.metrics.snapshot())
+        """Local counters — or, on a fleet worker, the merged fleet view.
+
+        ``?scope=worker`` always answers with this worker's own snapshot
+        (what the aggregation fan-out requests, so it cannot recurse);
+        ``?samples=1`` includes the raw latency reservoir (what the
+        merge needs).  Unreachable peers are skipped — the ``workers``
+        count in the merged payload says how many answered.
+        """
+        scope = request.query.get("scope")
+        include_samples = request.query.get("samples") == "1"
+        if scope == "worker" or not self._peer_metrics_ports:
+            return envelope(
+                "Metrics", self.metrics.snapshot(include_samples=include_samples)
+            )
+        snapshots = [self.metrics.snapshot(include_samples=True)]
+        peers = [
+            port
+            for port in self._peer_metrics_ports
+            if port != self._own_metrics_port
+        ]
+        fetched = await asyncio.gather(
+            *[self._call(_fetch_worker_snapshot, port) for port in peers],
+            return_exceptions=True,
+        )
+        snapshots.extend(snap for snap in fetched if isinstance(snap, dict))
+        merged = merge_snapshots(snapshots)
+        merged["scope"] = "fleet"
+        return envelope("Metrics", merged)
 
     async def h_explain_get(self, request: Request) -> dict:
         raw = request.query.get("lid")
@@ -266,11 +345,13 @@ class AuditAPI:
         return envelope("Stats", jsonable(stats))
 
     async def h_ingest(self, request: Request) -> dict:
+        self._check_writable("ingest")
         user, patient, date = _parse_access(request.json())
         result = await self._call(self.service.ingest, user, patient, date)
         return to_wire(result)
 
     async def h_ingest_batch(self, request: Request) -> dict:
+        self._check_writable("batched ingest")
         payload = request.json()
         accesses = payload.get("accesses") if isinstance(payload, dict) else None
         if not isinstance(accesses, list):
@@ -306,6 +387,7 @@ class AuditAPI:
         return envelope("TemplateLibrary", json.loads(library.dumps_json()))
 
     async def h_templates_add(self, request: Request) -> dict:
+        self._check_writable("template registration")
         payload = request.json()
         if not isinstance(payload, dict):
             raise InvalidRequestError(
@@ -494,15 +576,31 @@ class AuditServer:
         port: int = 0,
         *,
         max_workers: int = 8,
+        sock: Any = None,
+        api: AuditAPI | None = None,
     ) -> None:
-        self.api = AuditAPI(service, max_workers=max_workers)
+        #: ``api`` lets two servers share one route table, thread pool,
+        #: and metrics instance — a fleet worker's main listener and its
+        #: loopback control listener are the same API on two sockets.
+        self.api = api if api is not None else AuditAPI(service, max_workers=max_workers)
         self.host = host
         self.port = port
+        #: A pre-bound listening socket (SO_REUSEPORT sibling or an
+        #: inherited parent-bound fd); when given, host/port are taken
+        #: from it and no new bind happens.
+        self._sock = sock
+        if sock is not None:
+            name = sock.getsockname()
+            self.host, self.port = name[0], name[1]
         self._server: asyncio.base_events.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._started = threading.Event()
         self._startup_error: BaseException | None = None
+        #: Draining: stop accepting, finish in-flight requests, close
+        #: keep-alive connections (responses carry ``Connection: close``).
+        self._draining = False
+        self._conn_tasks: set[asyncio.Task] = set()
 
     @property
     def base_url(self) -> str:
@@ -514,8 +612,12 @@ class AuditServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
         try:
-            while True:
+            while not self._draining:
                 try:
                     request = await read_request(reader, writer)
                 except AuditApiError as exc:
@@ -551,6 +653,7 @@ class AuditServer:
         """Serve one request; returns whether the connection may be
         kept alive (an unframed HTTP/1.0 stream must close — the body
         has no other delimiter than EOF)."""
+        keep_alive = keep_alive and not self._draining
         metrics = self.api.metrics
         metrics.request_started()
         started = time.perf_counter()
@@ -613,20 +716,51 @@ class AuditServer:
     # lifecycle
     # ------------------------------------------------------------------
     async def start_async(self) -> None:
-        """Bind the listening socket inside the running loop."""
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
-        )
+        """Bind the listening socket inside the running loop (or adopt
+        the pre-bound one)."""
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
         sockets = self._server.sockets or []
         if sockets:
             self.port = sockets[0].getsockname()[1]
 
-    async def stop_async(self) -> None:
+    async def stop_async(
+        self,
+        drain: bool = False,
+        grace_seconds: float = 10.0,
+        close_api: bool = True,
+    ) -> None:
+        """Stop the listener.  With ``drain=True`` this is the graceful
+        SIGTERM path: close the listening socket first (new dials are
+        refused), let every in-flight request — streaming responses
+        included — run to completion (bounded by ``grace_seconds``),
+        then close idle keep-alive connections.  Responses sent while
+        draining carry ``Connection: close``.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        self.api.close()
+        if drain:
+            self._draining = True
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + grace_seconds
+            while self.api.metrics.in_flight > 0 and loop.time() < deadline:
+                await asyncio.sleep(0.02)
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(
+                    *list(self._conn_tasks), return_exceptions=True
+                )
+        if close_api:
+            self.api.close()
 
     # --- background-thread mode (tests, benchmarks) -------------------
     def start(self) -> "AuditServer":
@@ -717,7 +851,9 @@ def serve(
         try:
             await stop.wait()
         finally:
-            await server.stop_async()
+            # Graceful drain: refuse new dials, finish in-flight work
+            # (streaming responses included), close keep-alive links.
+            await server.stop_async(drain=True)
         print_fn("shutdown complete")
 
     try:

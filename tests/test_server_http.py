@@ -112,12 +112,18 @@ class TestServerMetrics:
         assert snap["latency_seconds"]["mean"] == 0.0
 
     def test_reservoir_is_bounded(self):
-        metrics = ServerMetrics(reservoir=10)
+        metrics = ServerMetrics(reservoir=10, seed=0)
         for i in range(100):
             metrics.request_started()
             metrics.request_finished("GET /x", float(i), error=False)
-        snap = metrics.snapshot()
-        assert snap["latency_seconds"]["count"] == 10
+        snap = metrics.snapshot(include_samples=True)
+        # Constant memory: the sample never outgrows the reservoir, but
+        # the observation count, mean, and max stay exact over all 100.
+        assert snap["latency_seconds"]["sampled"] == 10
+        assert len(snap["latency_seconds"]["samples"]) == 10
+        assert snap["latency_seconds"]["count"] == 100
+        assert snap["latency_seconds"]["max"] == 99.0
+        assert snap["latency_seconds"]["mean"] == sum(range(100)) / 100
         assert snap["requests_total"] == 100
 
 
