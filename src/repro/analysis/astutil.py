@@ -1,0 +1,106 @@
+"""Small shared ``ast`` helpers the checkers lean on."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, None for anything else."""
+    parts: list[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+def attribute_root(node: ast.expr) -> str | None:
+    """The base name of an attribute/subscript chain: ``self`` for
+    ``self._cache[k].x``, ``db`` for ``db.table(...)``."""
+    cur: ast.expr = node
+    while isinstance(cur, (ast.Attribute, ast.Subscript)):
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        return cur.id
+    return None
+
+
+def self_attribute(node: ast.expr) -> str | None:
+    """``'self._cache'`` for a chain rooted at ``self``, else None.
+
+    Subscripts are transparent, so ``self._cache[k]`` and
+    ``self._shards[i]._engine`` both resolve (to their dotted spine)."""
+    parts: list[str] = []
+    cur: ast.expr = node
+    while True:
+        if isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        elif isinstance(cur, ast.Subscript):
+            cur = cur.value
+        else:
+            break
+    if isinstance(cur, ast.Name) and cur.id == "self" and parts:
+        return "self." + ".".join(reversed(parts))
+    return None
+
+
+def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested ``def``s,
+    ``async def``s, lambdas, or class bodies — their statements run in a
+    different execution context than the enclosing function."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(
+            child,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def bound_names(node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> set[str]:
+    """Names bound inside a function/lambda (params + assignments)."""
+    out: set[str] = set()
+    args = node.args
+    for arg in (
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *([args.vararg] if args.vararg else []),
+        *([args.kwarg] if args.kwarg else []),
+    ):
+        out.add(arg.arg)
+    body = node.body if isinstance(node.body, list) else [node.body]
+    for stmt in body:
+        for child in ast.walk(stmt):
+            if isinstance(child, ast.Name) and isinstance(
+                child.ctx, (ast.Store, ast.Del)
+            ):
+                out.add(child.id)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.add(child.name)
+    return out
+
+
+def free_names(node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> set[str]:
+    """Names a closure reads but does not bind — its captures."""
+    bound = bound_names(node)
+    out: set[str] = set()
+    body = node.body if isinstance(node.body, list) else [node.body]
+    for stmt in body:
+        for child in ast.walk(stmt):
+            if (
+                isinstance(child, ast.Name)
+                and isinstance(child.ctx, ast.Load)
+                and child.id not in bound
+            ):
+                out.add(child.id)
+    return out

@@ -1,0 +1,14 @@
+"""Built-in checkers — importing this package populates the registry.
+
+Add a new rule by dropping a module here that defines a ``@register``-ed
+checker class, then importing it below (imports are what execute the
+registration).  See ``src/repro/analysis/README.md`` for the recipe.
+"""
+
+from . import (  # noqa: F401  (imported for their registration side effect)
+    rl001_locks,
+    rl002_wire,
+    rl003_errors,
+    rl004_forksafe,
+    rl005_bench,
+)

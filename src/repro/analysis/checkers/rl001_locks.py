@@ -1,0 +1,201 @@
+"""RL001 — readers-writer lock discipline on the service facades.
+
+Any class whose methods enter ``self.<lock>.read_locked()`` /
+``write_locked()`` context managers (the :class:`repro.api.locks.RWLock`
+protocol) is analyzed: public methods are classified reader or writer
+from the lock mode they — or any transitively called ``self.`` helper —
+enter, and every method reachable from a *reader* is then scanned for
+mutations of shared ``self.`` state: attribute assignment/deletion,
+augmented assignment, subscript stores, and calls to known mutator
+methods (``append``, ``update``, ``invalidate_cache``, ``ingest``, …).
+
+A reader-path mutation is exactly the race the RWLock exists to
+prevent: two readers may run concurrently, so anything they write to
+shared state is unsynchronized.  Mutations under the write lock (or in
+unclassified lifecycle methods like ``__init__``/``close``) are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..astutil import self_attribute, walk_shallow
+from ..diagnostics import Diagnostic
+from ..project import Project, SourceFile
+from ..registry import register
+
+#: Method names that mutate their receiver — calling one of these on a
+#: ``self.``-rooted attribute counts as a shared-state write.
+MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "add_template",
+        "add_templates",
+        "append",
+        "clear",
+        "discard",
+        "extend",
+        "ingest",
+        "ingest_many",
+        "ingest_prepared",
+        "insert",
+        "invalidate_cache",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "sort",
+        "update",
+        "write",
+    }
+)
+
+#: Lifecycle methods exempt from classification: they run before the
+#: object is shared or after it stops being shared.
+LIFECYCLE = frozenset({"__init__", "__enter__", "__exit__", "open", "close"})
+
+FuncDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@register
+class LockDisciplineChecker:
+    code = "RL001"
+    name = "lock-discipline"
+    description = (
+        "public facade methods classified reader via read_locked() must not "
+        "reach mutations of shared self.* state"
+    )
+
+    def check(self, project: Project) -> Iterator[Diagnostic]:
+        for file in project.files:
+            if file.tree is None:
+                continue
+            for node in ast.walk(file.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(file, node)
+
+    # ------------------------------------------------------------------
+    def _check_class(
+        self, file: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Diagnostic]:
+        methods: dict[str, FuncDef] = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        modes = {name: self._lock_modes(fn) for name, fn in methods.items()}
+        if not any(modes.values()):
+            return  # class does not speak the RWLock protocol
+
+        calls = {name: self._self_calls(fn, methods) for name, fn in methods.items()}
+
+        for name in methods:
+            if name.startswith("_") or name in LIFECYCLE:
+                continue
+            reachable = self._closure(name, calls)
+            reached_modes = set()
+            for callee in reachable:
+                reached_modes |= modes[callee]
+            if "write" in reached_modes or "read" not in reached_modes:
+                continue  # writer, or never touches the lock — out of scope
+            for callee in reachable:
+                for diag in self._mutations(file, methods[callee]):
+                    via = "" if callee == name else f" (via {callee!r})"
+                    yield Diagnostic(
+                        path=file.rel,
+                        line=diag[0],
+                        col=diag[1],
+                        code=self.code,
+                        message=(
+                            f"reader-classified method {name!r}{via} mutates "
+                            f"shared state {diag[2]!r} under the read lock"
+                        ),
+                    )
+
+    @staticmethod
+    def _lock_modes(fn: FuncDef) -> set[str]:
+        out: set[str] = set()
+        for node in walk_shallow(fn):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Call)
+                    and isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr in ("read_locked", "write_locked")
+                    and self_attribute(expr.func.value) is not None
+                ):
+                    out.add("read" if expr.func.attr == "read_locked" else "write")
+        return out
+
+    @staticmethod
+    def _self_calls(fn: FuncDef, methods: dict[str, FuncDef]) -> set[str]:
+        out: set[str] = set()
+        for node in walk_shallow(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+                and node.func.attr in methods
+            ):
+                out.add(node.func.attr)
+        return out
+
+    @staticmethod
+    def _closure(start: str, calls: dict[str, set[str]]) -> set[str]:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            for callee in calls[frontier.pop()]:
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return seen
+
+    # ------------------------------------------------------------------
+    def _mutations(
+        self, file: SourceFile, fn: FuncDef
+    ) -> Iterator[tuple[int, int, str]]:
+        """(line, col, target) for each shared-state write in ``fn``."""
+        for node in walk_shallow(fn):
+            if isinstance(node, ast.AnnAssign) and node.value is None:
+                continue  # a bare annotation stores nothing
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    for leaf in self._target_leaves(target):
+                        attr = self_attribute(leaf)
+                        if attr is not None:
+                            yield (leaf.lineno, leaf.col_offset + 1, attr)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    attr = self_attribute(target)
+                    if attr is not None:
+                        yield (target.lineno, target.col_offset + 1, attr)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATOR_METHODS
+            ):
+                attr = self_attribute(node.func.value)
+                if attr is not None:
+                    yield (
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"{attr}.{node.func.attr}()",
+                    )
+
+    @staticmethod
+    def _target_leaves(target: ast.expr) -> Iterator[ast.expr]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from LockDisciplineChecker._target_leaves(elt)
+        else:
+            yield target

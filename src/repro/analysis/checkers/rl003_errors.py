@@ -1,0 +1,116 @@
+"""RL003 — typed-error hygiene on the wire tier.
+
+Within ``server/``, ``api/``, and ``client/`` (plus any explicitly
+selected file), errors must stay typed: raise ``AuditApiError``
+subclasses, never bare ``Exception``; and a broad ``except Exception``
+is only acceptable when the handler actually *does* something with the
+error — re-raises, or references the bound exception to wrap/log it
+(the wire boundary in ``server/app.py`` converts to a typed wire error
+this way).  Flagged:
+
+* ``raise Exception(...)`` / ``raise BaseException(...)``;
+* bare ``except:`` (swallows ``KeyboardInterrupt``/``SystemExit``);
+* ``except Exception`` / ``except BaseException`` handlers that neither
+  raise nor reference the caught exception — a silent swallow.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..diagnostics import Diagnostic
+from ..project import Project
+from ..registry import register
+
+SCOPE = ("src/repro/server", "src/repro/api", "src/repro/client")
+BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _type_names(node: ast.expr | None) -> set[str]:
+    """Exception-class names in an ``except`` clause (handles tuples)."""
+    if node is None:
+        return set()
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    out: set[str] = set()
+    for item in nodes:
+        if isinstance(item, ast.Name):
+            out.add(item.id)
+        elif isinstance(item, ast.Attribute):
+            out.add(item.attr)
+    return out
+
+
+@register
+class TypedErrorChecker:
+    code = "RL003"
+    name = "typed-error-hygiene"
+    description = (
+        "wire-tier code must raise AuditApiError subclasses and never "
+        "silently swallow broad exceptions"
+    )
+
+    def check(self, project: Project) -> Iterator[Diagnostic]:
+        for file in project.files:
+            if file.tree is None or not file.in_scope(*SCOPE):
+                continue
+            for node in ast.walk(file.tree):
+                if isinstance(node, ast.Raise):
+                    yield from self._check_raise(file.rel, node)
+                elif isinstance(node, ast.ExceptHandler):
+                    yield from self._check_handler(file.rel, node)
+
+    def _check_raise(self, rel: str, node: ast.Raise) -> Iterator[Diagnostic]:
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id in BROAD:
+            yield Diagnostic(
+                path=rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                code=self.code,
+                message=(
+                    f"raise {exc.id} gives the client an untyped 500 — raise "
+                    "an AuditApiError subclass instead"
+                ),
+            )
+
+    def _check_handler(
+        self, rel: str, node: ast.ExceptHandler
+    ) -> Iterator[Diagnostic]:
+        if node.type is None:
+            yield Diagnostic(
+                path=rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                code=self.code,
+                message=(
+                    "bare except: also swallows KeyboardInterrupt/SystemExit — "
+                    "name the exception types"
+                ),
+            )
+            return
+        caught = _type_names(node.type)
+        if not caught & BROAD:
+            return
+        reraises = any(isinstance(n, ast.Raise) for n in ast.walk(node))
+        uses_bound = node.name is not None and any(
+            isinstance(n, ast.Name)
+            and n.id == node.name
+            and isinstance(n.ctx, ast.Load)
+            for stmt in node.body
+            for n in ast.walk(stmt)
+        )
+        if not reraises and not uses_bound:
+            kind = sorted(caught & BROAD)[0]
+            yield Diagnostic(
+                path=rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                code=self.code,
+                message=(
+                    f"except {kind} swallows the error — re-raise, or wrap it "
+                    "in a typed AuditApiError"
+                ),
+            )

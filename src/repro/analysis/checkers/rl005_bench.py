@@ -1,0 +1,97 @@
+"""RL005 — benchmark envelope conformance.
+
+Every ``bench_*.py`` module must:
+
+* write its results through benchlib's versioned JSON schema — either
+  the conftest ``report.json(...)`` fixture (which calls
+  ``benchlib.make_record``/``write_record``) or benchlib directly —
+  so ``compare_bench.py`` can diff it against committed baselines; and
+* acknowledge ``REPRO_BENCH_SMOKE``: scale its workload down under the
+  smoke flag, or declare itself paper-scale-only with an explicit
+  ``pytest.mark.skipif(is_smoke(), ...)``.  A bench that silently runs
+  its full workload in CI smoke mode is the regression this rule
+  exists to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..diagnostics import Diagnostic
+from ..project import Project, SourceFile
+from ..registry import register
+
+SCOPE = ("benchmarks",)
+ENVELOPE_CALLS = frozenset({"make_record", "write_record"})
+SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+
+@register
+class BenchEnvelopeChecker:
+    code = "RL005"
+    name = "bench-envelope"
+    description = (
+        "every bench_*.py writes results through benchlib's JSON schema "
+        "and honors REPRO_BENCH_SMOKE"
+    )
+
+    def check(self, project: Project) -> Iterator[Diagnostic]:
+        for file in project.files:
+            if file.tree is None:
+                continue
+            if not file.name.startswith("bench_"):
+                continue
+            if not file.in_scope(*SCOPE):
+                continue
+            yield from self._check_bench(file)
+
+    def _check_bench(self, file: SourceFile) -> Iterator[Diagnostic]:
+        assert file.tree is not None
+        writes_envelope = False
+        honors_smoke = False
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "json"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "report"
+                ) or (
+                    isinstance(func, ast.Name) and func.id in ENVELOPE_CALLS
+                ) or (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ENVELOPE_CALLS
+                ):
+                    writes_envelope = True
+            if (
+                (isinstance(node, ast.Constant) and node.value == SMOKE_ENV)
+                or (isinstance(node, ast.Name) and node.id == "is_smoke")
+                or (isinstance(node, ast.Attribute) and node.attr == "is_smoke")
+            ):
+                honors_smoke = True
+        if not writes_envelope:
+            yield Diagnostic(
+                path=file.rel,
+                line=1,
+                col=1,
+                code=self.code,
+                message=(
+                    "bench module never writes the benchlib JSON envelope "
+                    "(report.json(...) / benchlib.make_record) — "
+                    "compare_bench.py cannot gate it"
+                ),
+            )
+        if not honors_smoke:
+            yield Diagnostic(
+                path=file.rel,
+                line=1,
+                col=1,
+                code=self.code,
+                message=(
+                    f"bench module ignores {SMOKE_ENV} — shrink the workload "
+                    "under benchlib.is_smoke() or mark it "
+                    "skipif(is_smoke(), ...) as paper-scale-only"
+                ),
+            )

@@ -1,0 +1,134 @@
+"""The ``repro-lint`` command line.
+
+Runs as ``python -m repro.analysis`` or ``repro-audit lint``; exits 0
+on a clean tree, 1 when any diagnostic survives suppression, 2 on
+usage errors (argparse's convention).
+
+Inside GitHub Actions (``GITHUB_ACTIONS=true``) findings are
+additionally emitted as ``::error`` workflow commands on stderr, so
+every diagnostic renders as an inline annotation on the PR no matter
+which ``--output`` mode CI asked for.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .diagnostics import render_github, render_json, render_text
+from .registry import CHECKERS
+from .runner import run_lint
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checks for the repro tree: lock discipline, "
+            "wire contracts, typed errors, fork/asyncio safety, and bench "
+            "envelopes."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to lint, relative to --root "
+            "(default: src and benchmarks)"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root the paths are resolved against (default: cwd)",
+    )
+    parser.add_argument(
+        "--output",
+        choices=("text", "json", "github"),
+        default="text",
+        help=(
+            "text = ruff-style path:line:col CODE message; json = versioned "
+            "machine-readable findings+stats; github = ::error workflow "
+            "commands"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "append a machine-readable one-line JSON summary (rules run, "
+            "files scanned, findings by code) to stdout"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _codes(raw: str | None) -> frozenset[str]:
+    if not raw:
+        return frozenset()
+    return frozenset(code.strip() for code in raw.split(",") if code.strip())
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(CHECKERS):
+            cls = CHECKERS[code]
+            print(f"{code}  {cls.name:<22} {cls.description}")
+        return 0
+
+    select = _codes(args.select) or None
+    ignore = _codes(args.ignore)
+    try:
+        result = run_lint(args.root, tuple(args.paths), select, ignore)
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    stats = result.stats()
+    if args.output == "json":
+        print(render_json(result.diagnostics, stats))
+    elif args.output == "github":
+        if result.diagnostics:
+            print(render_github(result.diagnostics))
+    elif result.diagnostics:
+        print(render_text(result.diagnostics))
+
+    if (
+        args.output != "github"
+        and os.environ.get("GITHUB_ACTIONS") == "true"
+        and result.diagnostics
+    ):
+        print(render_github(result.diagnostics), file=sys.stderr)
+
+    if args.output == "text":
+        summary = (
+            f"{len(result.diagnostics)} finding(s), "
+            f"{result.suppressed} suppressed, "
+            f"{result.files_scanned} file(s) scanned"
+        )
+        print(summary if result.diagnostics else f"clean — {summary}")
+    if args.stats:
+        print(json.dumps(stats, sort_keys=True))
+    return result.exit_code

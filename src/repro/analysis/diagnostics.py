@@ -1,0 +1,111 @@
+"""Diagnostics: what a checker reports and how it is rendered.
+
+A :class:`Diagnostic` is one finding anchored to a source position; the
+module also owns the ``# repro-lint: ignore[...]`` suppression syntax
+and the three output renderers (ruff-style text, machine-readable JSON,
+GitHub workflow annotations).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+
+#: Same-line suppression comment, ruff ``noqa`` style::
+#:
+#:     risky_line()  # repro-lint: ignore[RL003]
+#:     risky_line()  # repro-lint: ignore[RL001, RL003]
+#:     risky_line()  # repro-lint: ignore
+#:
+#: A bare ``ignore`` (no bracket list) silences every rule on the line.
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]*)\])?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: ``path:line:col CODE message``.
+
+    ``path`` is repo-root-relative with ``/`` separators so output is
+    stable across platforms; ``line`` is 1-based and ``col`` 1-based
+    (``ast`` columns are 0-based — checkers add 1 at construction).
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def render_github(self) -> str:
+        """One ``::error`` workflow command — GitHub turns these into
+        inline annotations on the PR diff."""
+        # Workflow-command property values need their own escaping.
+        message = (
+            self.message.replace("%", "%25")
+            .replace("\r", "%0D")
+            .replace("\n", "%0A")
+        )
+        return (
+            f"::error file={self.path},line={self.line},col={self.col},"
+            f"title={self.code}::{message}"
+        )
+
+
+def parse_suppressions(lines: tuple[str, ...]) -> dict[int, frozenset[str] | None]:
+    """Map 1-based line number -> suppressed codes (``None`` = all)."""
+    out: dict[int, frozenset[str] | None] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "repro-lint" not in text:
+            continue
+        match = SUPPRESSION_RE.search(text)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(
+                code.strip() for code in codes.split(",") if code.strip()
+            )
+    return out
+
+
+def is_suppressed(
+    diag: Diagnostic, suppressions: dict[int, frozenset[str] | None]
+) -> bool:
+    codes = suppressions.get(diag.line, frozenset())
+    return codes is None or diag.code in codes
+
+
+def render_text(diagnostics: tuple[Diagnostic, ...]) -> str:
+    return "\n".join(diag.render() for diag in diagnostics)
+
+
+def render_json(
+    diagnostics: tuple[Diagnostic, ...], stats: dict[str, object]
+) -> str:
+    payload = {
+        "version": 1,
+        "findings": [diag.to_dict() for diag in diagnostics],
+        "stats": stats,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_github(diagnostics: tuple[Diagnostic, ...]) -> str:
+    return "\n".join(diag.render_github() for diag in diagnostics)

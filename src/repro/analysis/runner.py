@@ -1,0 +1,79 @@
+"""One-pass lint driver: parse the tree once, run every checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from . import checkers as _checkers  # noqa: F401  (registers the built-ins)
+from .diagnostics import Diagnostic, is_suppressed
+from .project import Project
+from .registry import resolve_checkers
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Everything one run produced, pre-sorted and pre-filtered."""
+
+    diagnostics: tuple[Diagnostic, ...]
+    suppressed: int
+    files_scanned: int
+    rules: tuple[str, ...]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.diagnostics else 0
+
+    def stats(self) -> dict[str, object]:
+        by_code: dict[str, int] = {}
+        for diag in self.diagnostics:
+            by_code[diag.code] = by_code.get(diag.code, 0) + 1
+        return {
+            "files_scanned": self.files_scanned,
+            "rules": list(self.rules),
+            "findings": len(self.diagnostics),
+            "findings_by_code": by_code,
+            "suppressed": self.suppressed,
+        }
+
+
+def run_lint(
+    root: str | Path,
+    paths: tuple[str, ...] = (),
+    select: frozenset[str] | None = None,
+    ignore: frozenset[str] = frozenset(),
+) -> LintResult:
+    """Lint ``paths`` (default ``src``+``benchmarks``) under ``root``."""
+    project = Project(root, paths)
+    active = resolve_checkers(select, ignore)
+
+    raw: list[Diagnostic] = []
+    for file in project.files:
+        if file.parse_error is not None:
+            raw.append(
+                Diagnostic(
+                    path=file.rel,
+                    line=1,
+                    col=1,
+                    code="RL000",
+                    message=file.parse_error,
+                )
+            )
+    for checker in active:
+        raw.extend(checker.check(project))
+
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for diag in raw:
+        file = project.file(diag.path)
+        if file is not None and is_suppressed(diag, file.suppressions):
+            suppressed += 1
+        else:
+            kept.append(diag)
+
+    return LintResult(
+        diagnostics=tuple(sorted(kept)),
+        suppressed=suppressed,
+        files_scanned=len(project.files),
+        rules=tuple(type(c).code for c in active),
+    )

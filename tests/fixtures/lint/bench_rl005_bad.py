@@ -1,0 +1,5 @@
+"""Seeded RL005 violations: no benchlib envelope, no smoke handling."""
+
+
+def bench_nothing(benchmark):
+    benchmark(lambda: sum(range(100)))

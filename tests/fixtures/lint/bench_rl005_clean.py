@@ -1,0 +1,9 @@
+"""Clean twin of bench_rl005_bad: envelope written, smoke honored."""
+
+from benchlib import is_smoke
+
+
+def bench_something(benchmark, report):
+    n = 100 if is_smoke() else 100_000
+    total = benchmark(lambda: sum(range(n)))
+    report.json("something", {"n": n, "total": total})

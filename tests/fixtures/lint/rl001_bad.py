@@ -1,0 +1,25 @@
+"""Seeded RL001 violation: a reader-path helper mutates shared state.
+
+``lookup`` enters the read lock and calls ``_fetch``, which writes to
+``self._cache`` — two concurrent readers would race on that dict.
+"""
+
+
+class BadFacade:
+    def __init__(self):
+        self._lock = object()
+        self._cache = {}
+        self._rows = []
+
+    def lookup(self, key):
+        with self._lock.read_locked():
+            return self._fetch(key)
+
+    def _fetch(self, key):
+        if key not in self._cache:
+            self._cache[key] = len(self._rows)  # line 20: the race
+        return self._cache[key]
+
+    def ingest(self, row):
+        with self._lock.write_locked():
+            self._rows.append(row)

@@ -1,0 +1,20 @@
+"""Clean twin of rl001_bad: the cache write happens under the write lock."""
+
+
+class GoodFacade:
+    def __init__(self):
+        self._lock = object()
+        self._cache = {}
+        self._rows = []
+
+    def lookup(self, key):
+        with self._lock.read_locked():
+            return self._cache.get(key)
+
+    def warm(self, key):
+        with self._lock.write_locked():
+            self._cache[key] = len(self._rows)
+
+    def ingest(self, row):
+        with self._lock.write_locked():
+            self._rows.append(row)

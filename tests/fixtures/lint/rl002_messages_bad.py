@@ -1,0 +1,47 @@
+"""Seeded RL002 violations: a kind without from_dict, and an
+unregistered kind."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GoodView:
+    value: int
+
+    def to_dict(self):
+        return {"value": self.value}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(value=payload["value"])
+
+
+@dataclass(frozen=True)
+class NoFromDict:  # line 19: half a round trip
+    value: int
+
+    def to_dict(self):
+        return {"value": self.value}
+
+
+@dataclass(frozen=True)
+class Unregistered:  # line 27: to_wire() would reject it
+    value: int
+
+    def to_dict(self):
+        return {"value": self.value}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(value=payload["value"])
+
+
+WIRE_KINDS = {cls.__name__: cls for cls in (GoodView, NoFromDict)}
+
+
+def to_wire(message):
+    return {"v": 1, "kind": type(message).__name__, "data": message.to_dict()}
+
+
+def from_wire(payload):
+    return WIRE_KINDS[payload["kind"]].from_dict(payload["data"])

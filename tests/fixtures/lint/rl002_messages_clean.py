@@ -1,0 +1,38 @@
+"""Clean twin of rl002_messages_bad: every kind keeps the contract."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GoodView:
+    value: int
+
+    def to_dict(self):
+        return {"value": self.value}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(value=payload["value"])
+
+
+@dataclass(frozen=True)
+class OtherView:
+    name: str
+
+    def to_dict(self):
+        return {"name": self.name}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(name=payload["name"])
+
+
+WIRE_KINDS = {cls.__name__: cls for cls in (GoodView, OtherView)}
+
+
+def to_wire(message):
+    return {"v": 1, "kind": type(message).__name__, "data": message.to_dict()}
+
+
+def from_wire(payload):
+    return WIRE_KINDS[payload["kind"]].from_dict(payload["data"])

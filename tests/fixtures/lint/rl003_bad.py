@@ -1,0 +1,12 @@
+"""Seeded RL003 violations: a silent broad swallow and a bare raise."""
+
+
+def swallow(work):
+    try:
+        work()
+    except Exception:  # line 7: silent swallow
+        pass
+
+
+def reject():
+    raise Exception("boom")  # line 12: untyped 500

@@ -1,0 +1,16 @@
+"""Clean twin of rl003_bad: broad catches wrap, raises stay typed."""
+
+
+class TypedError(RuntimeError):
+    pass
+
+
+def wrap(work):
+    try:
+        work()
+    except Exception as exc:
+        raise TypedError(str(exc)) from exc
+
+
+def reject():
+    raise TypedError("boom")

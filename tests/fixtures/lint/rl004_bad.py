@@ -1,0 +1,16 @@
+"""Seeded RL004 violations: an import-time lock, a fork-crossing
+closure capture, and a blocking call on the event loop."""
+
+import threading
+import time
+
+LOCK = threading.Lock()  # line 7: inherited by forked workers
+
+
+def launch(run_fleet, open_service, db):
+    service = open_service(db)
+    return run_fleet(lambda: service)  # line 12: ships parent state
+
+
+async def poll():
+    time.sleep(0.1)  # line 16: stalls the event loop

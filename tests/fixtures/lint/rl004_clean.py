@@ -1,0 +1,18 @@
+"""Clean twin of rl004_bad: resources live inside __init__ and the
+factory, and the async body awaits instead of blocking."""
+
+import asyncio
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self.lock = threading.Lock()
+
+
+def launch(run_fleet, open_service, db):
+    return run_fleet(lambda: open_service(db))
+
+
+async def poll():
+    await asyncio.sleep(0.1)

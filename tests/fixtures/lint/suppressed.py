@@ -1,0 +1,22 @@
+"""Suppression fixture: the same RL003 swallow, silenced two ways."""
+
+
+def swallow_coded(work):
+    try:
+        work()
+    except Exception:  # repro-lint: ignore[RL003]
+        pass
+
+
+def swallow_bare(work):
+    try:
+        work()
+    except Exception:  # repro-lint: ignore
+        pass
+
+
+def swallow_wrong_code(work):
+    try:
+        work()
+    except Exception:  # repro-lint: ignore[RL001]  (line 21: still flagged)
+        pass

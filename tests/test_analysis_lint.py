@@ -1,0 +1,220 @@
+"""The repro-lint suite linting itself: fixture modules under
+``tests/fixtures/lint/`` seed one violation per rule (plus a clean
+twin); these tests pin the exact codes and positions, the suppression
+comment, the CLI surface, and — the acceptance bar — that the real
+tree lints clean."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import CHECKERS, run_lint
+from repro.analysis.cli import main as lint_main
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURES = "tests/fixtures/lint"
+
+
+def lint(*paths, **kwargs):
+    return run_lint(ROOT, tuple(paths), **kwargs)
+
+
+def findings(*paths, **kwargs):
+    return [
+        (d.path, d.line, d.col, d.code)
+        for d in lint(*paths, **kwargs).diagnostics
+    ]
+
+
+# ----------------------------------------------------------------------
+# one seeded violation per rule, exact code and position
+# ----------------------------------------------------------------------
+class TestSeededViolations:
+    def test_rl001_reader_path_mutation(self):
+        assert findings(f"{FIXTURES}/rl001_bad.py") == [
+            (f"{FIXTURES}/rl001_bad.py", 20, 13, "RL001")
+        ]
+
+    def test_rl001_message_names_the_call_chain(self):
+        (diag,) = lint(f"{FIXTURES}/rl001_bad.py").diagnostics
+        assert "'lookup'" in diag.message
+        assert "'_fetch'" in diag.message
+        assert "'self._cache'" in diag.message
+
+    def test_rl002_missing_from_dict_and_unregistered_kind(self):
+        assert findings(f"{FIXTURES}/rl002_messages_bad.py") == [
+            (f"{FIXTURES}/rl002_messages_bad.py", 20, 1, "RL002"),
+            (f"{FIXTURES}/rl002_messages_bad.py", 28, 1, "RL002"),
+        ]
+        first, second = lint(f"{FIXTURES}/rl002_messages_bad.py").diagnostics
+        assert "NoFromDict" in first.message and "from_dict" in first.message
+        assert "Unregistered" in second.message and "WIRE_KINDS" in second.message
+
+    def test_rl003_swallow_and_bare_raise(self):
+        assert findings(f"{FIXTURES}/rl003_bad.py") == [
+            (f"{FIXTURES}/rl003_bad.py", 7, 5, "RL003"),
+            (f"{FIXTURES}/rl003_bad.py", 12, 5, "RL003"),
+        ]
+
+    def test_rl004_lock_closure_and_blocking_call(self):
+        assert findings(f"{FIXTURES}/rl004_bad.py") == [
+            (f"{FIXTURES}/rl004_bad.py", 7, 8, "RL004"),
+            (f"{FIXTURES}/rl004_bad.py", 12, 22, "RL004"),
+            (f"{FIXTURES}/rl004_bad.py", 16, 5, "RL004"),
+        ]
+
+    def test_rl005_missing_envelope_and_smoke(self):
+        result = lint(f"{FIXTURES}/bench_rl005_bad.py")
+        assert [
+            (d.line, d.col, d.code) for d in result.diagnostics
+        ] == [(1, 1, "RL005"), (1, 1, "RL005")]
+        blob = " ".join(d.message for d in result.diagnostics)
+        assert "REPRO_BENCH_SMOKE" in blob
+        assert "benchlib" in blob
+
+    @pytest.mark.parametrize(
+        "twin",
+        [
+            "rl001_clean.py",
+            "rl002_messages_clean.py",
+            "rl003_clean.py",
+            "rl004_clean.py",
+            "bench_rl005_clean.py",
+        ],
+    )
+    def test_clean_twins(self, twin):
+        assert findings(f"{FIXTURES}/{twin}") == []
+
+    def test_each_violation_is_nonzero_exit(self):
+        for bad in (
+            "rl001_bad.py",
+            "rl002_messages_bad.py",
+            "rl003_bad.py",
+            "rl004_bad.py",
+            "bench_rl005_bad.py",
+        ):
+            assert lint(f"{FIXTURES}/{bad}").exit_code == 1
+
+
+# ----------------------------------------------------------------------
+# suppression comments
+# ----------------------------------------------------------------------
+class TestSuppression:
+    def test_coded_and_bare_ignores_silence_wrong_code_does_not(self):
+        result = lint(f"{FIXTURES}/suppressed.py")
+        assert [(d.line, d.code) for d in result.diagnostics] == [(21, "RL003")]
+        assert result.suppressed == 2
+
+    def test_suppressed_findings_do_not_fail_the_run(self):
+        result = lint(f"{FIXTURES}/suppressed.py", select=frozenset({"RL001"}))
+        assert result.exit_code == 0
+
+
+# ----------------------------------------------------------------------
+# select / ignore / registry
+# ----------------------------------------------------------------------
+class TestRuleSelection:
+    def test_registry_has_the_five_rules(self):
+        assert sorted(CHECKERS) == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+
+    def test_select_restricts(self):
+        result = lint(f"{FIXTURES}/rl003_bad.py", select=frozenset({"RL001"}))
+        assert result.diagnostics == ()
+        assert result.rules == ("RL001",)
+
+    def test_ignore_drops(self):
+        result = lint(f"{FIXTURES}/rl003_bad.py", ignore=frozenset({"RL003"}))
+        assert result.diagnostics == ()
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ValueError, match="RL999"):
+            lint(f"{FIXTURES}/rl003_bad.py", select=frozenset({"RL999"}))
+
+
+# ----------------------------------------------------------------------
+# the CLI surface
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_exit_codes(self, monkeypatch):
+        monkeypatch.chdir(ROOT)
+        assert lint_main([f"{FIXTURES}/rl003_clean.py"]) == 0
+        assert lint_main([f"{FIXTURES}/rl003_bad.py"]) == 1
+        assert lint_main(["--select", "NOPE"]) == 2
+
+    def test_text_output_is_ruff_style(self, monkeypatch, capsys):
+        monkeypatch.chdir(ROOT)
+        lint_main([f"{FIXTURES}/rl003_bad.py"])
+        out = capsys.readouterr().out
+        assert f"{FIXTURES}/rl003_bad.py:7:5 RL003 " in out
+
+    def test_json_output_shape(self, monkeypatch, capsys):
+        monkeypatch.chdir(ROOT)
+        lint_main(["--output", "json", f"{FIXTURES}/rl003_bad.py"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert [f["code"] for f in payload["findings"]] == ["RL003", "RL003"]
+        assert payload["findings"][0]["line"] == 7
+        assert payload["stats"]["findings_by_code"] == {"RL003": 2}
+
+    def test_github_output_renders_error_annotations(self, monkeypatch, capsys):
+        monkeypatch.chdir(ROOT)
+        lint_main(["--output", "github", f"{FIXTURES}/rl003_bad.py"])
+        out = capsys.readouterr().out
+        assert (
+            f"::error file={FIXTURES}/rl003_bad.py,line=7,col=5,title=RL003::"
+            in out
+        )
+
+    def test_stats_mode_emits_machine_readable_summary(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(ROOT)
+        lint_main(["--stats", f"{FIXTURES}/suppressed.py"])
+        stats = json.loads(capsys.readouterr().out.splitlines()[-1])
+        assert stats["files_scanned"] == 1
+        assert stats["rules"] == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        assert stats["findings"] == 1
+        assert stats["suppressed"] == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in CHECKERS:
+            assert code in out
+
+    def test_module_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--list-rules"],
+            cwd=ROOT,
+            env={**os.environ, "PYTHONPATH": "src"},
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0
+        assert "RL001" in proc.stdout
+
+    def test_repro_audit_lint_subcommand(self, monkeypatch, capsys):
+        from repro.cli import main as cli_main
+
+        monkeypatch.chdir(ROOT)
+        assert cli_main(["lint", "--", "--list-rules"]) == 0
+        assert "RL005" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# the acceptance bar: the shipped tree is clean
+# ----------------------------------------------------------------------
+class TestRealTree:
+    def test_src_and_benchmarks_lint_clean(self):
+        result = lint()  # default paths: src + benchmarks
+        assert result.diagnostics == ()
+        assert result.exit_code == 0
+        assert result.files_scanned > 90
+
+    def test_discovery_skips_the_seeded_fixtures(self):
+        result = lint("tests")
+        assert all(FIXTURES not in d.path for d in result.diagnostics)
