@@ -8,6 +8,10 @@ and for judging how mining cost extrapolates with log size.
 """
 
 
+import pytest
+
+from benchlib import is_smoke
+
 from repro.core import SupportEvaluator
 from repro.audit.handcrafted import (
     event_group_template,
@@ -15,7 +19,18 @@ from repro.audit.handcrafted import (
     repeat_access_template,
 )
 from repro.db import AttrRef, Executor
-from repro.ehr import build_careweb_graph
+from repro.ehr import SimulationConfig, build_careweb_graph
+from repro.evalx import CareWebStudy
+
+
+@pytest.fixture(scope="module")
+def study() -> CareWebStudy:
+    """Overrides the session study: under REPRO_BENCH_SMOKE=1 (the CI
+    smoke runs) the support queries exercise a test-sized hospital, so
+    the step checks the substrate end to end without paying for the
+    benchmark-scale build."""
+    config = SimulationConfig.small() if is_smoke() else SimulationConfig.benchmark()
+    return CareWebStudy.prepare(config)
 
 
 def _mean_seconds(benchmark):
