@@ -10,6 +10,16 @@ optimizer-estimation-error sensitivity check (the paper's constant *c*
 exists exactly to absorb that error).
 """
 
+import pytest
+
+from benchlib import is_smoke
+
+# Paper-scale reproduction: the full benchmark hospital is the point, so
+# under REPRO_BENCH_SMOKE=1 (the CI smoke runs) this module skips itself.
+pytestmark = pytest.mark.skipif(
+    is_smoke(), reason="paper-scale reproduction; skipped in smoke mode"
+)
+
 from repro.core import MiningConfig, OneWayMiner, SupportConfig
 
 BASE = dict(support_fraction=0.01, max_length=4, max_tables=3)

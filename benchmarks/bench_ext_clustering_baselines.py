@@ -12,6 +12,16 @@ department codes have high precision but collapse recall because doctors
 and nurses of one team carry different codes.
 """
 
+import pytest
+
+from benchlib import is_smoke
+
+# Paper-scale reproduction: the full benchmark hospital is the point, so
+# under REPRO_BENCH_SMOKE=1 (the CI smoke runs) this module skips itself.
+pytestmark = pytest.mark.skipif(
+    is_smoke(), reason="paper-scale reproduction; skipped in smoke mode"
+)
+
 from repro.evalx import lids_on_days, restrict_log
 from repro.groups import (
     access_matrix_from_log,

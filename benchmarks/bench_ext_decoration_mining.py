@@ -13,6 +13,16 @@ the recommended decoration recovers most of the precision of deep groups
 while keeping the recall floor.
 """
 
+import pytest
+
+from benchlib import is_smoke
+
+# Paper-scale reproduction: the full benchmark hospital is the point, so
+# under REPRO_BENCH_SMOKE=1 (the CI smoke runs) this module skips itself.
+pytestmark = pytest.mark.skipif(
+    is_smoke(), reason="paper-scale reproduction; skipped in smoke mode"
+)
+
 from repro.core import DecorationMiner, group_depth_attr
 from repro.audit import group_templates
 from repro.ehr import build_careweb_graph

@@ -5,6 +5,16 @@ visit, or document in the database; repeat accesses form a majority; the
 union covers ~97% of all accesses.
 """
 
+import pytest
+
+from benchlib import is_smoke
+
+# Paper-scale reproduction: the full benchmark hospital is the point, so
+# under REPRO_BENCH_SMOKE=1 (the CI smoke runs) this module skips itself.
+pytestmark = pytest.mark.skipif(
+    is_smoke(), reason="paper-scale reproduction; skipped in smoke mode"
+)
+
 from repro.evalx import event_frequency
 
 #: Paper's reported bars (approximate, read from Figure 6).

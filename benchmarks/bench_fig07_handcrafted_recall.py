@@ -6,6 +6,16 @@ only reference the primary doctor; repeat access still explains a
 majority; combined they reach ~90%.
 """
 
+import pytest
+
+from benchlib import is_smoke
+
+# Paper-scale reproduction: the full benchmark hospital is the point, so
+# under REPRO_BENCH_SMOKE=1 (the CI smoke runs) this module skips itself.
+pytestmark = pytest.mark.skipif(
+    is_smoke(), reason="paper-scale reproduction; skipped in smoke mode"
+)
+
 from repro.evalx import event_frequency, handcrafted_recall
 
 PAPER = {

@@ -7,6 +7,16 @@ consult staff who also (legitimately) open the chart.  This gap is the
 motivation for collaborative groups (Section 4 / Figure 12).
 """
 
+import pytest
+
+from benchlib import is_smoke
+
+# Paper-scale reproduction: the full benchmark hospital is the point, so
+# under REPRO_BENCH_SMOKE=1 (the CI smoke runs) this module skips itself.
+pytestmark = pytest.mark.skipif(
+    is_smoke(), reason="paper-scale reproduction; skipped in smoke mode"
+)
+
 from repro.evalx import event_frequency, handcrafted_recall
 
 PAPER = {"Appt w/Dr.": 0.06, "Visit w/Dr.": 0.01, "Doc. w/Dr.": 0.065, "All w/Dr.": 0.11}

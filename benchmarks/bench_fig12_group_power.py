@@ -7,6 +7,16 @@ recall than department codes; deeper levels trade recall for precision;
 the Same-Dept. baseline has far lower recall than collaborative groups.
 """
 
+import pytest
+
+from benchlib import is_smoke
+
+# Paper-scale reproduction: the full benchmark hospital is the point, so
+# under REPRO_BENCH_SMOKE=1 (the CI smoke runs) this module skips itself.
+pytestmark = pytest.mark.skipif(
+    is_smoke(), reason="paper-scale reproduction; skipped in smoke mode"
+)
+
 from repro.evalx import group_predictive_power
 
 PAPER_NOTES = (

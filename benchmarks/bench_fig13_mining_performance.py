@@ -15,6 +15,16 @@ come from: the candidate frontier large relative to the explanation set
 measured in bench_ablation_optimizations.
 """
 
+import pytest
+
+from benchlib import is_smoke
+
+# Paper-scale reproduction: the full benchmark hospital is the point, so
+# under REPRO_BENCH_SMOKE=1 (the CI smoke runs) this module skips itself.
+pytestmark = pytest.mark.skipif(
+    is_smoke(), reason="paper-scale reproduction; skipped in smoke mode"
+)
+
 from repro.core import MiningConfig, SupportConfig
 from repro.evalx import mining_performance
 

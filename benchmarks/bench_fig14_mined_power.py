@@ -8,6 +8,16 @@ precision drops; "All" barely differs from length-4 because long
 templates subsume the short ones' accesses.
 """
 
+import pytest
+
+from benchlib import is_smoke
+
+# Paper-scale reproduction: the full benchmark hospital is the point, so
+# under REPRO_BENCH_SMOKE=1 (the CI smoke runs) this module skips itself.
+pytestmark = pytest.mark.skipif(
+    is_smoke(), reason="paper-scale reproduction; skipped in smoke mode"
+)
+
 from repro.core import MiningConfig, OneWayMiner
 from repro.evalx import mined_predictive_power
 

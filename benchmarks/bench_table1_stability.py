@@ -6,6 +6,16 @@ small template counts per length (11-12 at length 2, ~241 at length 3,
 evidence that templates capture *generic* reasons for access.
 """
 
+import pytest
+
+from benchlib import is_smoke
+
+# Paper-scale reproduction: the full benchmark hospital is the point, so
+# under REPRO_BENCH_SMOKE=1 (the CI smoke runs) this module skips itself.
+pytestmark = pytest.mark.skipif(
+    is_smoke(), reason="paper-scale reproduction; skipped in smoke mode"
+)
+
 from repro.core import MiningConfig
 from repro.evalx import template_stability
 
