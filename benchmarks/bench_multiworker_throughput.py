@@ -23,6 +23,7 @@ facade before any timing starts.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import time
@@ -69,10 +70,8 @@ def _client_main(host, port, lids, index, per_client, barrier, queue):
         queue.put(("ok", index))
     except BaseException as exc:  # surface failures in the parent
         queue.put(("error", repr(exc)))
-        try:
+        with contextlib.suppress(Exception):
             barrier.abort()
-        except Exception:
-            pass
     finally:
         client.close()
 

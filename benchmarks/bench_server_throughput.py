@@ -23,6 +23,7 @@ measured run, so throughput cannot be bought with wrong answers.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import threading
 import time
@@ -90,10 +91,8 @@ def bench_server_throughput(report):
                         )
             except BaseException as exc:  # surface worker failures
                 errors.append(exc)
-                try:
+                with contextlib.suppress(Exception):
                     barrier.abort()
-                except Exception:
-                    pass
             finally:
                 client.close()
 

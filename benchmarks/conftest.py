@@ -18,6 +18,7 @@ fresh artifacts are gitignored; the baselines are committed.
 
 from __future__ import annotations
 
+import contextlib
 import os
 
 import pytest
@@ -109,9 +110,7 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     terminalreporter.write_sep("=", "paper reproduction results")
     text = "\n\n".join(_REPORT_SECTIONS)
     terminalreporter.write_line(text)
-    try:
+    with contextlib.suppress(OSError):
         with open(_RESULTS_PATH, "w") as fh:
             fh.write(text + "\n")
         terminalreporter.write_line(f"\n(saved to {_RESULTS_PATH})")
-    except OSError:
-        pass

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Iterator
+from collections.abc import Iterator
 
 
 class RWLock:

@@ -524,11 +524,12 @@ class ScanState:
     unexplained: int = 0
 
     def __post_init__(self) -> None:
-        if self.after is not None:
-            if not isinstance(self.after, tuple) or len(self.after) != 2:
-                raise ValueError(
-                    f"after must be a (date, lid) pair, got {self.after!r}"
-                )
+        if self.after is not None and (
+            not isinstance(self.after, tuple) or len(self.after) != 2
+        ):
+            raise ValueError(
+                f"after must be a (date, lid) pair, got {self.after!r}"
+            )
         if self.seen < 0 or self.unexplained < 0:
             raise ValueError("seen and unexplained must be >= 0")
         if self.unexplained > self.seen:

@@ -47,7 +47,8 @@ import datetime as dt
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator
+from collections.abc import Callable, Iterator
+from typing import Any
 
 from ..core.engine import ExplanationEngine
 from ..core.instance import ExplanationInstance

@@ -23,7 +23,7 @@ precision-control knob for administrators reviewing mined templates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..db.database import Database
 from ..db.executor import Executor

@@ -53,7 +53,8 @@ log-id universe).  Two maintenance paths exist after the log grows:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from ..db.database import Database
 from ..db.executor import Executor

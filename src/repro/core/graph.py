@@ -15,7 +15,7 @@ audit-log table name itself.
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..db.database import Database
 from ..db.errors import SchemaError, UnknownColumnError

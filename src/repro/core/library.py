@@ -27,7 +27,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, replace
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from ..db.parser import template_from_sql
 from .mining import MiningResult

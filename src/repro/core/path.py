@@ -28,7 +28,7 @@ miners keep frontiers of shared-structure paths cheaply.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..db.query import AttrRef, Condition, ConjunctiveQuery, TupleVar, canonical_query_signature
 from .edges import EdgeKind, SchemaEdge

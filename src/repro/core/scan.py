@@ -27,7 +27,8 @@ from __future__ import annotations
 import bisect
 import time
 from dataclasses import dataclass
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from .engine import ExplanationEngine
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..db.database import Database
 from ..db.executor import Executor

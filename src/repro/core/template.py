@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..db.query import (
     AttrRef,

@@ -9,7 +9,7 @@ validation for the synthetic data generator's self-checks.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from .errors import SchemaError, UnknownTableError
 from .schema import ForeignKey, TableSchema

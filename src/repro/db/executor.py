@@ -47,7 +47,8 @@ brute-force reference evaluator by ``tests/test_differential_executor.py``.
 from __future__ import annotations
 
 import operator
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from .database import Database
 from .errors import QueryError

@@ -17,7 +17,8 @@ SQL renderer, and the mining cache all share.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence, Union
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from .errors import QueryError
 
@@ -67,7 +68,7 @@ class Literal:
         return repr(self.value)
 
 
-Operand = Union[AttrRef, Literal]
+Operand = AttrRef | Literal
 
 
 @dataclass(frozen=True, order=True)
@@ -117,9 +118,13 @@ class Condition:
         """Order-independent form: for symmetric ops the lexicographically
         smaller operand goes left, so ``A.x = B.y`` and ``B.y = A.x`` compare
         equal.  Used by the support cache (paper Section 3.2.1)."""
-        if isinstance(self.right, AttrRef) and self.op in ("=", "!="):
-            if (self.right.alias, self.right.attr) < (self.left.alias, self.left.attr):
-                return self.flipped()
+        if (
+            isinstance(self.right, AttrRef)
+            and self.op in ("=", "!=")
+            and (self.right.alias, self.right.attr)
+            < (self.left.alias, self.left.attr)
+        ):
+            return self.flipped()
         return self
 
     def __str__(self) -> str:

@@ -41,7 +41,7 @@ def shard_of(value: Any, n_shards: int) -> int:
         raise ValueError("n_shards must be >= 1")
     if n_shards == 1:
         return 0
-    return zlib.crc32(str(value).encode("utf-8")) % n_shards
+    return zlib.crc32(str(value).encode()) % n_shards
 
 
 def partition_by_patient(

@@ -41,7 +41,8 @@ after arbitrary interleavings of inserts and reads.
 from __future__ import annotations
 
 from array import array
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Any
 
 from .errors import IntegrityError, UnknownColumnError
 from .schema import ColumnType, TableSchema

@@ -105,7 +105,7 @@ def build_hospital(config: SimulationConfig) -> Hospital:
         )
         # attach one service user of each kind, preferring the least-loaded
         attached: list[str] = []
-        for role, pool in service_pools.items():
+        for pool in service_pools.values():
             pool_sorted = sorted(
                 pool, key=lambda uid: (len(service_assignment[uid]), uid)
             )

@@ -14,7 +14,7 @@ The paper's evaluation repeatedly needs three log views:
 from __future__ import annotations
 
 import datetime as dt
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..db.database import Database
 from ..db.table import Table

@@ -23,7 +23,7 @@ Table 1         :func:`template_stability`
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..audit.handcrafted import (
     dataset_a_doctor_templates,

@@ -19,7 +19,8 @@ All three produce ``{user: group_index}`` partitions interchangeable with
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 
 def threshold_components(

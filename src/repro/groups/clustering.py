@@ -21,7 +21,8 @@ to the weighted degree, so ``2m == sum(degrees)`` always holds.
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 import numpy as np
 

@@ -14,7 +14,8 @@ property oracle) — the greedy optimizer lives in :mod:`.clustering`.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Mapping
+from collections.abc import Hashable, Mapping
+from typing import Any
 
 
 def total_weight(adjacency: Mapping[Any, Mapping[Any, float]]) -> float:

@@ -42,6 +42,7 @@ the whole server on a background thread for tests and benchmarks.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import functools
 import json
 import logging
@@ -50,7 +51,8 @@ import threading
 import time
 from bisect import bisect_right
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 from urllib.parse import unquote
 
 from ..api.errors import (
@@ -520,15 +522,14 @@ class AuditAPI:
                 )
             page_rows = min(page_rows, MAX_SCAN_PAGE_ROWS)
         quantum_seconds = data.get("quantum_seconds")
-        if quantum_seconds is not None:
-            if (
-                not isinstance(quantum_seconds, (int, float))
-                or isinstance(quantum_seconds, bool)
-                or not quantum_seconds > 0
-            ):
-                raise InvalidRequestError(
-                    "quantum_seconds must be a number > 0 when given"
-                )
+        if quantum_seconds is not None and (
+            not isinstance(quantum_seconds, (int, float))
+            or isinstance(quantum_seconds, bool)
+            or not quantum_seconds > 0
+        ):
+            raise InvalidRequestError(
+                "quantum_seconds must be a number > 0 when given"
+            )
         return await self._scan(state, page_rows, quantum_seconds)
 
     # ------------------------------------------------------------------
@@ -642,10 +643,8 @@ class AuditServer:
             pass
         finally:
             writer.close()
-            try:
+            with contextlib.suppress(ConnectionError, OSError):
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
 
     async def _dispatch(
         self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
@@ -844,10 +843,9 @@ def serve(
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
-            try:
+            # non-Unix platforms fall back to KeyboardInterrupt
+            with contextlib.suppress(NotImplementedError, RuntimeError):
                 loop.add_signal_handler(signum, stop.set)
-            except (NotImplementedError, RuntimeError):  # pragma: no cover
-                pass  # non-Unix platforms fall back to KeyboardInterrupt
         try:
             await stop.wait()
         finally:
@@ -856,10 +854,8 @@ def serve(
             await server.stop_async(drain=True)
         print_fn("shutdown complete")
 
-    try:
+    with contextlib.suppress(KeyboardInterrupt):  # non-Unix fallback
         asyncio.run(main())
-    except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback
-        pass
     return 0
 
 

@@ -43,7 +43,7 @@ CURSOR_VERSION = 2
 
 def _encode_payload(payload: dict) -> str:
     raw = json.dumps(payload, separators=(",", ":"), sort_keys=True)
-    return base64.urlsafe_b64encode(raw.encode("utf-8")).decode("ascii")
+    return base64.urlsafe_b64encode(raw.encode()).decode("ascii")
 
 
 def _decode_payload(cursor: str, kind: str) -> dict:

@@ -214,7 +214,7 @@ def dump_json(payload: Any) -> bytes:
     return (
         json.dumps(
             payload, separators=(",", ":"), sort_keys=True, default=str
-        ).encode("utf-8")
+        ).encode()
         + b"\n"
     )
 

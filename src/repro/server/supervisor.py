@@ -35,13 +35,15 @@ AuditServer` into a multi-core fleet:
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import signal
 import socket
 import threading
 import time
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from ..api.errors import InvalidRequestError
 
@@ -266,13 +268,11 @@ class FleetSupervisor:
         escalates to ``terminate()`` without waiting for the drain."""
         for process in self.processes:
             if process.is_alive():
-                try:
+                with contextlib.suppress(ProcessLookupError, OSError):
                     if force:
                         process.terminate()
                     else:
                         os.kill(process.pid, signal.SIGTERM)
-                except (ProcessLookupError, OSError):
-                    pass
         join_timeout = 5.0 if force else self.grace_seconds + 10.0
         for process in self.processes:
             process.join(timeout=join_timeout)

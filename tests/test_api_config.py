@@ -1,5 +1,7 @@
 """AuditConfig round-trips and the bounded LRU plan cache it governs."""
 
+import dataclasses
+
 import pytest
 
 from repro.api import AuditConfig, AuditService
@@ -88,7 +90,7 @@ class TestAuditConfig:
             AuditConfig(**kwargs)
 
     def test_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             AuditConfig().plan_cache_size = 5
 
 

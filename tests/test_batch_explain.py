@@ -133,7 +133,7 @@ def test_semijoin_delta_equals_point_delta(seed):
     semi.unexplained_lids()
     batch_a = _random_appends(rng, db_a, rng.randrange(1, 12))
     batch_b = list(batch_a)
-    for lid, row in zip(batch_b, db_a.table("Log").rows()[-len(batch_a):]):
+    for _lid, row in zip(batch_b, db_a.table("Log").rows()[-len(batch_a):]):
         db_b.table("Log").insert(row)
     newly_point = point.notify_appended_many(batch_a, use_semijoin=False)
     newly_semi = semi.notify_appended_many(batch_b, use_semijoin=True)

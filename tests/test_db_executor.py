@@ -3,6 +3,7 @@ nested-loop oracle cross-check (the executor must agree with naive SQL
 semantics on every query shape the mining layer generates)."""
 
 import itertools
+import operator
 
 import pytest
 
@@ -192,6 +193,18 @@ class TestQueryValidation:
             Condition(AttrRef("L", "Lid"), "LIKE", Literal("x"))
 
 
+#: SQL comparison semantics for the brute-force oracle, one Python
+#: operator per template operator.
+_OP_FUNCS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
 def brute_force(db, query):
     """Nested-loop oracle: enumerate the full cross product, apply all
     conditions, project, dedup.  Exponential — only for tiny fixtures."""
@@ -211,22 +224,8 @@ def brute_force(db, query):
                 if isinstance(cond.right, AttrRef)
                 else cond.right.value
             )
-            if lval is None or rval is None:
+            if lval is None or rval is None or not _OP_FUNCS[cond.op](lval, rval):
                 ok = False
-                break
-            if cond.op == "=" and not lval == rval:
-                ok = False
-            elif cond.op == "!=" and not lval != rval:
-                ok = False
-            elif cond.op == "<" and not lval < rval:
-                ok = False
-            elif cond.op == "<=" and not lval <= rval:
-                ok = False
-            elif cond.op == ">" and not lval > rval:
-                ok = False
-            elif cond.op == ">=" and not lval >= rval:
-                ok = False
-            if not ok:
                 break
         if ok:
             out.add(tuple(env[(r.alias, r.attr)] for r in query.projection))

@@ -89,7 +89,7 @@ class TestSchemas:
 
     def test_fk_targets_users(self):
         db = build_empty_careweb_db()
-        for table, fk in db.foreign_keys():
+        for _table, fk in db.foreign_keys():
             assert fk.ref_table == "Users"
 
     def test_graph_self_joins(self):

@@ -483,19 +483,23 @@ def test_scan_resumes_on_fresh_server_replica():
     first_service = _open_service(shards=2)
     expected = first_service.report().to_dict()
     pages = []
-    with AuditServer(first_service, port=0) as server:
-        with AuditClient(server.host, server.port) as client:
-            page, cursor = client.scan_page(page_rows=6)
-            pages.append(page)
-            assert cursor is not None
+    with (
+        AuditServer(first_service, port=0) as server,
+        AuditClient(server.host, server.port) as client,
+    ):
+        page, cursor = client.scan_page(page_rows=6)
+        pages.append(page)
+        assert cursor is not None
     first_service.close()  # the original replica is gone
 
     replica = _open_service(shards=2)
     try:
-        with AuditServer(replica, port=0) as server:
-            with AuditClient(server.host, server.port) as client:
-                for page in client.scan_pages(page_rows=6, cursor=cursor):
-                    pages.append(page)
+        with (
+            AuditServer(replica, port=0) as server,
+            AuditClient(server.host, server.port) as client,
+        ):
+            for page in client.scan_pages(page_rows=6, cursor=cursor):
+                pages.append(page)
     finally:
         replica.close()
     assert assemble_report(pages).to_dict() == expected
@@ -507,22 +511,24 @@ def test_wire_scan_survives_backdated_ingest():
     the pre-ingest snapshot, the new row invisible to this walk."""
     service = _open_service(shards=1)
     try:
-        with AuditServer(service, port=0) as server:
-            with AuditClient(server.host, server.port) as client:
-                before = service.report().to_dict()
-                page, cursor = client.scan_page(page_rows=4)
-                pages = [page]
-                assert cursor is not None
-                backdated = client.ingest(
-                    "zz-nobody", "zz-nobody", dt.datetime(2000, 1, 1)
-                )
-                assert backdated.suspicious
-                for page in client.scan_pages(page_rows=4, cursor=cursor):
-                    pages.append(page)
-                assert assemble_report(pages).to_dict() == before
-                served = [
-                    v.lid for page in pages for v in page.unexplained
-                ]
-                assert backdated.lid not in served
+        with (
+            AuditServer(service, port=0) as server,
+            AuditClient(server.host, server.port) as client,
+        ):
+            before = service.report().to_dict()
+            page, cursor = client.scan_page(page_rows=4)
+            pages = [page]
+            assert cursor is not None
+            backdated = client.ingest(
+                "zz-nobody", "zz-nobody", dt.datetime(2000, 1, 1)
+            )
+            assert backdated.suspicious
+            for page in client.scan_pages(page_rows=4, cursor=cursor):
+                pages.append(page)
+            assert assemble_report(pages).to_dict() == before
+            served = [
+                v.lid for page in pages for v in page.unexplained
+            ]
+            assert backdated.lid not in served
     finally:
         service.close()

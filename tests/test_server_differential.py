@@ -243,24 +243,26 @@ def test_cursor_survives_backdated_ingest():
     still-unserved ones."""
     service = _open_service(shards=1)
     try:
-        with AuditServer(service, port=0) as server:
-            with AuditClient(server.host, server.port) as client:
-                before = [v.lid for v in service.unexplained_queue()]
-                assert len(before) >= 4, "need a walkable queue"
-                first, cursor, _ = client.unexplained_page(limit=2)
-                assert cursor is not None
-                # an unexplainable access dated before the queue head
-                backdated = client.ingest(
-                    "zz-nobody", "zz-nobody", dt.datetime(2000, 1, 1)
-                )
-                assert backdated.suspicious
-                rest = []
-                while cursor is not None:
-                    items, cursor, _ = client.unexplained_page(cursor, limit=2)
-                    rest.extend(items)
-                served = [v.lid for v in first] + [v.lid for v in rest]
-                assert served == before  # no dupes, no skips
-                assert backdated.lid not in served  # not in this snapshot
+        with (
+            AuditServer(service, port=0) as server,
+            AuditClient(server.host, server.port) as client,
+        ):
+            before = [v.lid for v in service.unexplained_queue()]
+            assert len(before) >= 4, "need a walkable queue"
+            first, cursor, _ = client.unexplained_page(limit=2)
+            assert cursor is not None
+            # an unexplainable access dated before the queue head
+            backdated = client.ingest(
+                "zz-nobody", "zz-nobody", dt.datetime(2000, 1, 1)
+            )
+            assert backdated.suspicious
+            rest = []
+            while cursor is not None:
+                items, cursor, _ = client.unexplained_page(cursor, limit=2)
+                rest.extend(items)
+            served = [v.lid for v in first] + [v.lid for v in rest]
+            assert served == before  # no dupes, no skips
+            assert backdated.lid not in served  # not in this snapshot
     finally:
         service.close()
 

@@ -304,13 +304,15 @@ class TestProtocol:
             def unexplained_queue(self):
                 return ()
 
-        with AuditServer(QueueService(), port=0) as server:
-            with AuditClient(server.host, server.port) as c:
-                payload = c._request(
-                    "GET", f"/v1/unexplained?limit={MAX_PAGE_LIMIT * 100}"
-                )
-                assert payload["data"]["items"] == []
-                assert payload["data"]["next_cursor"] is None
+        with (
+            AuditServer(QueueService(), port=0) as server,
+            AuditClient(server.host, server.port) as c,
+        ):
+            payload = c._request(
+                "GET", f"/v1/unexplained?limit={MAX_PAGE_LIMIT * 100}"
+            )
+            assert payload["data"]["items"] == []
+            assert payload["data"]["next_cursor"] is None
 
     def test_oversized_body_is_typed_413(self, stub_server):
         connection = http.client.HTTPConnection(
@@ -332,11 +334,13 @@ class TestProtocol:
 
                 return PatientReport(patient=patient, entries=())
 
-        with AuditServer(EchoService(), port=0) as server:
-            with AuditClient(server.host, server.port) as c:
-                # %2F must not split the path parameter into segments
-                assert c.patient_report("a/b").patient == "a/b"
-                assert c.patient_report("p 1%x").patient == "p 1%x"
+        with (
+            AuditServer(EchoService(), port=0) as server,
+            AuditClient(server.host, server.port) as c,
+        ):
+            # %2F must not split the path parameter into segments
+            assert c.patient_report("a/b").patient == "a/b"
+            assert c.patient_report("p 1%x").patient == "p 1%x"
 
     def test_http10_connection_closes(self, stub_server):
         connection = http.client.HTTPConnection(
@@ -560,13 +564,15 @@ class TestMidStreamError:
         assert lines[1]["error"]["code"] == "unsupported_operation"
 
     def test_client_iterator_raises_rebuilt_typed_exception(self):
-        with AuditServer(FlakyService(), port=0) as server:
-            with AuditClient(server.host, server.port, timeout=10) as client:
-                stream = client.explain_batch(["ok", "boom"])
-                first = next(stream)
-                assert first.lid == "ok"
-                with pytest.raises(UnsupportedOperationError) as excinfo:
-                    next(stream)
-                assert excinfo.value.hint == "retry later"
-                # the client recovers: the next call works normally
-                assert client.explain(5).lid == 5
+        with (
+            AuditServer(FlakyService(), port=0) as server,
+            AuditClient(server.host, server.port, timeout=10) as client,
+        ):
+            stream = client.explain_batch(["ok", "boom"])
+            first = next(stream)
+            assert first.lid == "ok"
+            with pytest.raises(UnsupportedOperationError) as excinfo:
+                next(stream)
+            assert excinfo.value.hint == "retry later"
+            # the client recovers: the next call works normally
+            assert client.explain(5).lid == 5

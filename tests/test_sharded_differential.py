@@ -30,7 +30,10 @@ def _fresh_db():
     return simulate(SimulationConfig.tiny(seed=7)).db
 
 
-def _ticking_clock(start=dt.datetime(2026, 7, 1)):
+_CLOCK_START = dt.datetime(2026, 7, 1)
+
+
+def _ticking_clock(start=_CLOCK_START):
     state = {"n": 0}
 
     def clock():
