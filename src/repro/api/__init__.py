@@ -30,6 +30,8 @@ keep working via deprecation shims in :mod:`repro`.
 """
 
 # the explanation-template toolchain
+from typing import Any
+
 from ..audit.handcrafted import (
     all_event_user_templates,
     dataset_a_doctor_templates,
@@ -114,7 +116,7 @@ from .service import AuditService, GroupsResult, standard_templates
 from .sharded import ShardedAuditService, open_service
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     """Lazy re-exports that would otherwise close an import cycle
     (``evalx.experiments`` builds on this package)."""
     if name == "write_report":

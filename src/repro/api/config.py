@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 import warnings
 from dataclasses import dataclass
+from typing import Any
 
 from ..core.engine import SEMIJOIN_BATCH_MIN
 
@@ -141,7 +142,7 @@ class AuditConfig:
         return self.workers if self.workers is not None else 1
 
     # ------------------------------------------------------------------
-    def replace(self, **changes) -> "AuditConfig":
+    def replace(self, **changes: Any) -> "AuditConfig":
         """A copy with the given fields changed (validation re-runs)."""
         return dataclasses.replace(self, **changes)
 

@@ -34,10 +34,12 @@ from __future__ import annotations
 import datetime as dt
 import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import Any
 
 from ..audit.streaming import AccessMonitor
 from ..core.engine import BatchExplanation, ExplanationEngine
+from ..core.graph import SchemaGraph
 from ..core.library import ReviewStatus, TemplateLibrary
 from ..core.mining import BridgedMiner, MiningConfig, OneWayMiner, TwoWayMiner
 from ..core.scan import LogScanner
@@ -256,7 +258,7 @@ class AuditService:
     def __enter__(self) -> "AuditService":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def _check_open(self) -> None:
@@ -457,7 +459,7 @@ class AuditService:
         page_rows: int | None = None,
         quantum_seconds: float | None = None,
         state: ScanState | None = None,
-    ):
+    ) -> Iterator[ScanPage]:
         """Iterate scan pages to completion (each slice is its own
         bounded lock hold, so writers interleave between pages).  Pass a
         suspended ``state`` to resume a walk mid-flight."""
@@ -521,7 +523,7 @@ class AuditService:
         with self._lock.read_locked():
             return frozenset(self.engine.unexplained_lids())
 
-    def explain_all(self):
+    def explain_all(self) -> BatchExplanation:
         """The whole-log explained/unexplained partition (one batch
         semijoin per template) as a
         :class:`~repro.core.engine.BatchExplanation`."""
@@ -529,7 +531,7 @@ class AuditService:
         with self._lock.read_locked():
             return self.engine.explain_all()
 
-    def explain_batch(self, lids: Iterable[Any]):
+    def explain_batch(self, lids: Iterable[Any]) -> BatchExplanation:
         """Partition a set of log ids into explained/unexplained in one
         set-at-a-time pass (ids absent from the log are unexplained)."""
         self._check_open()
@@ -654,7 +656,9 @@ class AuditService:
         SQL form); returns how many were offered."""
         return self.add_templates(TemplateLibrary.load(path))
 
-    def mine(self, request: MineRequest, graph=None) -> MineResult:
+    def mine(
+        self, request: MineRequest, graph: SchemaGraph | None = None
+    ) -> MineResult:
         """Mine frequent explanation templates from the service's own
         database (paper Section 3).  ``graph`` defaults to the standard
         CareWeb explanation graph; pass one for other schemas.  With

@@ -54,7 +54,8 @@ import multiprocessing as mp
 import os
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import Any, NoReturn
 
 from ..audit.streaming import AccessMonitor, StreamedAccess
 from ..core.engine import BatchExplanation, ExplanationEngine
@@ -67,6 +68,7 @@ from ..db.database import Database
 from ..db.executor import Executor
 from ..db.optimizer import PlanCache
 from ..db.sharding import partition_by_patient, shard_of
+from ..db.table import Table
 from .config import AuditConfig
 from .errors import UnsupportedOperationError
 from .locks import RWLock
@@ -152,7 +154,7 @@ def build_shard_state(
     )
 
 
-def _log_columns(state: ShardState):
+def _log_columns(state: ShardState) -> tuple[Table, tuple[int, int, int, int]]:
     log = state.db.table(state.config.log_table)
     schema = log.schema
     return log, (
@@ -347,7 +349,7 @@ def _worker_call(op: str, args: tuple) -> Any:
     return _OPS[op](_WORKER_STATE, *args)
 
 
-def _mp_context():
+def _mp_context() -> mp.context.BaseContext | None:
     """Prefer fork (no payload pickling, instant start) where available;
     fall back to the platform default (spawn on macOS/Windows)."""
     if "fork" in mp.get_all_start_methods():
@@ -478,7 +480,7 @@ class ShardedAuditService:
     def __enter__(self) -> "ShardedAuditService":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def _check_open(self) -> None:
@@ -574,7 +576,7 @@ class ShardedAuditService:
         rows = [row for _, shard_rows in gathered for row in shard_rows]
         rows.sort(key=lambda r: (r[1], r[0]))
         counts: dict[Any, int] = {}
-        for lid, date, user, patient in rows:
+        for _lid, _date, user, _patient in rows:
             counts[user] = counts.get(user, 0) + 1
         queue = [
             UnexplainedView(lid=lid, date=date, user=user, patient=patient)
@@ -668,7 +670,7 @@ class ShardedAuditService:
         page_rows: int | None = None,
         quantum_seconds: float | None = None,
         state: ScanState | None = None,
-    ):
+    ) -> Iterator[ScanPage]:
         """Iterate scan pages to completion (each slice is its own
         bounded lock hold).  Pass a suspended ``state`` to resume."""
         while True:
@@ -921,7 +923,7 @@ class ShardedAuditService:
             self._scatter("add_templates", templates)
         return len(templates)
 
-    def mine(self, *args, **kwargs):
+    def mine(self, *args: Any, **kwargs: Any) -> NoReturn:
         """Mining is a whole-database writer the patient partition cannot
         host; mine on a single-node service, then broadcast.  Raises the
         typed :class:`~repro.api.errors.UnsupportedOperationError` (an
@@ -933,7 +935,7 @@ class ShardedAuditService:
             "then register the results here with add_templates()",
         )
 
-    def build_groups(self, *args, **kwargs):
+    def build_groups(self, *args: Any, **kwargs: Any) -> NoReturn:
         """Group inference rewrites a shared table; same recipe as
         :meth:`mine` — build on a single-node service, reopen sharded."""
         raise UnsupportedOperationError(

@@ -28,7 +28,8 @@ from __future__ import annotations
 import datetime as dt
 import http.client
 import json
-from typing import Any, Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
 from urllib.parse import quote, urlencode
 
 from ..api.errors import (
@@ -51,6 +52,7 @@ from ..api.messages import (
     from_wire,
     jsonable,
 )
+from ..core.engine import BatchExplanation
 from ..core.library import TemplateLibrary
 
 
@@ -101,7 +103,7 @@ class AuditClient:
         payload = None
         headers = {"Accept": "application/json"}
         if body is not None:
-            payload = json.dumps(body, default=str).encode("utf-8")
+            payload = json.dumps(body, default=str).encode()
             headers["Content-Type"] = "application/json"
         for attempt in (0, 1):
             conn = self._connection()
@@ -237,9 +239,7 @@ class AuditClient:
         finally:
             # an abandoned stream leaves unread frames on the socket;
             # drop the connection so the next call starts clean
-            if not response.isclosed():
-                self.close()
-            elif response.will_close:
+            if not response.isclosed() or response.will_close:
                 self.close()
 
     def patient_report(
@@ -356,7 +356,7 @@ class AuditClient:
         self,
         page_rows: int | None = None,
         quantum_seconds: float | None = None,
-    ):
+    ) -> BatchExplanation:
         """The facade's ``explain_all`` partition, walked as bounded
         scan slices."""
         return assemble_partition(self.scan_pages(page_rows, quantum_seconds))
