@@ -59,7 +59,9 @@ from ..core.mining import (
 from ..core.template import ExplanationTemplate
 from ..db.csvio import load_database, save_database
 from ..db.database import Database
+from ..db.errors import CapacityError
 from ..db.schema import ColumnType, TableSchema
+from ..db.sqlbackend import SqlDatabase, open_sql_database
 
 # evaluation and group inference
 from ..evalx.accesses import lids_on_days, restrict_log
@@ -136,6 +138,7 @@ __all__ = [
     "AuditReport",
     "AuditService",
     "BridgedMiner",
+    "CapacityError",
     "CareWebStudy",
     "ColumnType",
     "Database",
@@ -173,6 +176,7 @@ __all__ = [
     "SchemaEdge",
     "SchemaGraph",
     "ShardedAuditService",
+    "SqlDatabase",
     "TableSchema",
     "TemplateLibrary",
     "TwoWayMiner",
@@ -200,6 +204,7 @@ __all__ = [
     "load_database",
     "modularity",
     "open_service",
+    "open_sql_database",
     "repeat_access_template",
     "restrict_log",
     "same_department_templates",

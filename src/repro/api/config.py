@@ -95,6 +95,26 @@ class AuditConfig:
     scan_page_rows: int = 512
     scan_quantum_seconds: float | None = None
 
+    #: Storage backend: ``"memory"`` audits inside the in-memory columnar
+    #: :class:`~repro.db.table.Table` engine (fastest; log must fit in
+    #: RAM); ``"sqlite"`` compiles every explanation query to SQL and
+    #: pushes it down to a SQLite database (stdlib ``sqlite3``), lifting
+    #: the RAM cap.  Both backends are pinned byte-identical by the
+    #: differential suites; see ``docs/architecture.md``.
+    backend: str = "memory"
+    #: SQLite database file for ``backend="sqlite"``.  None keeps the
+    #: database in SQLite's private memory (no file, no restart
+    #: survival); a path persists state across process death, and a
+    #: sharded service derives one file per shard from it
+    #: (``audit.shard0.db``, ...).  Ignored by the memory backend.
+    db_path: str | None = None
+    #: Row cap applied to every in-memory table loaded through the CLI
+    #: (the memory backend's explicit RAM ceiling).  Exceeding it raises
+    #: :class:`~repro.db.errors.CapacityError`, pointing at the SQLite
+    #: backend.  None (default) means uncapped; ignored under
+    #: ``backend="sqlite"``.
+    max_table_rows: int | None = None
+
     #: Warm the explained/unexplained aggregates inside ``open()`` (and
     #: after every writer operation), so concurrent readers hit immutable
     #: caches and never race to populate them.  Disable only for
@@ -123,6 +143,10 @@ class AuditConfig:
             raise ValueError("workers must be >= 1 when given")
         if self.scan_page_rows < 1:
             raise ValueError("scan_page_rows must be >= 1")
+        if self.backend not in ("memory", "sqlite"):
+            raise ValueError("backend must be 'memory' or 'sqlite'")
+        if self.max_table_rows is not None and self.max_table_rows < 1:
+            raise ValueError("max_table_rows must be >= 1 when given")
         if (
             self.scan_quantum_seconds is not None
             and not self.scan_quantum_seconds > 0

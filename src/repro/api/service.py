@@ -44,11 +44,12 @@ from ..core.library import ReviewStatus, TemplateLibrary
 from ..core.mining import BridgedMiner, MiningConfig, OneWayMiner, TwoWayMiner
 from ..core.scan import LogScanner
 from ..core.template import ExplanationTemplate
+from ..db.backend import AnyDatabase, make_executor
 from ..db.csvio import load_database
-from ..db.database import Database
-from ..db.executor import Executor
 from ..db.optimizer import PlanCache
+from ..db.sqlbackend import SqlDatabase, open_sql_database
 from .config import AuditConfig
+from .errors import UnsupportedOperationError
 from .locks import RWLock
 from .messages import (
     AccessView,
@@ -75,7 +76,7 @@ AlertHandler = Callable[[IngestResult], None]
 
 
 def standard_templates(
-    db: Database, include_groups: bool = True
+    db: AnyDatabase, include_groups: bool = True
 ) -> list[ExplanationTemplate]:
     """The hand-crafted CareWeb template set (paper Section 5.3.1): event
     w/doctor templates, the repeat-access template, and — when a Groups
@@ -113,7 +114,7 @@ def format_patient_report(report: PatientReport) -> str:
 
 
 def resolve_templates(
-    db: Database,
+    db: AnyDatabase,
     templates: Iterable[ExplanationTemplate]
     | TemplateLibrary
     | str
@@ -160,7 +161,7 @@ class AuditService:
 
     def __init__(
         self,
-        db: Database,
+        db: AnyDatabase,
         templates: Iterable[ExplanationTemplate],
         config: AuditConfig,
         clock: Callable[[], Any] | None = None,
@@ -170,7 +171,7 @@ class AuditService:
         #: Per-service LRU plan cache (bounded by the config; hit/miss
         #: counters surface through :meth:`stats`).
         self.plan_cache = PlanCache(max_size=config.plan_cache_size)
-        executor = Executor(
+        executor = make_executor(
             db,
             distinct_reduction=config.distinct_reduction,
             predicate_pushdown=config.predicate_pushdown,
@@ -191,6 +192,9 @@ class AuditService:
         self._alert_handlers: list[AlertHandler] = []
         self._lock = RWLock()
         self._closed = False
+        #: True when open() built the database itself (a SQLite database
+        #: opened from a path/source), making close() close it too.
+        self._owns_db = False
         if config.eager_warm:
             self._warm()
 
@@ -200,7 +204,7 @@ class AuditService:
     @classmethod
     def open(
         cls,
-        db: Database | str | os.PathLike,
+        db: AnyDatabase | str | os.PathLike,
         templates: Iterable[ExplanationTemplate]
         | TemplateLibrary
         | str
@@ -216,11 +220,28 @@ class AuditService:
         ``save``/``dump`` — approved entries are applied, falling back to
         suggested ones when nothing is approved yet), or None for the
         standard hand-crafted CareWeb set.  Usable as a context manager.
+
+        With ``config.backend == "sqlite"``, a path ``db`` is streamed
+        into the SQLite file at ``config.db_path`` (reused as-is when
+        already ingested — the restart path) and every explanation query
+        pushes down as SQL; an in-memory ``db`` object is copied in.  A
+        :class:`~repro.db.sqlbackend.SqlDatabase` passed directly is
+        used as-is regardless of ``config.backend``.
         """
-        if isinstance(db, (str, os.PathLike)):
-            db = load_database(str(db))
         config = config if config is not None else AuditConfig()
-        return cls(db, resolve_templates(db, templates), config, clock=clock)
+        opened_sql = False
+        if isinstance(db, (str, os.PathLike)):
+            if config.backend == "sqlite":
+                db = open_sql_database(str(db), config.db_path)
+                opened_sql = True
+            else:
+                db = load_database(str(db), max_rows=config.max_table_rows)
+        elif config.backend == "sqlite" and not isinstance(db, SqlDatabase):
+            db = open_sql_database(db, config.db_path)
+            opened_sql = True
+        service = cls(db, resolve_templates(db, templates), config, clock=clock)
+        service._owns_db = opened_sql
+        return service
 
     @classmethod
     def from_engine(
@@ -249,10 +270,14 @@ class AuditService:
         service._alert_handlers = []
         service._lock = RWLock()
         service._closed = False
+        service._owns_db = False
         return service
 
     def close(self) -> None:
-        """End the lifecycle; subsequent calls raise RuntimeError."""
+        """End the lifecycle; subsequent calls raise RuntimeError.  A
+        SQLite database the service opened itself is closed with it."""
+        if not self._closed and self._owns_db:
+            self.db.close()
         self._closed = True
 
     def __enter__(self) -> "AuditService":
@@ -664,21 +689,32 @@ class AuditService:
         CareWeb explanation graph; pass one for other schemas.  With
         ``request.register`` the mined templates join the engine."""
         self._check_open()
+        db = self.db
+        if isinstance(db, SqlDatabase):
+            raise UnsupportedOperationError(
+                "mine() is not available on the SQLite backend",
+                hint=(
+                    "mining walks the schema graph with in-memory support "
+                    "counting; run it on AuditService.open(source) with the "
+                    "memory backend over the same data, then register the "
+                    "mined templates here with add_templates()"
+                ),
+            )
         with self._lock.write_locked():
             if graph is None:
                 from ..ehr.schema import build_careweb_graph
 
-                graph = build_careweb_graph(self.db)
+                graph = build_careweb_graph(db)
             config = MiningConfig(
                 support_fraction=request.support_fraction,
                 max_length=request.max_length,
                 max_tables=request.max_tables,
             )
             miners = {
-                "one-way": lambda: OneWayMiner(self.db, graph, config),
-                "two-way": lambda: TwoWayMiner(self.db, graph, config),
+                "one-way": lambda: OneWayMiner(db, graph, config),
+                "two-way": lambda: TwoWayMiner(db, graph, config),
                 "bridge": lambda: BridgedMiner(
-                    self.db, graph, config, bridge_length=request.bridge_length
+                    db, graph, config, bridge_length=request.bridge_length
                 ),
             }
             raw = miners[request.algorithm]().mine()
@@ -707,11 +743,22 @@ class AuditService:
         """Infer collaborative groups from the access log (paper Section
         4) and materialize the Groups table in the service's database."""
         self._check_open()
+        db = self.db
+        if isinstance(db, SqlDatabase):
+            raise UnsupportedOperationError(
+                "build_groups() is not available on the SQLite backend",
+                hint=(
+                    "group inference materializes an in-memory Groups table; "
+                    "run it on AuditService.open(source) with the memory "
+                    "backend, save the database, and reopen this service "
+                    "over the updated source"
+                ),
+            )
         from ..groups.hierarchy import build_groups_table, hierarchy_from_log
 
         with self._lock.write_locked():
-            hierarchy, access = hierarchy_from_log(self.db, max_depth=max_depth)
-            build_groups_table(self.db, hierarchy)
+            hierarchy, access = hierarchy_from_log(db, max_depth=max_depth)
+            build_groups_table(db, hierarchy)
             # Groups change what group templates can explain; rebuild.
             self.engine.invalidate_cache()
             if self.config.eager_warm:

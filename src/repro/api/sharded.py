@@ -63,12 +63,12 @@ from ..core.instance import rank_instances
 from ..core.library import TemplateLibrary
 from ..core.scan import LogScanner
 from ..core.template import ExplanationTemplate
+from ..db.backend import AnyDatabase, AnyTable, make_executor
 from ..db.csvio import load_database
 from ..db.database import Database
-from ..db.executor import Executor
 from ..db.optimizer import PlanCache
 from ..db.sharding import partition_by_patient, shard_of
-from ..db.table import Table
+from ..db.sqlbackend import SqlDatabase, open_sql_database, shard_db_path
 from .config import AuditConfig
 from .errors import UnsupportedOperationError
 from .locks import RWLock
@@ -110,7 +110,7 @@ class ShardState:
     """Everything one shard owns: database, engine, monitor, config."""
 
     index: int
-    db: Database
+    db: AnyDatabase
     config: AuditConfig
     engine: ExplanationEngine
     monitor: AccessMonitor
@@ -118,15 +118,25 @@ class ShardState:
 
 def build_shard_state(
     index: int,
-    db: Database,
+    db: AnyDatabase,
     templates: Sequence[ExplanationTemplate],
     config: AuditConfig,
 ) -> ShardState:
     """Construct one shard's engine stack exactly the way
     :class:`~repro.api.AuditService` builds its single-node stack — same
-    executor toggles, a private LRU plan cache, optional eager warm."""
+    executor toggles, a private LRU plan cache, optional eager warm.
+
+    Under ``config.backend == "sqlite"`` the in-memory shard partition is
+    first converted to (or, on restart, reused from) the shard's private
+    SQLite database: ``shard_db_path(config.db_path, index)`` derives one
+    file per shard, and ``None`` keeps each shard in SQLite's private
+    memory.  The conversion runs *here* — inside the worker process for
+    the process executor kind — so every SQLite connection is opened
+    post-fork."""
+    if config.backend == "sqlite" and not isinstance(db, SqlDatabase):
+        db = open_sql_database(db, shard_db_path(config.db_path, index))
     plan_cache = PlanCache(max_size=config.plan_cache_size)
-    executor = Executor(
+    executor = make_executor(
         db,
         distinct_reduction=config.distinct_reduction,
         predicate_pushdown=config.predicate_pushdown,
@@ -154,7 +164,7 @@ def build_shard_state(
     )
 
 
-def _log_columns(state: ShardState) -> tuple[Table, tuple[int, int, int, int]]:
+def _log_columns(state: ShardState) -> tuple[AnyTable, tuple[int, int, int, int]]:
     log = state.db.table(state.config.log_table)
     schema = log.schema
     return log, (
@@ -168,6 +178,14 @@ def _log_columns(state: ShardState) -> tuple[Table, tuple[int, int, int, int]]:
 def _op_ping(state: ShardState) -> int:
     """Force worker start-up (and eager warm) at open time."""
     return state.index
+
+
+def _op_next_lid(state: ShardState) -> int:
+    """The shard monitor's next log id.  On a fresh partition this equals
+    the parent's own counter; after a SQLite restart-reopen a shard file
+    may hold previously ingested rows the (re-partitioned) source never
+    saw, so the parent takes the max over every shard at open time."""
+    return state.monitor._next_lid
 
 
 def _op_counts(state: ShardState) -> tuple[int, int]:
@@ -294,6 +312,7 @@ def _op_stats(state: ShardState) -> dict:
 
 _OPS: dict[str, Callable] = {
     "ping": _op_ping,
+    "next_lid": _op_next_lid,
     "counts": _op_counts,
     "unexplained": _op_unexplained,
     "explain_all": _op_explain_all,
@@ -403,11 +422,19 @@ class ShardedAuditService:
 
     def __init__(
         self,
-        db: Database,
+        db: AnyDatabase,
         templates: Iterable[ExplanationTemplate],
         config: AuditConfig,
         clock: Callable[[], Any] | None = None,
     ) -> None:
+        if isinstance(db, SqlDatabase):
+            raise UnsupportedOperationError(
+                "ShardedAuditService cannot partition a SqlDatabase source",
+                hint="patient-hash partitioning walks an in-memory source; "
+                "open the sharded service over the original Database or CSV "
+                "directory with config.backend='sqlite' and each shard will "
+                "convert its partition into a private SQLite database",
+            )
         #: The source database (frozen at open time — reads and writes
         #: route through the shards; the shard logs, not this object,
         #: are authoritative once ingest begins).
@@ -444,6 +471,9 @@ class ShardedAuditService:
         # Start (and eagerly warm, when configured) every worker now so
         # open() surfaces shard construction errors, not the first query.
         self._scatter("ping")
+        # Reconcile the global id sequence with the shards: a reopened
+        # SQLite shard file may hold ingested rows beyond the source log.
+        self._next_lid = max([self._next_lid, *self._scatter("next_lid")])
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -451,7 +481,7 @@ class ShardedAuditService:
     @classmethod
     def open(
         cls,
-        db: Database | str | os.PathLike,
+        db: AnyDatabase | str | os.PathLike,
         templates: Iterable[ExplanationTemplate]
         | TemplateLibrary
         | str
@@ -461,10 +491,21 @@ class ShardedAuditService:
         clock: Callable[[], Any] | None = None,
     ) -> "ShardedAuditService":
         """Open a sharded service over a database (or CSV directory);
-        ``templates`` forms and defaults match ``AuditService.open``."""
-        if isinstance(db, (str, os.PathLike)):
-            db = load_database(str(db))
+        ``templates`` forms and defaults match ``AuditService.open``.
+
+        The source always loads (or arrives) in memory — patient-hash
+        partitioning walks in-memory tables — and under
+        ``config.backend == "sqlite"`` each shard then converts its
+        partition into a private SQLite database inside
+        :func:`build_shard_state`.  The memory backend's
+        ``max_table_rows`` cap applies to the source load; the SQLite
+        backend lifts it (the in-memory source is transient there)."""
         config = config if config is not None else AuditConfig()
+        if isinstance(db, (str, os.PathLike)):
+            max_rows = (
+                config.max_table_rows if config.backend == "memory" else None
+            )
+            db = load_database(str(db), max_rows=max_rows)
         return cls(db, resolve_templates(db, templates), config, clock=clock)
 
     def close(self) -> None:
@@ -953,7 +994,7 @@ class ShardedAuditService:
 
 
 def open_service(
-    db: Database | str | os.PathLike,
+    db: AnyDatabase | str | os.PathLike,
     templates: Iterable[ExplanationTemplate]
     | TemplateLibrary
     | str

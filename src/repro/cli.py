@@ -23,6 +23,7 @@ Example session::
     repro-audit mine --db hospital/ --support 0.01 --max-length 4
     repro-audit explain --db hospital/ --patient p00017
     repro-audit audit --db hospital/ --json
+    repro-audit audit --db hospital/ --backend sqlite --db-path audit.db
 """
 
 from __future__ import annotations
@@ -148,16 +149,15 @@ def cmd_mine(args: argparse.Namespace) -> int:
 
 def cmd_explain(args: argparse.Namespace) -> int:
     """``explain``: explain one access or render a patient's report."""
-    db = load_database(args.db)
-    templates = _templates_for(db, args.templates)
+    templates = _templates_for(args.db, args.templates)
     if templates is not None:
         # library templates usually carry no description; attach the
         # CareWeb natural-language phrasing so instances render readably
         templates = [with_careweb_description(t) for t in templates]
     service = AuditService.open(
-        db,
+        args.db,
         templates=templates,
-        config=AuditConfig(eager_warm=False),
+        config=AuditConfig(eager_warm=False, **_backend_config(args)),
     )
     if args.patient:
         if args.json:
@@ -197,14 +197,14 @@ def cmd_audit(args: argparse.Namespace) -> int:
     own short lock hold, the preemptable path a busy deployment serves
     over ``GET /v1/scan``.
     """
-    db = load_database(args.db)
     config = AuditConfig(
         use_batch_path=args.batch,
         shards=args.shards,
         executor_kind=args.executor_kind,
+        **_backend_config(args),
     )
     with open_service(
-        db, templates=_templates_for(db, args.templates), config=config
+        args.db, templates=_templates_for(args.db, args.templates), config=config
     ) as service:
         if args.resumable:
             report = service.scan_report(
@@ -233,10 +233,13 @@ def cmd_audit(args: argparse.Namespace) -> int:
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """``evaluate``: the paper's headline coverage measurement."""
-    db = load_database(args.db)
-    config = AuditConfig(shards=args.shards, executor_kind=args.executor_kind)
+    config = AuditConfig(
+        shards=args.shards,
+        executor_kind=args.executor_kind,
+        **_backend_config(args),
+    )
     with open_service(
-        db, templates=_templates_for(db, args.templates), config=config
+        args.db, templates=_templates_for(args.db, args.templates), config=config
     ) as service:
         coverage = service.coverage()
         total = service.stats()["log_rows"]
@@ -263,14 +266,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """
     from .server import run_fleet, serve
 
-    db = load_database(args.db)
     config = AuditConfig(
         shards=args.shards,
         executor_kind=args.executor_kind,
         workers=args.workers,
+        **_backend_config(args),
     )
-    templates = _templates_for(db, args.templates)
+    templates = _templates_for(args.db, args.templates)
+    # The memory backend loads the CSV directory once here (workers fork
+    # the loaded tables); the sqlite backend hands the path through so
+    # the service reuses an existing audited --db-path file or builds a
+    # private in-memory SQLite database per replica.
+    db: str | object = args.db
+    if config.backend == "memory":
+        db = load_database(args.db, max_rows=config.max_table_rows)
     if config.effective_workers > 1:
+        if config.backend == "sqlite" and config.db_path is not None:
+            # Materialize the SQLite file(s) once before forking the
+            # fleet, so replicas reuse instead of racing to ingest.
+            open_service(
+                db, templates=templates, config=config.replace(workers=None)
+            ).close()
         # Each worker opens its own replica post-fork — never share one
         # live service (thread pools, locks, shard subprocesses) across
         # server processes.
@@ -315,6 +331,42 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if forward[:1] == ["--"]:
         forward = forward[1:]
     return lint_main(forward)
+
+
+def _add_backend_args(p: argparse.ArgumentParser) -> None:
+    """The storage-backend knobs shared by explain/audit/evaluate/serve."""
+    p.add_argument(
+        "--backend",
+        choices=["memory", "sqlite"],
+        default="memory",
+        help="storage backend: 'memory' audits in the in-memory columnar "
+        "engine, 'sqlite' compiles explanation templates to SQL and pushes "
+        "them down to SQLite (identical results; lifts the RAM cap)",
+    )
+    p.add_argument(
+        "--db-path",
+        default=None,
+        help="SQLite database file for --backend sqlite (default: private "
+        "in-memory SQLite); an existing audited file is reused without "
+        "re-ingesting, and a sharded service derives one file per shard",
+    )
+    p.add_argument(
+        "--max-table-rows",
+        type=int,
+        default=None,
+        help="row cap per in-memory table under --backend memory (exceeding "
+        "it raises CapacityError pointing at --backend sqlite); default "
+        "uncapped, ignored under --backend sqlite",
+    )
+
+
+def _backend_config(args: argparse.Namespace) -> dict:
+    """AuditConfig kwargs from the :func:`_add_backend_args` flags."""
+    return {
+        "backend": args.backend,
+        "db_path": args.db_path,
+        "max_table_rows": args.max_table_rows,
+    }
 
 
 def _add_sharding_args(p: argparse.ArgumentParser) -> None:
@@ -385,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--patient", help="print this patient's access report")
     p.add_argument("--limit", type=int, default=20)
     p.add_argument("--templates", help="reviewed SQL/JSON template library")
+    _add_backend_args(p)
     p.add_argument(
         "--json", action="store_true", help="print the typed result as JSON"
     )
@@ -395,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=10)
     p.add_argument("--templates", help="reviewed SQL/JSON template library")
     _add_sharding_args(p)
+    _add_backend_args(p)
     p.add_argument(
         "--batch",
         action=argparse.BooleanOptionalAction,
@@ -431,6 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--db", required=True)
     p.add_argument("--templates", help="reviewed SQL/JSON template library")
     _add_sharding_args(p)
+    _add_backend_args(p)
     p.add_argument(
         "--json", action="store_true", help="print coverage as JSON"
     )
@@ -454,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
         "read-only fleet via SO_REUSEPORT with fleet-merged /v1/metrics)",
     )
     _add_sharding_args(p)
+    _add_backend_args(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

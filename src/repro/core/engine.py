@@ -56,8 +56,7 @@ from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 from typing import Any
 
-from ..db.database import Database
-from ..db.executor import Executor
+from ..db.backend import AnyDatabase, ExecutorProtocol, make_executor
 from ..db.query import AttrRef, Condition, ConjunctiveQuery, Literal
 from .instance import ExplanationInstance, rank_instances
 from .template import ExplanationTemplate, dedupe_templates
@@ -99,12 +98,12 @@ class ExplanationEngine:
 
     def __init__(
         self,
-        db: Database,
+        db: AnyDatabase,
         templates: Iterable[ExplanationTemplate] = (),
         log_table: str = "Log",
         log_id_attr: str = "Lid",
         use_batch_path: bool = True,
-        executor: Executor | None = None,
+        executor: ExecutorProtocol | None = None,
         semijoin_batch_min: int = SEMIJOIN_BATCH_MIN,
     ) -> None:
         self.db = db
@@ -113,7 +112,8 @@ class ExplanationEngine:
         #: The executor carries the pipeline toggles (pushdown, distinct
         #: reduction) and the plan cache; pass one in to control them —
         #: ``repro.api.AuditService`` builds it from an AuditConfig.
-        self.executor = executor if executor is not None else Executor(db)
+        #: Defaults to the right executor kind for the database backend.
+        self.executor = executor if executor is not None else make_executor(db)
         #: Batches at least this large take the semijoin delta strategy
         #: when :meth:`notify_appended_many` auto-selects (``AuditConfig.
         #: semijoin_batch_min`` routes here).

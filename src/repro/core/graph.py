@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from ..db.database import Database
+from ..db.backend import AnyDatabase
 from ..db.errors import SchemaError, UnknownColumnError
 from .edges import EdgeKind, SchemaAttr, SchemaEdge
 
@@ -41,7 +41,7 @@ class SchemaGraph:
 
     def __init__(
         self,
-        db: Database,
+        db: AnyDatabase,
         log_table: str = "Log",
         start_attr: str = "Patient",
         end_attr: str = "User",

@@ -11,11 +11,19 @@ needs from its DBMS:
 * optimizer cardinality estimates for the skip-non-selective-paths
   optimization (:mod:`.optimizer`);
 * SQL rendering of templates for display (:mod:`.sql`) and CSV interchange
-  (:mod:`.csvio`).
+  (:mod:`.csvio`);
+* a pluggable SQL storage backend (:mod:`.backend`, :mod:`.dialect`,
+  :mod:`.sqlbackend`, :mod:`.drivers`) that compiles the same template
+  queries to parameterized SQL — SQLite first — so audits are not capped
+  by RAM (see ``docs/architecture.md``).
 """
 
+from .backend import AnyDatabase, AnyTable, Driver, ExecutorProtocol, make_executor
 from .database import Database
+from .dialect import CompiledQuery
+from .drivers import SqliteDriver
 from .errors import (
+    CapacityError,
     DatabaseError,
     IntegrityError,
     QueryError,
@@ -45,19 +53,32 @@ from .schema import Column, ColumnType, ForeignKey, TableSchema
 from .sharding import partition_by_patient, shard_of, shard_row_counts
 from .parser import parse_query, template_from_sql
 from .sql import render_query, render_query_reduced
+from .sqlbackend import (
+    SqlDatabase,
+    SqlExecutor,
+    SqlTable,
+    open_sql_database,
+    shard_db_path,
+)
 from .table import Table
 from .csvio import load_database, read_table_csv, save_database, write_table_csv
 
 __all__ = [
+    "AnyDatabase",
+    "AnyTable",
     "AttrRef",
+    "CapacityError",
     "CardinalityEstimator",
     "Column",
     "ColumnType",
+    "CompiledQuery",
     "Condition",
     "ConjunctiveQuery",
     "Database",
     "DatabaseError",
+    "Driver",
     "Executor",
+    "ExecutorProtocol",
     "ForeignKey",
     "IntegrityError",
     "Literal",
@@ -66,12 +87,19 @@ __all__ = [
     "QueryPlan",
     "QueryResult",
     "SchemaError",
+    "SqlDatabase",
+    "SqlExecutor",
+    "SqlTable",
+    "SqliteDriver",
     "Table",
     "TableSchema",
     "TupleVar",
     "UnknownColumnError",
     "UnknownTableError",
     "build_plan",
+    "make_executor",
+    "open_sql_database",
+    "shard_db_path",
     "canonical_query_signature",
     "explain_query",
     "extract_point_predicates",

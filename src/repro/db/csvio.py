@@ -39,24 +39,38 @@ def write_table_csv(table: Table, path: str) -> int:
     return len(table)
 
 
-def read_table_csv(schema: TableSchema, path: str) -> Table:
-    """Load a CSV (with header) into a new table conforming to ``schema``."""
-    table = Table(schema)
+def iter_table_csv(schema: TableSchema, path: str):
+    """Stream a CSV (with header) as parsed row lists, one at a time.
+
+    This is the allocation-light path the SQLite opener uses to ingest a
+    log bigger than RAM: rows are parsed and yielded without ever
+    building a :class:`Table`.  Validation is the consumer's job.
+    """
     with open(path, newline="") as fh:
         reader = csv.reader(fh)
         header = next(reader, None)
         if header is None:
-            return table
+            return
         if tuple(header) != schema.column_names:
             raise SchemaError(
                 f"CSV header {header} does not match schema "
                 f"{list(schema.column_names)} for table {schema.name!r}"
             )
         for raw in reader:
-            values = [
-                col.ctype.parse(cell) for col, cell in zip(schema.columns, raw)
-            ]
-            table.insert(values)
+            yield [col.ctype.parse(cell) for col, cell in zip(schema.columns, raw)]
+
+
+def read_table_csv(
+    schema: TableSchema, path: str, *, max_rows: int | None = None
+) -> Table:
+    """Load a CSV (with header) into a new table conforming to ``schema``.
+
+    ``max_rows`` caps the table (see :class:`Table`); exceeding it raises
+    :class:`~repro.db.errors.CapacityError` mid-load.
+    """
+    table = Table(schema, max_rows=max_rows)
+    for values in iter_table_csv(schema, path):
+        table.insert(values)
     return table
 
 
@@ -103,18 +117,30 @@ def save_database(db: Database, directory: str) -> None:
         write_table_csv(table, os.path.join(directory, f"{table.schema.name}.csv"))
 
 
-def load_database(directory: str) -> Database:
-    """Load a database previously written by :func:`save_database`."""
+def read_manifest(directory: str) -> tuple[str, list[TableSchema]]:
+    """The database name and table schemas of a saved database directory."""
     with open(os.path.join(directory, "_schema.json")) as fh:
         manifest = json.load(fh)
-    db = Database(manifest.get("name", "db"))
+    name = manifest.get("name", "db")
+    return name, [_schema_from_json(blob) for blob in manifest["tables"]]
+
+
+def load_database(directory: str, *, max_rows: int | None = None) -> Database:
+    """Load a database previously written by :func:`save_database`.
+
+    ``max_rows`` caps every table (the in-memory backend's explicit RAM
+    ceiling — the CLI's ``--max-table-rows``); a directory whose log
+    exceeds it raises :class:`~repro.db.errors.CapacityError` and should
+    be audited with ``--backend sqlite`` instead.
+    """
+    name, schemas = read_manifest(directory)
+    db = Database(name)
     # two passes so FK targets exist before FK owners are validated
-    schemas = [_schema_from_json(blob) for blob in manifest["tables"]]
     for schema in schemas:
-        db.add_table(Table(schema))
+        db.add_table(Table(schema, max_rows=max_rows))
     for schema in schemas:
         path = os.path.join(directory, f"{schema.name}.csv")
-        loaded = read_table_csv(schema, path)
         target = db.table(schema.name)
-        target.insert_many(loaded.rows())
+        for values in iter_table_csv(schema, path):
+            target.insert(values)
     return db

@@ -78,6 +78,11 @@ class Database:
     def __len__(self) -> int:
         return len(self._tables)
 
+    def close(self) -> None:
+        """Release backing resources — a no-op for the in-memory catalog,
+        present so both backends share one lifecycle surface (the SQLite
+        :class:`~repro.db.sqlbackend.SqlDatabase` closes its driver)."""
+
     # ------------------------------------------------------------------
     # introspection / validation
     # ------------------------------------------------------------------

@@ -1,0 +1,13 @@
+"""Per-backend storage drivers for the SQL execution tier.
+
+Each driver implements the :class:`repro.db.backend.Driver` contract
+(connect / ingest_many / execute / execute_batch / snapshot_stats) for
+one engine.  :class:`~repro.db.drivers.sqlite.SqliteDriver` (stdlib
+``sqlite3``) ships first; the contract is deliberately shaped so a
+Postgres or ClickHouse driver only has to swap connection handling and
+the placeholder dialect.
+"""
+
+from .sqlite import SqliteDriver
+
+__all__ = ["SqliteDriver"]

@@ -42,6 +42,15 @@ class IntegrityError(DatabaseError):
     """A row violates a declared constraint (arity, type, nullability)."""
 
 
+class CapacityError(IntegrityError):
+    """An insert would exceed a table's configured row cap.
+
+    Raised only by the in-memory :class:`~repro.db.table.Table` when it
+    was built with ``max_rows``; SQL-backed tables have no cap (that is
+    the point of the SQLite backend — see ``AuditConfig.backend``).
+    """
+
+
 class QueryError(DatabaseError):
     """A query is malformed: unknown alias, unbound attribute, bad operator,
     or a disconnected join graph that would require a cartesian product."""

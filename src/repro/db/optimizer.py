@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import Any
 
 from .database import Database
 from .errors import QueryError
@@ -136,7 +137,12 @@ def query_shape(query: ConjunctiveQuery) -> tuple:
 
 
 class PlanCache:
-    """Memoized :class:`QueryPlan` objects keyed on query shape + config.
+    """Memoized plan objects keyed on query shape + config.
+
+    Entries are :class:`QueryPlan` objects for the in-memory executor
+    and :class:`~repro.db.dialect.CompiledQuery` objects for the SQL
+    executor (whose keys carry a ``"sql"`` tag, so the two executors
+    never collide in a shared cache).
 
     Shared by default across every :class:`~repro.db.executor.Executor`
     (engine, support evaluator, monitor all reuse one cache), so repeated
@@ -152,12 +158,12 @@ class PlanCache:
         if max_size < 1:
             raise ValueError("max_size must be >= 1")
         self.max_size = max_size
-        self._plans: dict[tuple, QueryPlan] = {}
+        self._plans: dict[tuple, Any] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
-    def lookup(self, key: tuple) -> QueryPlan | None:
+    def lookup(self, key: tuple) -> Any | None:
         """The cached plan for ``key``, counting the hit/miss.
 
         A hit moves the entry to most-recently-used position.
@@ -171,7 +177,7 @@ class PlanCache:
                 self._plans[key] = plan
             return plan
 
-    def store(self, key: tuple, plan: QueryPlan) -> None:
+    def store(self, key: tuple, plan: Any) -> None:
         """Memoize one plan, evicting the LRU entry when full."""
         with self._lock:
             if key not in self._plans and len(self._plans) >= self.max_size:

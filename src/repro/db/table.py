@@ -44,7 +44,7 @@ from array import array
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from typing import Any
 
-from .errors import IntegrityError, UnknownColumnError
+from .errors import CapacityError, IntegrityError, UnknownColumnError
 from .schema import ColumnType, TableSchema
 
 #: Sentinel for "no typed mirror possible" in the int-array cache, so a
@@ -52,11 +52,63 @@ from .schema import ColumnType, TableSchema
 _NO_TYPED_MIRROR = object()
 
 
-class Table:
-    """A mutable, in-memory relation conforming to a :class:`TableSchema`."""
+def coerce_row(schema: TableSchema, row: Sequence[Any] | Mapping[str, Any]) -> tuple:
+    """Normalize a positional or mapping row to a schema-ordered tuple.
 
-    def __init__(self, schema: TableSchema) -> None:
+    Mapping rows fill absent columns with ``None`` and reject unknown
+    keys; positional rows must match the schema arity exactly.  Shared
+    by the in-memory :class:`Table` and the SQL-backed table so both
+    backends reject malformed rows with identical errors.
+    """
+    if isinstance(row, Mapping):
+        values = []
+        for col in schema.columns:
+            if col.name in row:
+                values.append(row[col.name])
+            else:
+                values.append(None)
+        extra = set(row) - set(schema.column_names)
+        if extra:
+            raise UnknownColumnError(schema.name, sorted(extra)[0])
+        return tuple(values)
+    tup = tuple(row)
+    if len(tup) != schema.arity():
+        raise IntegrityError(
+            f"table {schema.name!r} expects {schema.arity()} values, got {len(tup)}"
+        )
+    return tup
+
+
+def validate_row(schema: TableSchema, tup: tuple) -> None:
+    """Check one schema-ordered tuple against type/nullability constraints.
+
+    Raises :class:`IntegrityError` with the same messages regardless of
+    which storage backend the row is headed for — constraint checking
+    stays in the Python tier so SQLite (with its lax column affinity)
+    cannot accept a row the in-memory engine would reject.
+    """
+    for col, value in zip(schema.columns, tup):
+        if value is None and not col.nullable:
+            raise IntegrityError(f"column {schema.name}.{col.name} is NOT NULL")
+        if not col.ctype.validate(value):
+            raise IntegrityError(
+                f"column {schema.name}.{col.name} expects "
+                f"{col.ctype.value}, got {type(value).__name__}: {value!r}"
+            )
+
+
+class Table:
+    """A mutable, in-memory relation conforming to a :class:`TableSchema`.
+
+    ``max_rows`` (keyword-only) caps the table's size: an insert that
+    would exceed it raises :class:`CapacityError`.  The audit CLI uses
+    this to make the in-memory backend's RAM ceiling explicit — logs
+    beyond the cap must be audited via the SQLite backend.
+    """
+
+    def __init__(self, schema: TableSchema, *, max_rows: int | None = None) -> None:
         self.schema = schema
+        self.max_rows = max_rows
         self._rows: list[tuple] = []
         #: column -> [values in row order] (the columnar mirror)
         self._column_store: dict[str, list[Any]] = {}
@@ -90,6 +142,11 @@ class Table:
         """
         tup = self._coerce(row)
         self._validate(tup)
+        if self.max_rows is not None and len(self._rows) >= self.max_rows:
+            raise CapacityError(
+                f"table {self.schema.name!r} is capped at {self.max_rows} rows; "
+                "audit larger logs with the SQLite backend (--backend sqlite)"
+            )
         pos = len(self._rows)
         self._rows.append(tup)
         self._apply_insert(pos, tup)
@@ -122,36 +179,10 @@ class Table:
         self._invalidate()
 
     def _coerce(self, row: Sequence[Any] | Mapping[str, Any]) -> tuple:
-        if isinstance(row, Mapping):
-            values = []
-            for col in self.schema.columns:
-                if col.name in row:
-                    values.append(row[col.name])
-                else:
-                    values.append(None)
-            extra = set(row) - set(self.schema.column_names)
-            if extra:
-                raise UnknownColumnError(self.schema.name, sorted(extra)[0])
-            return tuple(values)
-        tup = tuple(row)
-        if len(tup) != self.schema.arity():
-            raise IntegrityError(
-                f"table {self.schema.name!r} expects {self.schema.arity()} "
-                f"values, got {len(tup)}"
-            )
-        return tup
+        return coerce_row(self.schema, row)
 
     def _validate(self, tup: tuple) -> None:
-        for col, value in zip(self.schema.columns, tup):
-            if value is None and not col.nullable:
-                raise IntegrityError(
-                    f"column {self.schema.name}.{col.name} is NOT NULL"
-                )
-            if not col.ctype.validate(value):
-                raise IntegrityError(
-                    f"column {self.schema.name}.{col.name} expects "
-                    f"{col.ctype.value}, got {type(value).__name__}: {value!r}"
-                )
+        validate_row(self.schema, tup)
 
     def _apply_insert(self, pos: int, tup: tuple) -> None:
         """Patch every cached structure with one appended row (delta insert)."""

@@ -26,6 +26,7 @@ from itertools import combinations
 
 from ..core.edges import SchemaAttr
 from ..core.graph import SchemaGraph
+from ..db.backend import AnyDatabase
 from ..db.database import Database
 from ..db.schema import ColumnType, ForeignKey, TableSchema
 
@@ -122,7 +123,7 @@ def build_empty_careweb_db(name: str = "careweb") -> Database:
 
 
 def build_careweb_graph(
-    db: Database,
+    db: AnyDatabase,
     allow_log_self_joins: bool = False,
     max_tables_uncounted: tuple[str, ...] = (),
 ) -> SchemaGraph:

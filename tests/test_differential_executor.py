@@ -5,8 +5,10 @@ query's tuple variables with nested loops and applies SQL three-valued
 comparison semantics directly — no indexes, no distinct reduction, no
 pushdown, no join ordering.  Every executor configuration (with and
 without ``distinct_reduction``, with and without ``predicate_pushdown``)
-must produce the same multiset of projected rows on several hundred
-seeded random conjunctive queries, including NULL join/comparison cases.
+on every storage backend (the in-memory engine and the template-to-SQL
+SQLite pushdown, via :func:`repro.db.make_executor`) must produce the
+same multiset of projected rows on several hundred seeded random
+conjunctive queries, including NULL join/comparison cases.
 
 The batch-vs-point suite extends the same treatment to the set-at-a-time
 path: ``Executor.distinct_values_in`` (one batch semijoin) must equal
@@ -31,10 +33,11 @@ from repro.db import (
     Condition,
     ConjunctiveQuery,
     Database,
-    Executor,
     Literal,
     TableSchema,
     TupleVar,
+    make_executor,
+    open_sql_database,
 )
 
 _OPS = {
@@ -48,6 +51,47 @@ _OPS = {
 
 #: (distinct_reduction, predicate_pushdown) — every pipeline configuration.
 CONFIGS = [(True, True), (True, False), (False, True), (False, False)]
+
+#: Storage backends under differential test: the in-memory columnar
+#: engine and the template-to-SQL pushdown over SQLite.
+BACKENDS = ["memory", "sqlite"]
+
+
+def sql_twin(db: Database):
+    """The same data as a private in-memory SQLite database (converted
+    once per source database and cached on it)."""
+    twin = getattr(db, "_sql_twin", None)
+    if twin is None:
+        twin = open_sql_database(db, None)
+        db._sql_twin = twin
+    return twin
+
+
+def backend_db(db: Database, backend: str):
+    return db if backend == "memory" else sql_twin(db)
+
+
+def all_executors(db: Database, **kw):
+    """One executor per (backend, distinct_reduction, pushdown) triple,
+    each yielded with a mismatch-message label."""
+    for distinct_reduction, pushdown in CONFIGS:
+        for backend in BACKENDS:
+            yield (
+                f"backend={backend}, "
+                f"distinct_reduction={distinct_reduction}, "
+                f"pushdown={pushdown}",
+                make_executor(
+                    backend_db(db, backend),
+                    distinct_reduction=distinct_reduction,
+                    predicate_pushdown=pushdown,
+                    **kw,
+                ),
+            )
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
 
 
 def sql_compare(op: str, left, right) -> bool:
@@ -156,18 +200,9 @@ def random_query(
 
 def assert_matches_reference(db: Database, query: ConjunctiveQuery, **kw) -> None:
     expected = Counter(reference_evaluate(db, query))
-    for distinct_reduction, pushdown in CONFIGS:
-        executor = Executor(
-            db,
-            distinct_reduction=distinct_reduction,
-            predicate_pushdown=pushdown,
-            **kw,
-        )
+    for label, executor in all_executors(db, **kw):
         got = Counter(executor.execute(query).rows)
-        assert got == expected, (
-            f"mismatch (distinct_reduction={distinct_reduction}, "
-            f"pushdown={pushdown}) for query:\n{query}"
-        )
+        assert got == expected, f"mismatch ({label}) for query:\n{query}"
 
 
 # ----------------------------------------------------------------------
@@ -211,13 +246,8 @@ def test_random_count_distinct_matches_reference(seed):
                 )
             }
         )
-        for distinct_reduction, pushdown in CONFIGS:
-            executor = Executor(
-                db,
-                distinct_reduction=distinct_reduction,
-                predicate_pushdown=pushdown,
-            )
-            assert executor.count_distinct(query, target) == expected
+        for label, executor in all_executors(db):
+            assert executor.count_distinct(query, target) == expected, label
 
 
 # ----------------------------------------------------------------------
@@ -245,9 +275,11 @@ def _join_query(distinct=True, extra=()):
 
 
 @pytest.mark.parametrize("distinct_reduction,pushdown", CONFIGS)
-def test_null_join_keys_never_match(null_db, distinct_reduction, pushdown):
-    executor = Executor(
-        null_db, distinct_reduction=distinct_reduction, predicate_pushdown=pushdown
+def test_null_join_keys_never_match(null_db, backend, distinct_reduction, pushdown):
+    executor = make_executor(
+        backend_db(null_db, backend),
+        distinct_reduction=distinct_reduction,
+        predicate_pushdown=pushdown,
     )
     rows = set(executor.execute(_join_query()).rows)
     # the NULL-keyed rows on either side must not pair up
@@ -256,9 +288,13 @@ def test_null_join_keys_never_match(null_db, distinct_reduction, pushdown):
 
 
 @pytest.mark.parametrize("distinct_reduction,pushdown", CONFIGS)
-def test_equals_null_literal_is_unsatisfiable(null_db, distinct_reduction, pushdown):
-    executor = Executor(
-        null_db, distinct_reduction=distinct_reduction, predicate_pushdown=pushdown
+def test_equals_null_literal_is_unsatisfiable(
+    null_db, backend, distinct_reduction, pushdown
+):
+    executor = make_executor(
+        backend_db(null_db, backend),
+        distinct_reduction=distinct_reduction,
+        predicate_pushdown=pushdown,
     )
     query = _join_query(extra=(Condition(AttrRef("A", "k"), "=", Literal(None)),))
     assert executor.execute(query).rows == []
@@ -266,9 +302,11 @@ def test_equals_null_literal_is_unsatisfiable(null_db, distinct_reduction, pushd
 
 
 @pytest.mark.parametrize("distinct_reduction,pushdown", CONFIGS)
-def test_not_equals_never_matches_null(null_db, distinct_reduction, pushdown):
-    executor = Executor(
-        null_db, distinct_reduction=distinct_reduction, predicate_pushdown=pushdown
+def test_not_equals_never_matches_null(null_db, backend, distinct_reduction, pushdown):
+    executor = make_executor(
+        backend_db(null_db, backend),
+        distinct_reduction=distinct_reduction,
+        predicate_pushdown=pushdown,
     )
     query = _join_query(extra=(Condition(AttrRef("A", "x"), "!=", Literal(20)),))
     rows = set(executor.execute(query).rows)
@@ -278,8 +316,10 @@ def test_not_equals_never_matches_null(null_db, distinct_reduction, pushdown):
 
 
 @pytest.mark.parametrize("pushdown", [True, False])
-def test_point_predicate_agrees_with_filter_path(null_db, pushdown):
-    executor = Executor(null_db, predicate_pushdown=pushdown)
+def test_point_predicate_agrees_with_filter_path(null_db, backend, pushdown):
+    executor = make_executor(
+        backend_db(null_db, backend), predicate_pushdown=pushdown
+    )
     query = _join_query(extra=(Condition(AttrRef("B", "k"), "=", Literal(2)),))
     assert set(executor.execute(query).rows) == {(None, 300), (40, 300)}
 
@@ -320,23 +360,14 @@ def point_union_distinct(executor, query, attr, in_attr, values) -> set:
 
 def assert_batch_matches_point(db, query, attr, in_attr, values, **kw):
     expected = reference_distinct_in(db, query, attr, in_attr, values)
-    for distinct_reduction, pushdown in CONFIGS:
-        executor = Executor(
-            db,
-            distinct_reduction=distinct_reduction,
-            predicate_pushdown=pushdown,
-            **kw,
-        )
+    for label, executor in all_executors(db, **kw):
         batch = executor.distinct_values_in(query, attr, in_attr, values)
         assert batch == expected, (
-            f"batch != reference (distinct_reduction={distinct_reduction}, "
-            f"pushdown={pushdown}, in={sorted(values, key=repr)}) for:\n{query}"
+            f"batch != reference ({label}, "
+            f"in={sorted(values, key=repr)}) for:\n{query}"
         )
         union = point_union_distinct(executor, query, attr, in_attr, values)
-        assert batch == union, (
-            f"batch != point union (distinct_reduction={distinct_reduction}, "
-            f"pushdown={pushdown}) for:\n{query}"
-        )
+        assert batch == union, f"batch != point union ({label}) for:\n{query}"
 
 
 @pytest.mark.parametrize("seed", range(12))
@@ -362,22 +393,19 @@ def test_random_batch_semijoin_on_projected_attr(seed):
         query = random_query(rng, db)
         attr = query.projection[0]
         values = {rng.choice(VALUE_DOMAIN) for _ in range(rng.randrange(1, 5))}
-        for distinct_reduction, pushdown in CONFIGS:
-            executor = Executor(
-                db,
-                distinct_reduction=distinct_reduction,
-                predicate_pushdown=pushdown,
-            )
+        for label, executor in all_executors(db):
             batch = executor.distinct_values_in(query, attr, attr, values)
             full = executor.distinct_values(query, attr)
-            assert batch == full & {v for v in values if v is not None}
+            assert batch == full & {v for v in values if v is not None}, label
 
 
 @pytest.mark.parametrize("distinct_reduction,pushdown", CONFIGS)
-def test_batch_semijoin_null_join_keys(null_db, distinct_reduction, pushdown):
+def test_batch_semijoin_null_join_keys(null_db, backend, distinct_reduction, pushdown):
     """NULL join keys and NULL binding values never match."""
-    executor = Executor(
-        null_db, distinct_reduction=distinct_reduction, predicate_pushdown=pushdown
+    executor = make_executor(
+        backend_db(null_db, backend),
+        distinct_reduction=distinct_reduction,
+        predicate_pushdown=pushdown,
     )
     query = _join_query()
     got = executor.distinct_values_in(
@@ -391,10 +419,12 @@ def test_batch_semijoin_null_join_keys(null_db, distinct_reduction, pushdown):
 
 
 @pytest.mark.parametrize("distinct_reduction,pushdown", CONFIGS)
-def test_batch_semijoin_edge_batches(null_db, distinct_reduction, pushdown):
+def test_batch_semijoin_edge_batches(null_db, backend, distinct_reduction, pushdown):
     """Empty and single-value batches (the degenerate point-query case)."""
-    executor = Executor(
-        null_db, distinct_reduction=distinct_reduction, predicate_pushdown=pushdown
+    executor = make_executor(
+        backend_db(null_db, backend),
+        distinct_reduction=distinct_reduction,
+        predicate_pushdown=pushdown,
     )
     query = _join_query()
     attr, in_attr = AttrRef("A", "x"), AttrRef("A", "k")
@@ -407,11 +437,13 @@ def test_batch_semijoin_edge_batches(null_db, distinct_reduction, pushdown):
 
 @pytest.mark.parametrize("distinct_reduction,pushdown", CONFIGS)
 def test_batch_semijoin_composes_with_point_pushdown(
-    null_db, distinct_reduction, pushdown
+    null_db, backend, distinct_reduction, pushdown
 ):
     """An IN-restriction on an alias that also carries a point predicate."""
-    executor = Executor(
-        null_db, distinct_reduction=distinct_reduction, predicate_pushdown=pushdown
+    executor = make_executor(
+        backend_db(null_db, backend),
+        distinct_reduction=distinct_reduction,
+        predicate_pushdown=pushdown,
     )
     query = _join_query(extra=(Condition(AttrRef("A", "k"), "=", Literal(2)),))
     got = executor.distinct_values_in(
@@ -420,8 +452,8 @@ def test_batch_semijoin_composes_with_point_pushdown(
     assert got == {40}
 
 
-def test_batch_semijoin_counts_as_one_query(null_db):
-    executor = Executor(null_db)
+def test_batch_semijoin_counts_as_one_query(null_db, backend):
+    executor = make_executor(backend_db(null_db, backend))
     before = executor.queries_executed
     executor.distinct_values_in(
         _join_query(), AttrRef("A", "x"), AttrRef("A", "k"), {1, 2, 3, 4}
@@ -434,10 +466,5 @@ def test_non_distinct_preserves_multiplicity(null_db):
     query = _join_query(distinct=False)
     expected = Counter(reference_evaluate(null_db, query))
     assert max(expected.values()) >= 2  # the duplicated (1, 10) row
-    for distinct_reduction, pushdown in CONFIGS:
-        executor = Executor(
-            null_db,
-            distinct_reduction=distinct_reduction,
-            predicate_pushdown=pushdown,
-        )
-        assert Counter(executor.execute(query).rows) == expected
+    for label, executor in all_executors(null_db):
+        assert Counter(executor.execute(query).rows) == expected, label

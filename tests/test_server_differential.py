@@ -30,16 +30,24 @@ from repro.server import AuditServer, dump_json
 
 SHARD_COUNTS = (1, 2)
 
+#: Every served deployment shape: shard counts {1, 2} on both storage
+#: backends (the sqlite worlds serve template-to-SQL pushdown executors).
+WORLDS = [
+    (shards, backend)
+    for backend in ("memory", "sqlite")
+    for shards in SHARD_COUNTS
+]
+
 #: Fixed clock => both the served service and the in-process twin stamp
 #: ingested accesses identically.
 FROZEN_NOW = dt.datetime(2010, 1, 9, 12, 0, 0)
 
 
-def _open_service(shards: int):
+def _open_service(shards: int, backend: str = "memory"):
     db = simulate(SimulationConfig.tiny(seed=7)).db
     return open_service(
         db,
-        config=AuditConfig(shards=shards),
+        config=AuditConfig(shards=shards, backend=backend),
         clock=lambda: FROZEN_NOW,
     )
 
@@ -47,10 +55,11 @@ def _open_service(shards: int):
 class World:
     """One served service + client + an identical in-process twin."""
 
-    def __init__(self, shards: int) -> None:
+    def __init__(self, shards: int, backend: str) -> None:
         self.shards = shards
-        self.service = _open_service(shards)
-        self.twin = _open_service(shards)
+        self.backend = backend
+        self.service = _open_service(shards, backend)
+        self.twin = _open_service(shards, backend)
         self.server = AuditServer(self.service, port=0).start()
         self.client = AuditClient(self.server.host, self.server.port)
 
@@ -61,9 +70,13 @@ class World:
         self.twin.close()
 
 
-@pytest.fixture(scope="module", params=SHARD_COUNTS)
+@pytest.fixture(
+    scope="module",
+    params=WORLDS,
+    ids=[f"shards{s}-{b}" for s, b in WORLDS],
+)
 def world(request):
-    w = World(request.param)
+    w = World(*request.param)
     yield w
     w.close()
 

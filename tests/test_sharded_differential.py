@@ -7,6 +7,10 @@ byte-identical (via ``to_dict()`` / set equality) to ``AuditService``
 over the same database — for explain_all, coverage, reports, per-access
 explanation, mining support — and stay identical after incremental
 ``ingest_many``/``ingest`` with parent-assigned global log ids.
+
+The SQLite storage backend rides the same treatment: at shards {1, 2}
+(``open_service`` builds the single-node service at 1) every read and
+ingest surface must match the in-memory reference byte-identically.
 """
 
 import datetime as dt
@@ -100,6 +104,53 @@ def test_sharded_reads_identical(reference, shards, kind):
         assert sharded.support_many(templates) == reference.support_many(templates)
         # template sets agree
         assert sharded.templates() == reference.templates()
+
+
+@pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+@pytest.mark.parametrize("shards", (1, 2))
+def test_sqlite_backend_sharded_reads_identical(reference, shards, kind):
+    """The SQLite backend under sharding: every shard converts its
+    partition to a private (in-memory) SQLite database, and every read
+    surface stays byte-identical to the single-node memory service."""
+    config = AuditConfig(shards=shards, executor_kind=kind, backend="sqlite")
+    with open_service(_fresh_db(), config=config) as service:
+        assert service.coverage() == reference.coverage()
+        assert service.unexplained_lids() == reference.unexplained_lids()
+        ours = service.explain_all()
+        theirs = reference.explain_all()
+        assert ours.explained == theirs.explained
+        assert ours.unexplained == theirs.unexplained
+        assert service.report().to_dict() == reference.report().to_dict()
+        for patient in _sample_patients(reference.db, k=2):
+            assert (
+                service.patient_report(patient).to_dict()
+                == reference.patient_report(patient).to_dict()
+            )
+        for lid in (1, 2, 10**9):
+            assert service.explain(lid).to_dict() == reference.explain(lid).to_dict()
+        templates = list(reference.templates())[:4]
+        assert service.support_many(templates) == reference.support_many(templates)
+
+
+@pytest.mark.parametrize("shards", (1, 2))
+def test_sqlite_backend_sharded_ingest_identical(shards):
+    """Ingest through the SQLite backend (single-node and sharded)
+    matches the memory reference: ids, dates, explanations, alerts."""
+    base = AuditService.open(_fresh_db(), clock=_ticking_clock())
+    config = AuditConfig(shards=shards, backend="sqlite")
+    with open_service(
+        _fresh_db(), config=config, clock=_ticking_clock()
+    ) as service:
+        patients = _sample_patients(base.db, k=3) + ["brand-new-patient"]
+        batch = [
+            (f"u{i % 2:04d}", patients[i % len(patients)], None)
+            for i in range(8)
+        ]
+        ours = [r.to_dict() for r in service.ingest_many(batch)]
+        theirs = [r.to_dict() for r in base.ingest_many(batch)]
+        assert ours == theirs
+        assert service.coverage() == base.coverage()
+        assert service.report().to_dict() == base.report().to_dict()
 
 
 @pytest.mark.parametrize("kind", EXECUTOR_KINDS)

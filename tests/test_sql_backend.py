@@ -1,0 +1,420 @@
+"""The SQLite storage backend: dialect, driver, catalog, and lifecycle.
+
+The differential suites pin the SQL pushdown executor byte-identical to
+the in-memory engine and the brute-force oracle; this module covers the
+directed surfaces around that core:
+
+* value round-trips (DATE/BOOL column decoding) and NULL semantics of
+  the :class:`~repro.db.sqlbackend.SqlTable` catalog mirror;
+* validation-error parity with the in-memory :class:`~repro.db.Table`
+  (same exception types, same messages, same partial-insert prefix);
+* the :class:`~repro.db.SqliteDriver` contract — lazy connection,
+  chunked batch-``IN`` pushdown beyond ``MAX_BATCH_PARAMS``, ingest
+  accounting, idempotent close;
+* template-to-SQL compilation shapes (multiplicity-preserving counts,
+  the ``IN``-marker semijoin) and plan-cache memoization;
+* restart-reopen of file-backed databases — single-node and sharded
+  (per-shard files, global log-id reconciliation);
+* the memory backend's explicit row cap (:class:`~repro.db.CapacityError`)
+  and the CLI path that audits past it with ``--backend sqlite``.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.api import (
+    AuditConfig,
+    AuditService,
+    CapacityError,
+    MineRequest,
+    ShardedAuditService,
+    UnsupportedOperationError,
+    open_service,
+    open_sql_database,
+    save_database,
+)
+from repro.db import (
+    AttrRef,
+    ColumnType,
+    Condition,
+    ConjunctiveQuery,
+    Database,
+    Executor,
+    Literal,
+    PlanCache,
+    QueryError,
+    SchemaError,
+    SqlDatabase,
+    SqlExecutor,
+    SqliteDriver,
+    Table,
+    TableSchema,
+    TupleVar,
+    UnknownColumnError,
+    make_executor,
+    shard_db_path,
+)
+from repro.db.dialect import (
+    IN_MARKER,
+    compile_count_distinct,
+    compile_distinct_values_in,
+)
+from repro.db.drivers.sqlite import MAX_BATCH_PARAMS
+from repro.ehr import SimulationConfig, simulate
+
+MIXED_SCHEMA = TableSchema.build(
+    "T",
+    [("k", ColumnType.INT), ("d", ColumnType.DATE), ("b", ColumnType.BOOL)],
+)
+
+STAMP = dt.datetime(2026, 3, 4, 5, 6, 7)
+
+
+def _fresh_db():
+    return simulate(SimulationConfig.tiny(seed=7)).db
+
+
+def _mixed_tables():
+    """The same mixed-type table on both backends."""
+    mem = Database("twin").create_table(MIXED_SCHEMA)
+    sql = SqlDatabase(SqliteDriver(None), name="twin").create_table(MIXED_SCHEMA)
+    return mem, sql
+
+
+# ----------------------------------------------------------------------
+# SqlTable: value round-trips, NULL semantics, error parity
+# ----------------------------------------------------------------------
+class TestSqlTable:
+    def test_date_and_bool_round_trip(self):
+        _, sql = _mixed_tables()
+        sql.insert_many([(1, STAMP, True), (2, None, False)])
+        rows = sql.rows()
+        assert rows == [(1, STAMP, True), (2, None, False)]
+        assert isinstance(rows[0][1], dt.datetime)
+        assert rows[0][2] is True and rows[1][2] is False
+
+    def test_null_lookup_and_distinct(self):
+        _, sql = _mixed_tables()
+        sql.insert_many([(1, STAMP, True), (None, STAMP, None), (1, None, False)])
+        # lookup(col, None) selects the NULL rows, like the in-memory index
+        assert sql.lookup("k", None) == [(None, STAMP, None)]
+        assert sql.lookup("k", 1) == [(1, STAMP, True), (1, None, False)]
+        # distinct_values excludes NULL (the FK-validation contract)
+        assert sql.distinct_values("k") == {1}
+        assert sql.ndv("k") == 1
+        assert sql.column_values("k") == [1, None, 1]
+        assert len(sql) == 3
+
+    def test_rows_keep_insertion_order(self):
+        _, sql = _mixed_tables()
+        sql.insert_many([(i, None, None) for i in (5, 3, 9)])
+        assert [r[0] for r in sql] == [5, 3, 9]
+        sql.clear()
+        assert len(sql) == 0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            (1,),  # arity
+            {"k": 1, "zzz": 2},  # unknown column
+            ("x", None, None),  # type mismatch
+        ],
+    )
+    def test_validation_errors_match_memory(self, bad):
+        mem, sql = _mixed_tables()
+        with pytest.raises(Exception) as from_mem:
+            mem.insert(bad)
+        with pytest.raises(Exception) as from_sql:
+            sql.insert(bad)
+        assert type(from_sql.value) is type(from_mem.value)
+        assert str(from_sql.value) == str(from_mem.value)
+
+    def test_insert_many_keeps_valid_prefix(self):
+        """A mid-batch validation error persists the valid prefix on
+        both backends (same rows, same error)."""
+        rows = [(1, None, None), (2, None, None), ("bad", None, None)]
+        mem, sql = _mixed_tables()
+        with pytest.raises(Exception) as from_mem:
+            mem.insert_many(rows)
+        with pytest.raises(Exception) as from_sql:
+            sql.insert_many(rows)
+        assert str(from_sql.value) == str(from_mem.value)
+        assert sql.rows() == mem.rows() == [(1, None, None), (2, None, None)]
+
+    def test_unknown_column_errors(self):
+        _, sql = _mixed_tables()
+        with pytest.raises(UnknownColumnError):
+            sql.lookup("nope", 1)
+        with pytest.raises(UnknownColumnError):
+            sql.distinct_values("nope")
+
+
+class TestSqlDatabase:
+    def test_catalog_mirrors_memory_database(self):
+        db = SqlDatabase(SqliteDriver(None), name="cat")
+        db.create_table(MIXED_SCHEMA)
+        assert db.has_table("T") and "T" in db and len(db) == 1
+        assert db.table_names() == ["T"]
+        with pytest.raises(SchemaError, match="already exists"):
+            db.create_table(MIXED_SCHEMA)
+        db.drop_table("T")
+        assert not db.has_table("T")
+        db.close()
+        db.close()  # idempotent
+
+    def test_referential_validation(self):
+        db = SqlDatabase(SqliteDriver(None))
+        users = TableSchema.build("Users", ["User"], primary_key=["User"])
+        from repro.db import ForeignKey
+
+        log = TableSchema.build(
+            "Log",
+            [("Lid", ColumnType.INT), "User"],
+            foreign_keys=[ForeignKey("User", "Users", "User")],
+        )
+        db.create_table(users).insert(("u1",))
+        db.create_table(log).insert_many([(1, "u1"), (2, "ghost")])
+        violations = db.validate_referential_integrity()
+        assert len(violations) == 1 and "ghost" in violations[0]
+        assert db.total_rows() == 3
+
+
+# ----------------------------------------------------------------------
+# driver contract
+# ----------------------------------------------------------------------
+class TestSqliteDriver:
+    def test_lazy_connection_and_stats(self, tmp_path):
+        driver = SqliteDriver(str(tmp_path / "lazy.db"))
+        assert driver.snapshot_stats()["connected"] is False
+        driver.execute("SELECT 1")
+        stats = driver.snapshot_stats()
+        assert stats["connected"] is True
+        assert stats["dialect"] == "sqlite"
+        driver.close()
+        driver.close()
+
+    def test_batch_in_chunks_past_max_params(self):
+        db = SqlDatabase(SqliteDriver(None))
+        table = db.create_table(
+            TableSchema.build("N", [("k", ColumnType.INT)])
+        )
+        n = MAX_BATCH_PARAMS * 2 + 50
+        table.insert_many([(i,) for i in range(n)])
+        sql = f'SELECT DISTINCT "k" FROM "N" WHERE "k" IN ({IN_MARKER})'
+        rows = db.driver.execute_batch(sql, (), list(range(n)))
+        assert {r[0] for r in rows} == set(range(n))
+        stats = db.driver.snapshot_stats()
+        assert stats["batch_chunks"] == 3
+        assert stats["rows_ingested"] == n
+
+    def test_batch_requires_marker_and_handles_empty(self):
+        driver = SqliteDriver(None)
+        with pytest.raises(ValueError, match="IN-marker"):
+            driver.execute_batch("SELECT 1", (), [1])
+        assert driver.execute_batch(f"SELECT {IN_MARKER}", (), []) == []
+
+
+# ----------------------------------------------------------------------
+# compilation and executor plumbing
+# ----------------------------------------------------------------------
+def _single_table_query():
+    tvar = TupleVar("A", "T")
+    return ConjunctiveQuery.build(
+        (tvar,),
+        (Condition(AttrRef("A", "k"), "=", Literal(1)),),
+        (AttrRef("A", "k"),),
+        distinct=True,
+    )
+
+
+class TestCompilation:
+    def test_count_distinct_counts_null_as_a_value(self):
+        """COUNT(*) over a DISTINCT subquery, not COUNT(DISTINCT col) —
+        the in-memory count_distinct counts NULL as a distinct value."""
+        compiled = compile_count_distinct(
+            _single_table_query(), {"T": MIXED_SCHEMA}, AttrRef("A", "k")
+        )
+        assert "COUNT(*)" in compiled.sql
+        assert "DISTINCT" in compiled.sql
+        assert "COUNT(DISTINCT" not in compiled.sql
+
+    def test_semijoin_carries_in_marker(self):
+        compiled = compile_distinct_values_in(
+            _single_table_query(),
+            {"T": MIXED_SCHEMA},
+            AttrRef("A", "k"),
+            AttrRef("A", "b"),
+        )
+        assert compiled.has_in_marker
+        assert IN_MARKER in compiled.sql
+
+    def test_plan_cache_memoizes_compiled_queries(self):
+        db = SqlDatabase(SqliteDriver(None))
+        db.create_table(MIXED_SCHEMA).insert_many([(1, None, None)])
+        cache = PlanCache(max_size=8)
+        executor = SqlExecutor(db, plan_cache=cache)
+        query = _single_table_query()
+        executor.execute(query)
+        misses = cache.stats()["misses"]
+        executor.execute(query)
+        assert cache.stats()["misses"] == misses
+        assert cache.stats()["hits"] >= 1
+        assert executor.queries_executed == 2
+
+    def test_disconnected_join_graph_error_parity(self):
+        mem_db = Database("d")
+        mem_db.create_table(MIXED_SCHEMA).insert((1, None, None))
+        sql_db = open_sql_database(mem_db, None)
+        query = ConjunctiveQuery.build(
+            (TupleVar("A", "T"), TupleVar("B", "T")),
+            (),
+            (AttrRef("A", "k"),),
+            distinct=True,
+        )
+        with pytest.raises(QueryError) as from_mem:
+            Executor(mem_db).execute(query)
+        with pytest.raises(QueryError) as from_sql:
+            SqlExecutor(sql_db).execute(query)
+        assert str(from_sql.value) == str(from_mem.value)
+        assert (
+            SqlExecutor(sql_db, allow_cartesian=True).execute(query).rows
+            == Executor(mem_db, allow_cartesian=True).execute(query).rows
+        )
+
+    def test_make_executor_dispatches_on_database_type(self):
+        mem_db = Database("d")
+        mem_db.create_table(MIXED_SCHEMA)
+        assert isinstance(make_executor(mem_db), Executor)
+        assert isinstance(
+            make_executor(open_sql_database(mem_db, None)), SqlExecutor
+        )
+
+
+# ----------------------------------------------------------------------
+# open_sql_database lifecycle and sharded file layout
+# ----------------------------------------------------------------------
+class TestOpenSqlDatabase:
+    def test_reopen_without_source(self, tmp_path):
+        path = str(tmp_path / "world.db")
+        mem_db = Database("world")
+        mem_db.create_table(MIXED_SCHEMA).insert_many(
+            [(1, STAMP, True), (None, None, None)]
+        )
+        open_sql_database(mem_db, path).close()
+        reopened = open_sql_database(None, path)
+        assert reopened.name == "world"
+        assert reopened.table_names() == ["T"]
+        assert reopened.table("T").rows() == [(1, STAMP, True), (None, None, None)]
+        reopened.close()
+
+    def test_missing_file_without_source_is_an_error(self, tmp_path):
+        with pytest.raises(SchemaError, match="no audited database"):
+            open_sql_database(None, str(tmp_path / "absent.db"))
+
+    def test_shard_db_path_derivation(self):
+        assert shard_db_path(None, 3) is None
+        assert shard_db_path("a/audit.db", 1) == "a/audit.shard1.db"
+        assert shard_db_path("audit", 0) == "audit.shard0.db"
+
+
+# ----------------------------------------------------------------------
+# service lifecycle: restart-reopen, writers, capacity
+# ----------------------------------------------------------------------
+class TestServiceLifecycle:
+    def test_single_node_restart_reopen(self, tmp_path):
+        db_dir = str(tmp_path / "hospital")
+        save_database(_fresh_db(), db_dir)
+        config = AuditConfig(backend="sqlite", db_path=str(tmp_path / "audit.db"))
+        with AuditService.open(db_dir, config=config) as first:
+            ghost = first.ingest("zz-nobody", "zz-ghost")
+            assert ghost.suspicious
+            queue_before = {v.lid for v in first.report().queue}
+        with AuditService.open(db_dir, config=config) as second:
+            # the ingested access survived process death…
+            assert {v.lid for v in second.report().queue} == queue_before
+            assert ghost.lid in queue_before
+            # …and the log-id sequence continues past it
+            assert second.ingest("zz-nobody", "zz-ghost-2").lid == ghost.lid + 1
+
+    def test_sharded_restart_reopen(self, tmp_path):
+        db_dir = str(tmp_path / "hospital")
+        save_database(_fresh_db(), db_dir)
+        config = AuditConfig(
+            backend="sqlite", db_path=str(tmp_path / "audit.db"), shards=2
+        )
+        with open_service(db_dir, config=config) as first:
+            a = first.ingest("zz-nobody", "zz-ghost-a")
+            b = first.ingest("zz-nobody", "zz-ghost-b")
+            queue_before = {v.lid for v in first.report().queue}
+        for index in (0, 1):
+            assert (tmp_path / f"audit.shard{index}.db").exists()
+        with open_service(db_dir, config=config) as second:
+            assert {v.lid for v in second.report().queue} == queue_before
+            assert {a.lid, b.lid} <= queue_before
+            # the parent reconciles its id sequence with the shard files
+            assert second.ingest("zz-nobody", "zz-ghost-c").lid == b.lid + 1
+
+    def test_mine_and_groups_raise_on_sqlite(self):
+        config = AuditConfig(backend="sqlite", eager_warm=False)
+        with AuditService.open(_fresh_db(), config=config) as service:
+            with pytest.raises(UnsupportedOperationError) as excinfo:
+                service.mine(MineRequest())
+            assert "memory backend" in excinfo.value.hint
+            with pytest.raises(UnsupportedOperationError):
+                service.build_groups()
+
+    def test_sharded_rejects_sql_database_source(self):
+        sql_db = open_sql_database(_fresh_db(), None)
+        with pytest.raises(UnsupportedOperationError, match="partition"):
+            ShardedAuditService.open(sql_db, config=AuditConfig(shards=2))
+        sql_db.close()
+
+    def test_capacity_error_points_at_sqlite(self):
+        table = Table(MIXED_SCHEMA, max_rows=2)
+        table.insert((1, None, None))
+        table.insert((2, None, None))
+        with pytest.raises(CapacityError, match="--backend sqlite"):
+            table.insert((3, None, None))
+        assert len(table) == 2
+
+
+# ----------------------------------------------------------------------
+# CLI: auditing a log larger than the in-memory row cap
+# ----------------------------------------------------------------------
+class TestCliBeyondCap:
+    @pytest.fixture(scope="class")
+    def db_dir(self, tmp_path_factory):
+        out = str(tmp_path_factory.mktemp("clidb") / "hospital")
+        save_database(_fresh_db(), out)
+        return out
+
+    def test_memory_backend_hits_the_cap(self, db_dir):
+        from repro.cli import main
+
+        with pytest.raises(CapacityError, match="--backend sqlite"):
+            main(["audit", "--db", db_dir, "--json", "--max-table-rows", "100"])
+
+    def test_sqlite_backend_audits_past_the_cap(self, db_dir, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["audit", "--db", db_dir, "--json"]) == 0
+        reference = capsys.readouterr().out
+        code = main(
+            [
+                "audit",
+                "--db",
+                db_dir,
+                "--json",
+                "--backend",
+                "sqlite",
+                "--db-path",
+                str(tmp_path / "cli-audit.db"),
+                "--max-table-rows",
+                "100",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == reference
