@@ -50,6 +50,27 @@ def self_attribute(node: ast.expr) -> str | None:
     return None
 
 
+def rooted_attribute(node: ast.expr) -> tuple[str, str] | None:
+    """``('svc', 'svc._cache')`` for an attribute/subscript chain rooted
+    at any plain name — the generalization of :func:`self_attribute` the
+    flow rules use to track state owned by *parameters* as well as
+    ``self``.  Requires at least one attribute hop (a bare local name is
+    not shared state)."""
+    parts: list[str] = []
+    cur: ast.expr = node
+    while True:
+        if isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        elif isinstance(cur, ast.Subscript):
+            cur = cur.value
+        else:
+            break
+    if isinstance(cur, ast.Name) and parts:
+        return cur.id, cur.id + "." + ".".join(reversed(parts))
+    return None
+
+
 def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
     """Walk a function body without descending into nested ``def``s,
     ``async def``s, lambdas, or class bodies — their statements run in a

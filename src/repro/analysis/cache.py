@@ -1,0 +1,124 @@
+"""Result cache for the lint runner.
+
+Re-linting an unchanged tree should cost file hashing, not nine rules
+of AST analysis.  The cache is content-addressed: the key is a SHA-256
+over the cache schema version, the active rule set, every selected
+file's ``(rel, explicit, content-hash)`` triple, and the content of the
+context files cross-file rules read through ``Project.read_text``
+(README, the round-trip test).  Any edit anywhere in that closure
+changes the key, so entries never need invalidation — stale ones just
+stop being looked up and are eventually pruned (least-recently-used by
+file mtime, keeping :data:`MAX_ENTRIES`).
+
+An mtime/size stat table (``stat.json``) short-circuits the content
+hashing itself: files whose ``(mtime_ns, size)`` pair is unchanged
+reuse their recorded digest instead of being re-read.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+from pathlib import Path
+
+#: Bump when the serialized result shape (or rule semantics worth a
+#: global invalidation) changes.
+SCHEMA_VERSION = 1
+
+#: Files outside the scanned set whose content feeds cross-file rules.
+CONTEXT_RELS = ("README.md", "tests/test_api_messages_roundtrip.py")
+
+MAX_ENTRIES = 64
+
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+
+class FileHasher:
+    """Content hashes with an mtime/size fast path persisted per cache
+    directory."""
+
+    def __init__(self, cache_dir: Path) -> None:
+        self._path = cache_dir / "stat.json"
+        self._table: dict[str, list] = {}
+        self._dirty = False
+        with contextlib.suppress(OSError, ValueError):
+            loaded = json.loads(self._path.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict):
+                self._table = loaded
+
+    def digest(self, path: Path) -> str:
+        key = str(path)
+        try:
+            stat = path.stat()
+            entry = self._table.get(key)
+            if (
+                entry is not None
+                and entry[0] == stat.st_mtime_ns
+                and entry[1] == stat.st_size
+            ):
+                return str(entry[2])
+            digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        except OSError:
+            return "absent"
+        self._table[key] = [stat.st_mtime_ns, stat.st_size, digest]
+        self._dirty = True
+        return digest
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        # a cache that cannot persist is still a cache
+        with contextlib.suppress(OSError):
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._path.write_text(json.dumps(self._table), encoding="utf-8")
+
+
+def cache_key(
+    root: Path,
+    manifest: tuple[tuple[str, bool, str], ...],
+    rules: tuple[str, ...],
+) -> str:
+    h = hashlib.sha256()
+    h.update(f"schema={SCHEMA_VERSION}".encode())
+    h.update(("rules=" + ",".join(rules)).encode())
+    for rel, explicit, digest in manifest:
+        h.update(f"{rel}\0{int(explicit)}\0{digest}\0".encode())
+    for rel in CONTEXT_RELS:
+        path = root / rel
+        try:
+            context = hashlib.sha256(path.read_bytes()).hexdigest()
+        except OSError:
+            context = "absent"
+        h.update(f"{rel}\0{context}\0".encode())
+    return h.hexdigest()
+
+
+def load(cache_dir: Path, key: str) -> dict | None:
+    path = cache_dir / f"{key}.json"
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        os.utime(path)  # refresh for LRU pruning
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def store(cache_dir: Path, key: str, payload: dict) -> None:
+    with contextlib.suppress(OSError):
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        (cache_dir / f"{key}.json").write_text(
+            json.dumps(payload), encoding="utf-8"
+        )
+        _prune(cache_dir)
+
+
+def _prune(cache_dir: Path) -> None:
+    entries = sorted(
+        (p for p in cache_dir.glob("*.json") if p.name != "stat.json"),
+        key=lambda p: p.stat().st_mtime_ns,
+    )
+    for stale in entries[: max(0, len(entries) - MAX_ENTRIES)]:
+        with contextlib.suppress(OSError):
+            stale.unlink()

@@ -11,4 +11,8 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     rl003_errors,
     rl004_forksafe,
     rl005_bench,
+    rl006_lockflow,
+    rl007_sqltaint,
+    rl008_asyncflow,
+    rl009_wiredrift,
 )

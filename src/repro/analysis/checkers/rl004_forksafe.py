@@ -1,7 +1,6 @@
-"""RL004 — fork and asyncio safety.
+"""RL004 — fork safety.
 
-Three sub-checks, all aimed at state that must never cross a ``fork()``
-or block the event loop:
+Two sub-checks, both aimed at state that must never cross a ``fork()``:
 
 * **import-time resources** — a lock, socket, executor pool, or live
   service constructed at module level is inherited by every forked
@@ -11,10 +10,12 @@ or block the event loop:
   ``run_fleet`` / ``ProcessPoolExecutor`` must construct its resources
   *inside* the child; a lambda that captures a service/lock/socket
   built in the parent ships parent-process state through ``fork``.
-* **blocking calls in async bodies** — ``time.sleep``, ``http.client``
-  connections, ``open``, ``subprocess`` and friends inside an
-  ``async def`` stall every connection the event loop is serving.
-  Scope: ``src/repro/server``.
+
+Blocking calls inside ``async def`` bodies were RL004's third check
+until the call graph existed; RL008 now finds them *transitively*
+(``src/repro/analysis/checkers/rl008_asyncflow.py``) and owns the
+direct case too.  The blocking-primitive tables below are shared with
+it.
 """
 
 from __future__ import annotations
@@ -28,7 +29,6 @@ from ..project import Project, SourceFile
 from ..registry import register
 
 SCOPE = ("src/repro",)
-ASYNC_SCOPE = ("src/repro/server",)
 
 #: Constructors whose product must not exist before ``fork()``.
 FORBIDDEN_FACTORIES = frozenset(
@@ -62,7 +62,8 @@ FACTORY_SINKS = frozenset(
     {"FleetSupervisor", "run_fleet", "ProcessPoolExecutor", "ThreadPoolExecutor"}
 )
 
-#: ``dotted.name`` call patterns that block the event loop.
+#: ``dotted.name`` call patterns that block the event loop (consumed by
+#: RL008's transitive reachability check).
 BLOCKING_CALLS = frozenset(
     {
         "time.sleep",
@@ -92,7 +93,7 @@ class ForkSafetyChecker:
     name = "fork-asyncio-safety"
     description = (
         "no locks/sockets/services at import time or captured by worker "
-        "factories; no blocking calls inside async def bodies"
+        "factories"
     )
 
     def check(self, project: Project) -> Iterator[Diagnostic]:
@@ -102,8 +103,6 @@ class ForkSafetyChecker:
             if file.in_scope(*SCOPE):
                 yield from self._check_module_level(file)
                 yield from self._check_factory_closures(file)
-            if file.in_scope(*ASYNC_SCOPE):
-                yield from self._check_async_blocking(file)
 
     # ------------------------------------------------------------------
     def _check_module_level(self, file: SourceFile) -> Iterator[Diagnostic]:
@@ -204,27 +203,3 @@ class ForkSafetyChecker:
                                 "factory instead"
                             ),
                         )
-
-    # ------------------------------------------------------------------
-    def _check_async_blocking(self, file: SourceFile) -> Iterator[Diagnostic]:
-        assert file.tree is not None
-        for fn in ast.walk(file.tree):
-            if not isinstance(fn, ast.AsyncFunctionDef):
-                continue
-            for node in walk_shallow(fn):
-                if not isinstance(node, ast.Call):
-                    continue
-                target = _call_target(node)
-                tail = target.rsplit(".", 1)[-1] if target else None
-                if target in BLOCKING_CALLS or tail in BLOCKING_ATTRS:
-                    yield Diagnostic(
-                        path=file.rel,
-                        line=node.lineno,
-                        col=node.col_offset + 1,
-                        code=self.code,
-                        message=(
-                            f"blocking call {target}() inside async def "
-                            f"{fn.name!r} stalls the event loop — run it on "
-                            "the executor (loop.run_in_executor) instead"
-                        ),
-                    )

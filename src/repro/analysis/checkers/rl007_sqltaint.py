@@ -1,0 +1,241 @@
+"""RL007 — SQL string taint in the database tier.
+
+PR 9 compiles templates to parameterized SQL by hand, which makes the
+``db/`` tier the one place in the project where strings become queries.
+The invariant: *data* travels through driver parameters, and the only
+string that may be spliced into SQL text is an identifier passed
+through ``quote_ident()``.  This rule runs a small forward taint
+analysis over each function's CFG: string constructions (f-strings,
+``%``, ``+``, ``.format``) are **tainted** unless every interpolated
+piece is provably clean; clean pieces are constants, ``ALL_CAPS``
+module constants, ``quote_ident(...)`` results, and compositions of
+clean pieces (``", ".join(quote_ident(c) for c in cols)``).  A tainted
+value reaching the first argument of ``.execute()`` /
+``.executemany()`` / ``.execute_batch()`` / ``.executescript()`` is a
+finding; values with unknown provenance (parameters, attribute reads)
+are *neutral* — they pass, keeping the rule quiet on the common
+"driver executes a prebuilt statement" shape.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..diagnostics import Diagnostic
+from ..flow import CFG, CFGNode, forward, node_calls
+from ..project import Project, SourceFile
+from ..registry import register
+
+SCOPE = ("src/repro/db",)
+
+SINKS = frozenset({"execute", "executemany", "execute_batch", "executescript"})
+
+#: The one sanctioned splice: identifier quoting.  Any spelling —
+#: ``quote_ident(...)``, ``dialect.quote_ident(...)`` — qualifies.
+SANCTIONED = frozenset({"quote_ident"})
+
+CLEAN = "clean"
+TAINTED = "tainted"
+
+#: name -> CLEAN | TAINTED; names not in the env are *neutral*.
+TaintEnv = dict[str, str]
+
+FuncDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _call_tail(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _is_const_str(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Constant) and isinstance(expr.value, str)
+
+
+def _stringish(expr: ast.expr, env: TaintEnv) -> bool:
+    """Is this operand evidence that a BinOp builds a *string*?  ``+``
+    and ``%`` on numbers are not SQL construction."""
+    if _is_const_str(expr) or isinstance(expr, ast.JoinedStr):
+        return True
+    if isinstance(expr, ast.Name) and expr.id in env:
+        return True
+    if isinstance(expr, ast.Call):
+        tail = _call_tail(expr)
+        return tail in ("join", "format", "str") or tail in SANCTIONED
+    return False
+
+
+def classify(expr: ast.expr, env: TaintEnv) -> str | None:
+    """CLEAN, TAINTED, or None (neutral / unknown provenance)."""
+    if isinstance(expr, ast.Constant):
+        return CLEAN
+    if isinstance(expr, ast.JoinedStr):
+        for part in expr.values:
+            if isinstance(part, ast.FormattedValue):
+                if classify(part.value, env) != CLEAN:
+                    return TAINTED
+        return CLEAN
+    if isinstance(expr, ast.Name):
+        if expr.id in env:
+            return env[expr.id]
+        if expr.id.isupper():
+            return CLEAN  # module-level SQL constant
+        return None
+    if isinstance(expr, ast.Call):
+        tail = _call_tail(expr)
+        if tail in SANCTIONED:
+            return CLEAN
+        if tail == "join" and isinstance(expr.func, ast.Attribute):
+            if classify(expr.func.value, env) != CLEAN or not expr.args:
+                return None
+            return _classify_join_arg(expr.args[0], env)
+        if tail == "str" and isinstance(expr.func, ast.Name) and expr.args:
+            return CLEAN if classify(expr.args[0], env) == CLEAN else None
+        if tail == "format" and isinstance(expr.func, ast.Attribute):
+            if classify(expr.func.value, env) != CLEAN:
+                return None  # formatting an unknown receiver: not ours
+            pieces = [*expr.args, *(kw.value for kw in expr.keywords)]
+            if all(classify(p, env) == CLEAN for p in pieces):
+                return CLEAN
+            return TAINTED
+        return None
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+        sides = (expr.left, expr.right)
+        if not any(_stringish(s, env) for s in sides):
+            return None  # arithmetic, not string building
+        if all(classify(s, env) == CLEAN for s in sides):
+            return CLEAN
+        return TAINTED
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Mod):
+        if not _stringish(expr.left, env):
+            return None
+        if classify(expr.left, env) != CLEAN:
+            return TAINTED
+        right = (
+            expr.right.elts
+            if isinstance(expr.right, ast.Tuple)
+            else [expr.right]
+        )
+        if all(classify(r, env) == CLEAN for r in right):
+            return CLEAN
+        return TAINTED
+    return None
+
+
+def _classify_join_arg(arg: ast.expr, env: TaintEnv) -> str | None:
+    if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+        return CLEAN if classify(arg.elt, env) == CLEAN else None
+    if isinstance(arg, (ast.List, ast.Tuple)):
+        if all(classify(e, env) == CLEAN for e in arg.elts):
+            return CLEAN
+        return None
+    return classify(arg, env)
+
+
+def _transfer(node: CFGNode, env: TaintEnv) -> TaintEnv:
+    out = env
+    stmt = node.stmt
+    if isinstance(stmt, ast.Assign) and node.kind == "stmt":
+        verdict = classify(stmt.value, env)
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                out = dict(out)
+                if verdict is None:
+                    out.pop(target.id, None)
+                else:
+                    out[target.id] = verdict
+    elif (
+        isinstance(stmt, ast.AnnAssign)
+        and node.kind == "stmt"
+        and stmt.value is not None
+        and isinstance(stmt.target, ast.Name)
+    ):
+        verdict = classify(stmt.value, env)
+        out = dict(out)
+        if verdict is None:
+            out.pop(stmt.target.id, None)
+        else:
+            out[stmt.target.id] = verdict
+    elif (
+        isinstance(stmt, ast.AugAssign)
+        and node.kind == "stmt"
+        and isinstance(stmt.target, ast.Name)
+    ):
+        verdict = classify(stmt.value, env)
+        prior = env.get(stmt.target.id)
+        out = dict(out)
+        if TAINTED in (prior, verdict):
+            out[stmt.target.id] = TAINTED
+        elif prior == CLEAN and verdict == CLEAN:
+            out[stmt.target.id] = CLEAN
+        else:
+            out.pop(stmt.target.id, None)
+    return out
+
+
+def _join(a: TaintEnv, b: TaintEnv) -> TaintEnv:
+    if a == b:
+        return a
+    out: TaintEnv = {}
+    for name in set(a) | set(b):
+        va, vb = a.get(name), b.get(name)
+        if TAINTED in (va, vb):
+            out[name] = TAINTED
+        elif va == CLEAN and vb == CLEAN:
+            out[name] = CLEAN
+        # disagreement / one-sided clean -> neutral (dropped)
+    return out
+
+
+@register
+class SqlTaintChecker:
+    code = "RL007"
+    name = "sql-taint"
+    description = (
+        "strings built with f-string/%/+/.format must not flow into "
+        "execute()/executemany()/execute_batch() — identifiers go through "
+        "quote_ident(), data through driver parameters"
+    )
+
+    def check(self, project: Project) -> Iterator[Diagnostic]:
+        for file in project.files:
+            if file.tree is None or not file.in_scope(*SCOPE):
+                continue
+            for node in ast.walk(file.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._check_function(file, node)
+
+    def _check_function(
+        self, file: SourceFile, fn: FuncDef
+    ) -> Iterator[Diagnostic]:
+        cfg = CFG(fn)
+        states = forward(cfg, {}, _transfer, _join)
+        for node in cfg.nodes:
+            env = states[node.index]
+            if env is None:
+                continue
+            for call in node_calls(node):
+                if (
+                    not isinstance(call.func, ast.Attribute)
+                    or call.func.attr not in SINKS
+                    or not call.args
+                ):
+                    continue
+                sql = call.args[0]
+                if classify(sql, env) == TAINTED:
+                    yield Diagnostic(
+                        path=file.rel,
+                        line=sql.lineno,
+                        col=sql.col_offset + 1,
+                        code=self.code,
+                        message=(
+                            "string built by interpolation/concatenation "
+                            f"flows into .{call.func.attr}() — splice "
+                            "identifiers via quote_ident() and pass data "
+                            "as driver parameters"
+                        ),
+                    )

@@ -1,0 +1,321 @@
+"""RL009 — drift between the four wire artifacts.
+
+The ``/v1/`` contract lives in four places that nothing ties together
+at runtime: the server's route table, the ``AuditClient`` methods that
+call those routes, the envelope kinds the handlers emit (``envelope()``
+literals plus the ``WIRE_KINDS`` registry), and the README error-code
+table.  Each can drift silently — a route nobody can call from the
+typed client, a client method probing a path no route serves, a client
+expecting an envelope kind no handler produces, a documented error code
+no error class defines.  This rule cross-indexes all four:
+
+* routes are ``("METHOD", "/path", handler, ...)`` tuple literals in
+  ``src/repro/server``; a route is *covered* when some client call
+  requests a matching path (``{param}`` segments wildcard to the
+  client's f-string interpolations) or shares its handler with a
+  covered route (aliases like ``/healthz`` vs ``/v1/healthz``);
+* client paths come from ``_request``/``_raw_request``/``_query``
+  literals, client kind expectations from ``_data(..., "Kind")`` and
+  ``from_wire(..., expected=...)``;
+* every check is gated on both sides of the comparison being non-empty,
+  so partial lint runs (just the client, just the server) stay silent
+  rather than reporting everything as drifted.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from ..diagnostics import Diagnostic
+from ..project import Project, SourceFile
+from ..registry import register
+from .rl002_wire import ERRORS_REL, README_REL, _registry_names
+
+SERVER_SCOPE = ("src/repro/server",)
+CLIENT_SCOPE = ("src/repro/client",)
+
+HTTP_METHODS = frozenset({"GET", "POST", "PUT", "DELETE", "PATCH", "HEAD"})
+
+#: ``| `code` | 400 | `SomeError` |`` rows of the README error table.
+_README_ROW = re.compile(r"^\s*\|\s*`([a-z_]+)`\s*\|\s*\d{3}\s*\|", re.M)
+
+
+@dataclass(frozen=True)
+class _Route:
+    method: str
+    path: str
+    handler: str | None
+    rel: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class _ClientCall:
+    path: str
+    rel: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class _KindExpect:
+    kind: str
+    rel: str
+    line: int
+    col: int
+
+
+def _normalize(path: str) -> str:
+    """Route patterns and client f-strings meet in the middle: any
+    ``{...}`` segment becomes the wildcard ``{}``."""
+    return re.sub(r"\{[^}]*\}", "{}", path)
+
+
+def _joined_path(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    if isinstance(expr, ast.JoinedStr):
+        parts: list[str] = []
+        for part in expr.values:
+            if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                parts.append(part.value)
+            else:
+                parts.append("{}")
+        return "".join(parts)
+    return None
+
+
+def _call_tail(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+@register
+class WireDriftChecker:
+    code = "RL009"
+    name = "wire-drift"
+    description = (
+        "the /v1/ route table, AuditClient paths, emitted envelope kinds, "
+        "and the README error table must agree — no uncallable routes, "
+        "phantom client paths, or unproduced kinds"
+    )
+
+    def check(self, project: Project) -> Iterator[Diagnostic]:
+        routes: list[_Route] = []
+        emitted: set[str] = set()
+        calls: list[_ClientCall] = []
+        expects: list[_KindExpect] = []
+        for file in project.files:
+            if file.tree is None:
+                continue
+            if file.in_scope(*SERVER_SCOPE):
+                routes.extend(self._routes(file))
+                emitted |= self._emitted_kinds(file)
+            if file.in_scope(*CLIENT_SCOPE):
+                new_calls, new_expects = self._client_artifacts(file)
+                calls.extend(new_calls)
+                expects.extend(new_expects)
+            kinds = _registry_names(file.tree, "WIRE_KINDS")
+            if kinds is not None:
+                emitted |= kinds
+
+        if routes and calls:
+            yield from self._check_paths(routes, calls)
+        if emitted and expects:
+            for expect in expects:
+                if expect.kind not in emitted:
+                    yield Diagnostic(
+                        path=expect.rel,
+                        line=expect.line,
+                        col=expect.col,
+                        code=self.code,
+                        message=(
+                            f"client expects envelope kind {expect.kind!r} "
+                            "but no handler emits it and WIRE_KINDS does "
+                            "not register it"
+                        ),
+                    )
+        yield from self._check_readme(project)
+
+    # ------------------------------------------------------------------
+    def _check_paths(
+        self, routes: list[_Route], calls: list[_ClientCall]
+    ) -> Iterator[Diagnostic]:
+        called = {_normalize(c.path) for c in calls}
+        covered_handlers = {
+            r.handler
+            for r in routes
+            if r.handler is not None and _normalize(r.path) in called
+        }
+        served = {_normalize(r.path) for r in routes}
+        for route in routes:
+            if _normalize(route.path) in called:
+                continue
+            if route.handler is not None and route.handler in covered_handlers:
+                continue  # alias of a covered route
+            yield Diagnostic(
+                path=route.rel,
+                line=route.line,
+                col=route.col,
+                code=self.code,
+                message=(
+                    f"route {route.method} {route.path} is unreachable from "
+                    "AuditClient — add a client method or retire the route"
+                ),
+            )
+        for call in calls:
+            if _normalize(call.path) not in served:
+                yield Diagnostic(
+                    path=call.rel,
+                    line=call.line,
+                    col=call.col,
+                    code=self.code,
+                    message=(
+                        f"client requests {call.path} but no route serves "
+                        "that path"
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _routes(file: SourceFile) -> Iterator[_Route]:
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Tuple) or len(node.elts) < 3:
+                continue
+            method, path = node.elts[0], node.elts[1]
+            if not (
+                isinstance(method, ast.Constant)
+                and method.value in HTTP_METHODS
+                and isinstance(path, ast.Constant)
+                and isinstance(path.value, str)
+                and path.value.startswith("/")
+            ):
+                continue
+            handler = node.elts[2]
+            handler_name: str | None = None
+            if isinstance(handler, ast.Name):
+                handler_name = handler.id
+            elif isinstance(handler, ast.Attribute):
+                handler_name = handler.attr
+            yield _Route(
+                method=method.value,
+                path=path.value,
+                handler=handler_name,
+                rel=file.rel,
+                line=path.lineno,
+                col=path.col_offset + 1,
+            )
+
+    @staticmethod
+    def _emitted_kinds(file: SourceFile) -> set[str]:
+        assert file.tree is not None
+        out: set[str] = set()
+        for node in ast.walk(file.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _call_tail(node) == "envelope"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                out.add(node.args[0].value)
+        return out
+
+    @staticmethod
+    def _client_artifacts(
+        file: SourceFile,
+    ) -> tuple[list[_ClientCall], list[_KindExpect]]:
+        assert file.tree is not None
+        calls: list[_ClientCall] = []
+        expects: list[_KindExpect] = []
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            tail = _call_tail(node)
+            path_arg: ast.expr | None = None
+            if tail in ("_request", "_raw_request") and len(node.args) >= 2:
+                path_arg = node.args[1]
+            elif tail == "_query" and node.args:
+                path_arg = node.args[0]
+            if path_arg is not None:
+                path = _joined_path(path_arg)
+                if path is not None and path.startswith("/"):
+                    calls.append(
+                        _ClientCall(
+                            path=path,
+                            rel=file.rel,
+                            line=path_arg.lineno,
+                            col=path_arg.col_offset + 1,
+                        )
+                    )
+                continue
+            kind_arg: ast.expr | None = None
+            if tail == "_data" and len(node.args) >= 2:
+                kind_arg = node.args[1]
+            elif tail == "from_wire":
+                for kw in node.keywords:
+                    if kw.arg == "expected":
+                        kind_arg = kw.value
+                if kind_arg is None and len(node.args) >= 2:
+                    kind_arg = node.args[1]
+            if (
+                kind_arg is not None
+                and isinstance(kind_arg, ast.Constant)
+                and isinstance(kind_arg.value, str)
+            ):
+                expects.append(
+                    _KindExpect(
+                        kind=kind_arg.value,
+                        rel=file.rel,
+                        line=kind_arg.lineno,
+                        col=kind_arg.col_offset + 1,
+                    )
+                )
+        return calls, expects
+
+    # ------------------------------------------------------------------
+    def _check_readme(self, project: Project) -> Iterator[Diagnostic]:
+        """README error table rows must name codes some error class
+        defines — RL002 checks class → README; this is README → class."""
+        errors = project.file(ERRORS_REL)
+        if errors is None or errors.tree is None:
+            return
+        readme = project.read_text(README_REL)
+        if readme is None:
+            return
+        defined: set[str] = set()
+        for cls in errors.tree.body:
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for stmt in cls.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id == "code"
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                ):
+                    defined.add(stmt.value.value)
+        if not defined:
+            return
+        for documented in sorted(set(_README_ROW.findall(readme))):
+            if documented not in defined:
+                yield Diagnostic(
+                    path=errors.rel,
+                    line=1,
+                    col=1,
+                    code=self.code,
+                    message=(
+                        f"README error table documents code {documented!r} "
+                        "but no error class defines it — stale row"
+                    ),
+                )

@@ -16,7 +16,9 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 
+from .cache import DEFAULT_CACHE_DIR
 from .diagnostics import render_github, render_json, render_text
 from .registry import CHECKERS
 from .runner import run_lint
@@ -26,9 +28,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "AST-based invariant checks for the repro tree: lock discipline, "
-            "wire contracts, typed errors, fork/asyncio safety, and bench "
-            "envelopes."
+            "AST- and dataflow-based invariant checks for the repro tree: "
+            "lock discipline (syntactic and flow-sensitive), wire contracts "
+            "and route drift, typed errors, fork/asyncio safety including "
+            "transitive blocking, SQL taint, and bench envelopes."
         ),
     )
     parser.add_argument(
@@ -73,6 +76,20 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=DEFAULT_CACHE_DIR,
+        help=(
+            "directory for the incremental result cache, resolved against "
+            f"--root (default: {DEFAULT_CACHE_DIR})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache for this run",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the registered rules and exit",
@@ -97,8 +114,13 @@ def main(argv: list[str] | None = None) -> int:
 
     select = _codes(args.select) or None
     ignore = _codes(args.ignore)
+    cache_dir: Path | None = None
+    if not args.no_cache:
+        cache_dir = Path(args.root) / args.cache_dir
     try:
-        result = run_lint(args.root, tuple(args.paths), select, ignore)
+        result = run_lint(
+            args.root, tuple(args.paths), select, ignore, cache_dir=cache_dir
+        )
     except ValueError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
@@ -128,6 +150,9 @@ def main(argv: list[str] | None = None) -> int:
             f"{result.suppressed} suppressed, "
             f"{result.files_scanned} file(s) scanned"
         )
+        if result.unused_suppressions:
+            unused = len(result.unused_suppressions)
+            summary += f", {unused} unused suppression(s)"
         print(summary if result.diagnostics else f"clean — {summary}")
     if args.stats:
         print(json.dumps(stats, sort_keys=True))

@@ -8,8 +8,10 @@ GitHub workflow annotations).
 
 from __future__ import annotations
 
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass
 
 #: Same-line suppression comment, ruff ``noqa`` style::
@@ -19,6 +21,9 @@ from dataclasses import dataclass
 #:     risky_line()  # repro-lint: ignore
 #:
 #: A bare ``ignore`` (no bracket list) silences every rule on the line.
+#: The directive must *open* a real comment token — mentions inside
+#: docstrings or embedded in a larger comment are documentation, not
+#: suppressions (and therefore never show up as unused).
 SUPPRESSION_RE = re.compile(
     r"#\s*repro-lint:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]*)\])?"
 )
@@ -66,20 +71,33 @@ class Diagnostic:
         )
 
 
-def parse_suppressions(lines: tuple[str, ...]) -> dict[int, frozenset[str] | None]:
-    """Map 1-based line number -> suppressed codes (``None`` = all)."""
+def parse_suppressions(text: str) -> dict[int, frozenset[str] | None]:
+    """Map 1-based line number -> suppressed codes (``None`` = all).
+
+    Tokenizes so only genuine comments count; on a syntax error the
+    suppressions seen before the break are kept (the file will carry an
+    RL000 finding anyway)."""
     out: dict[int, frozenset[str] | None] = {}
-    for lineno, text in enumerate(lines, start=1):
-        if "repro-lint" not in text:
+    if "repro-lint" not in text:
+        return out
+    tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+    while True:
+        try:
+            tok = next(tokens)
+        except StopIteration:
+            break
+        except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+            break
+        if tok.type != tokenize.COMMENT:
             continue
-        match = SUPPRESSION_RE.search(text)
+        match = SUPPRESSION_RE.match(tok.string)
         if match is None:
             continue
         codes = match.group("codes")
         if codes is None:
-            out[lineno] = None
+            out[tok.start[0]] = None
         else:
-            out[lineno] = frozenset(
+            out[tok.start[0]] = frozenset(
                 code.strip() for code in codes.split(",") if code.strip()
             )
     return out

@@ -18,8 +18,9 @@ is what lets the fixture tests exercise every rule.
 from __future__ import annotations
 
 import ast
+import hashlib
 import os
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -27,12 +28,25 @@ from .diagnostics import parse_suppressions
 
 #: Directory names never walked during discovery.
 EXCLUDED_DIR_NAMES = frozenset(
-    {".git", "__pycache__", ".venv", "venv", "htmlcov", ".pytest_cache", "build"}
+    {
+        ".git",
+        "__pycache__",
+        ".venv",
+        "venv",
+        "htmlcov",
+        ".pytest_cache",
+        ".repro-lint-cache",
+        "build",
+    }
 )
 
 #: Root-relative prefixes never walked during discovery (explicit paths
 #: still get in — the lint fixtures seed violations on purpose).
 EXCLUDED_REL_PREFIXES = ("tests/fixtures",)
+
+
+def _sha256_file(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -65,19 +79,25 @@ class SourceFile:
 
 
 class Project:
-    """The file set for one run, rooted at the repository checkout."""
+    """The file set for one run, rooted at the repository checkout.
+
+    Discovery (walking directories) is eager; *parsing* is lazy — a run
+    that is answered from the result cache hashes file contents via
+    :meth:`manifest` without ever building an AST.
+    """
 
     def __init__(
         self, root: str | os.PathLike[str], paths: tuple[str, ...] = ()
     ) -> None:
         self.root = Path(root).resolve()
-        self._files = self._load(paths)
-        self._by_rel = {f.rel: f for f in self._files}
+        self._selected = self._discover(paths)  # rel -> explicit
+        self._parsed: dict[str, SourceFile] = {}
+        self._all: tuple[SourceFile, ...] | None = None
 
     # ------------------------------------------------------------------
     # discovery
     # ------------------------------------------------------------------
-    def _load(self, paths: tuple[str, ...]) -> tuple[SourceFile, ...]:
+    def _discover(self, paths: tuple[str, ...]) -> dict[str, bool]:
         selected: dict[str, bool] = {}  # rel -> explicit
         targets = paths or ("src", "benchmarks")
         for raw in targets:
@@ -87,10 +107,11 @@ class Project:
             elif path.is_dir():
                 for found in self._walk(path):
                     selected.setdefault(self._rel(found), False)
-        out = []
-        for rel in sorted(selected):
-            out.append(self._parse(rel, explicit=selected[rel]))
-        return tuple(out)
+            elif paths:
+                # A typo'd explicit path must not read as a clean tree;
+                # the default src/benchmarks targets may simply be absent.
+                raise ValueError(f"path does not exist: {raw}")
+        return dict(sorted(selected.items()))
 
     def _walk(self, top: Path) -> Iterator[Path]:
         for dirpath, dirnames, filenames in os.walk(top):
@@ -130,25 +151,51 @@ class Project:
             tree=tree,
             parse_error=parse_error,
             explicit=explicit,
-            suppressions=parse_suppressions(lines),
+            suppressions=parse_suppressions(text),
         )
+
+    def _ensure(self, rel: str) -> SourceFile:
+        file = self._parsed.get(rel)
+        if file is None:
+            file = self._parse(rel, explicit=self._selected[rel])
+            self._parsed[rel] = file
+        return file
 
     # ------------------------------------------------------------------
     # checker-facing API
     # ------------------------------------------------------------------
     @property
     def files(self) -> tuple[SourceFile, ...]:
-        return self._files
+        if self._all is None:
+            self._all = tuple(self._ensure(rel) for rel in self._selected)
+        return self._all
 
     def file(self, rel: str) -> SourceFile | None:
-        return self._by_rel.get(rel)
+        if rel not in self._selected:
+            return None
+        return self._ensure(rel)
+
+    def __len__(self) -> int:
+        return len(self._selected)
+
+    def manifest(
+        self, digest: Callable[[Path], str] | None = None
+    ) -> tuple[tuple[str, bool, str], ...]:
+        """``(rel, explicit, sha256)`` per selected file, without
+        parsing — the identity the result cache keys on.  ``digest``
+        lets the cache substitute an mtime/size-memoized hasher."""
+        if digest is None:
+            digest = _sha256_file
+        out = []
+        for rel, explicit in self._selected.items():
+            out.append((rel, explicit, digest(self.root / rel)))
+        return tuple(out)
 
     def read_text(self, rel: str) -> str | None:
         """Context files (README, round-trip tests) outside the selected
         set — returns None when absent so rules can degrade gracefully."""
-        cached = self._by_rel.get(rel)
-        if cached is not None:
-            return cached.text
+        if rel in self._selected:
+            return self._ensure(rel).text
         path = self.root / rel
         if not path.is_file():
             return None

@@ -130,6 +130,12 @@ class ExplanationEngine:
         # place by notify_appended).
         self._signatures: dict[ExplanationTemplate, tuple] = {}
         self._deduped: tuple[ExplanationTemplate, ...] | None = None
+        # (row_count, keys, (key, row) pairs) — owned by
+        # repro.core.scan.LogScanner, declared here so the strict scan
+        # module may assign it.
+        self._scan_order_cache: (
+            tuple[int, list[tuple], list[tuple[tuple, Any]]] | None
+        ) = None
         self._all_lids: set | None = None
         self._all_explained: set | None = None
         self._unexplained: set | None = None

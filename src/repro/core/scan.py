@@ -156,7 +156,7 @@ class LogScanner:
         """
         lid_i, date_i = self._lid_i, self._date_i
         count = len(self._log)
-        cached = getattr(self.engine, "_scan_order_cache", None)
+        cached = self.engine._scan_order_cache
         if cached is not None and cached[0] == count:
             return cached[1], cached[2]
         pairs = sorted(((r[date_i], r[lid_i]), r) for r in self._log.rows())

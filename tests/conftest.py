@@ -9,8 +9,27 @@
 
 import pytest
 
+from repro.api.locks import (
+    LockSanitizerError,
+    consume_fork_violations,
+    held_locks_in_thread,
+)
 from repro.core import SchemaAttr, SchemaGraph
 from repro.db import ColumnType, Database, TableSchema
+
+
+@pytest.fixture(autouse=True)
+def _lock_sanitizer_check():
+    """Fail any test that leaks an RWLock hold or forked while holding
+    one.  Both tables are only populated under ``REPRO_SANITIZE=1``, so
+    this is free in a normal run and is the teeth of the sanitized CI
+    job."""
+    yield
+    leaked = held_locks_in_thread()
+    assert not leaked, f"test leaked RWLock holds: {leaked}"
+    violations = consume_fork_violations()
+    if violations:
+        raise LockSanitizerError("; ".join(violations))
 
 
 @pytest.fixture

@@ -1,0 +1,47 @@
+"""Seeded RL006 violations: a reader-path mutation through a module
+helper, a read->write upgrade through a call chain, fork-while-held,
+and a direct nested upgrade."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.api.locks import RWLock
+
+
+def compute(key):
+    return key
+
+
+def warm_cache(svc, key):
+    svc._cache[key] = compute(key)
+
+
+def rebuild(svc):
+    with svc._lock.write_locked():
+        svc._cache.clear()
+
+
+class BadFlowService:
+    def __init__(self):
+        self._lock = RWLock()
+        self._cache = {}
+
+    def lookup(self, key):
+        with self._lock.read_locked():
+            if key not in self._cache:
+                warm_cache(self, key)
+            return self._cache[key]
+
+    def refresh(self, key):
+        with self._lock.read_locked():
+            if key not in self._cache:
+                rebuild(self)
+
+    def scale_out(self):
+        with self._lock.write_locked():
+            pool = ProcessPoolExecutor(2)
+        return pool
+
+    def upgrade(self, key):
+        with self._lock.read_locked():
+            with self._lock.write_locked():
+                self._cache[key] = key

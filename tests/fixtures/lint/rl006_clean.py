@@ -1,0 +1,46 @@
+"""The same shapes as rl006_bad done correctly: sequential (not
+nested) lock phases, helpers invoked lock-free, forks outside any
+held region.  Flow-sensitivity is the point — a syntax-level rule
+that pattern-matched "write_locked anywhere after read_locked" would
+flag every method here."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.api.locks import RWLock
+
+
+def warm_cache(svc, key):
+    with svc._lock.write_locked():
+        svc._cache[key] = key
+
+
+class CleanFlowService:
+    def __init__(self):
+        self._lock = RWLock()
+        self._cache = {}
+
+    def lookup(self, key):
+        with self._lock.read_locked():
+            return self._cache.get(key)
+
+    def refresh(self, key):
+        with self._lock.read_locked():
+            missing = key not in self._cache
+        if missing:
+            warm_cache(self, key)
+
+    def drain(self):
+        self._lock.acquire_read()
+        try:
+            items = list(self._cache)
+        finally:
+            self._lock.release_read()
+        with self._lock.write_locked():
+            self._cache.clear()
+        return items
+
+    def scale_out(self):
+        with self._lock.read_locked():
+            size = len(self._cache)
+        pool = ProcessPoolExecutor(size or 1)
+        return pool

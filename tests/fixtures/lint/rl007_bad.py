@@ -1,0 +1,19 @@
+"""Seeded RL007 violations: interpolated/concatenated SQL reaching
+driver sinks directly and through a local variable."""
+
+
+def fetch_user(conn, user_id):
+    conn.execute(f"SELECT * FROM users WHERE id = {user_id}")
+
+
+def fetch_logs(conn, table, day):
+    sql = "SELECT * FROM " + table
+    conn.execute_batch(sql)
+
+
+def count_rows(cursor, table):
+    cursor.execute("SELECT COUNT(*) FROM %s" % table)
+
+
+def insert_rows(conn, table, rows):
+    conn.executemany("INSERT INTO {} VALUES (?)".format(table), rows)

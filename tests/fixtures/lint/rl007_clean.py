@@ -1,0 +1,31 @@
+"""The sanctioned shapes RL007 must stay quiet on: quote_ident()
+splices, ALL_CAPS constants, parameterized values, join-over-quoted
+columns, and prebuilt statements of unknown provenance."""
+
+SELECT_SQL = "SELECT id, kind FROM audit_log WHERE day = ?"
+
+
+def quote_ident(name):
+    return '"' + name.replace('"', '""') + '"'
+
+
+def fetch_user(conn, user_id):
+    conn.execute("SELECT * FROM users WHERE id = ?", (user_id,))
+
+
+def fetch_day(conn, day):
+    conn.execute(SELECT_SQL, (day,))
+
+
+def fetch_columns(conn, table, columns):
+    cols = ", ".join(quote_ident(c) for c in columns)
+    conn.execute(f"SELECT {cols} FROM {quote_ident(table)}")
+
+
+def run_prepared(conn, sql, params):
+    conn.execute(sql, params)
+
+
+def widen(conn, sql, marks):
+    expanded = sql.replace("(?)", marks)
+    conn.execute_batch(expanded)

@@ -1,0 +1,28 @@
+"""The executor pattern RL008 must stay quiet on: the same blocking
+chain as rl008_bad, but handed to ``run_in_executor`` as a function
+*reference* — no call edge, no event-loop stall."""
+
+import asyncio
+import sqlite3
+
+
+def fetch_rows(path, day):
+    conn = sqlite3.connect(path)
+    try:
+        return conn.execute("SELECT * FROM audit_log WHERE day = ?", (day,))
+    finally:
+        conn.close()
+
+
+def load_page(path, day):
+    rows = fetch_rows(path, day)
+    return list(rows)
+
+
+async def handle(request):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, load_page, request.path, request.day)
+
+
+async def poll(interval):
+    await asyncio.sleep(interval)

@@ -1,0 +1,35 @@
+"""Seeded RL009 drift: a route no client method calls, a client path
+no route serves, and an expected envelope kind nothing emits."""
+
+
+def envelope(kind, data):
+    return {"v": 1, "kind": kind, "data": data}
+
+
+def h_widgets(request):
+    return envelope("Widgets", [])
+
+
+def h_orphan(request):
+    return envelope("Orphan", {})
+
+
+ROUTES = [
+    ("GET", "/v1/widgets", h_widgets, False),
+    ("GET", "/v1/orphan", h_orphan, False),
+]
+
+
+class DriftClient:
+    def _request(self, method, path, body=None):
+        return {}
+
+    @staticmethod
+    def _data(payload, kind):
+        return payload["data"]
+
+    def widgets(self):
+        return self._data(self._request("GET", "/v1/widgets"), "Widgets")
+
+    def missing(self):
+        return self._data(self._request("GET", "/v1/missing"), "Ghost")

@@ -1,0 +1,55 @@
+"""Consistent wire artifacts RL009 must stay quiet on: every route
+covered (one via handler sharing, one via an f-string path matching a
+``{param}`` pattern), every expected kind emitted (one via envelope(),
+one via the WIRE_KINDS registry)."""
+
+
+class Items:
+    pass
+
+
+WIRE_KINDS = {"Items": Items}
+
+
+def to_wire(obj):
+    return {"v": 1, "kind": type(obj).__name__}
+
+
+def from_wire(payload):
+    return WIRE_KINDS[payload["kind"]]()
+
+
+def envelope(kind, data):
+    return {"v": 1, "kind": kind, "data": data}
+
+
+def h_health(request):
+    return envelope("Health", "ok")
+
+
+def h_item(request):
+    return envelope("Items", [])
+
+
+ROUTES = [
+    ("GET", "/healthz", h_health, False),
+    ("GET", "/v1/healthz", h_health, False),
+    ("GET", "/v1/items/{item_id}", h_item, False),
+]
+
+
+class SteadyClient:
+    def _request(self, method, path, body=None):
+        return {}
+
+    @staticmethod
+    def _data(payload, kind):
+        return payload["data"]
+
+    def health(self):
+        return self._data(self._request("GET", "/healthz"), "Health")
+
+    def item(self, item_id):
+        return self._data(
+            self._request("GET", f"/v1/items/{item_id}"), "Items"
+        )

@@ -1,0 +1,276 @@
+"""Unit tests for the flow engine under the checkers: CFG shape,
+forward-dataflow fixpoints, and call-graph resolution."""
+
+import ast
+import textwrap
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.flow import (
+    CFG,
+    ENTRY,
+    EXIT,
+    WITH_ENTER,
+    WITH_EXIT,
+    forward,
+    node_calls,
+)
+from repro.analysis.project import Project
+
+
+def build_cfg(source):
+    tree = ast.parse(textwrap.dedent(source))
+    fn = tree.body[0]
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return CFG(fn)
+
+
+def reaching_names(cfg):
+    """Run a simple may-analysis: the set of names assigned on some
+    path into each node.  Exercises transfer + join + fixpoint."""
+
+    def transfer(node, state):
+        stmt = node.stmt
+        if isinstance(stmt, ast.Assign):
+            extra = {
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            }
+            return state | frozenset(extra)
+        return state
+
+    return forward(cfg, frozenset(), transfer, lambda a, b: a | b)
+
+
+class TestCfgShape:
+    def test_straight_line_threads_entry_to_exit(self):
+        cfg = build_cfg(
+            """
+            def f():
+                a = 1
+                b = 2
+            """
+        )
+        kinds = [n.kind for n in cfg.nodes]
+        assert kinds.count(ENTRY) == 1 and kinds.count(EXIT) == 1
+        states = reaching_names(cfg)
+        assert states[cfg.exit] == frozenset({"a", "b"})
+
+    def test_branches_join(self):
+        cfg = build_cfg(
+            """
+            def f(flag):
+                if flag:
+                    a = 1
+                else:
+                    b = 2
+                c = 3
+            """
+        )
+        states = reaching_names(cfg)
+        assert states[cfg.exit] == frozenset({"a", "b", "c"})
+
+    def test_if_without_else_falls_through(self):
+        cfg = build_cfg(
+            """
+            def f(flag):
+                if flag:
+                    a = 1
+                c = 3
+            """
+        )
+        states = reaching_names(cfg)
+        # both the taken and not-taken paths reach exit
+        assert states[cfg.exit] == frozenset({"a", "c"})
+
+    def test_loop_back_edge_reaches_fixpoint(self):
+        cfg = build_cfg(
+            """
+            def f(items):
+                for item in items:
+                    a = item
+                b = 1
+            """
+        )
+        states = reaching_names(cfg)
+        assert states[cfg.exit] == frozenset({"a", "b"})
+
+    def test_return_does_not_fall_through(self):
+        cfg = build_cfg(
+            """
+            def f(flag):
+                if flag:
+                    a = 1
+                    return a
+                b = 2
+            """
+        )
+        states = reaching_names(cfg)
+        # 'b' is only assigned on the flag-false path; 'a' leaks to exit
+        # via the return edge but never reaches the b = 2 node
+        b_node = next(
+            n.index
+            for n in cfg.nodes
+            if isinstance(n.stmt, ast.Assign)
+            and isinstance(n.stmt.targets[0], ast.Name)
+            and n.stmt.targets[0].id == "b"
+        )
+        assert "a" not in (states[b_node] or frozenset())
+
+    def test_with_blocks_get_enter_and_exit_markers(self):
+        cfg = build_cfg(
+            """
+            def f(lock):
+                with lock.read_locked():
+                    a = 1
+                b = 2
+            """
+        )
+        kinds = [n.kind for n in cfg.nodes]
+        assert kinds.count(WITH_ENTER) == 1
+        assert kinds.count(WITH_EXIT) == 1
+        enter = next(n for n in cfg.nodes if n.kind == WITH_ENTER)
+        assert list(node_calls(enter))  # the context-manager call
+
+    def test_try_handler_reachable_from_body(self):
+        cfg = build_cfg(
+            """
+            def f():
+                try:
+                    a = 1
+                except ValueError:
+                    b = 2
+                c = 3
+            """
+        )
+        states = reaching_names(cfg)
+        assert states[cfg.exit] == frozenset({"a", "b", "c"})
+
+    def test_unreachable_code_has_no_state(self):
+        cfg = build_cfg(
+            """
+            def f():
+                return 1
+                a = 2
+            """
+        )
+        states = reaching_names(cfg)
+        dead = next(
+            n.index for n in cfg.nodes if isinstance(n.stmt, ast.Assign)
+        )
+        assert states[dead] is None
+
+
+class TestCallGraph:
+    def make_project(self, tmp_path, files):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        return Project(str(tmp_path), tuple(files))
+
+    def test_module_function_and_from_import_resolution(self, tmp_path):
+        project = self.make_project(
+            tmp_path,
+            {
+                "src/repro/x/helpers.py": """
+                    def helper():
+                        return 1
+                """,
+                "src/repro/x/main.py": """
+                    from repro.x.helpers import helper
+
+                    def local():
+                        return 2
+
+                    def run():
+                        helper()
+                        local()
+                """,
+            },
+        )
+        graph = CallGraph(project)
+        run = graph.function("src/repro/x/main.py", "run")
+        targets = {
+            site.target.qname
+            for site in graph.call_sites(run)
+            if site.target is not None
+        }
+        assert targets == {
+            "src/repro/x/helpers.py:helper",
+            "src/repro/x/main.py:local",
+        }
+
+    def test_self_method_and_constructor_typed_local(self, tmp_path):
+        project = self.make_project(
+            tmp_path,
+            {
+                "src/repro/x/svc.py": """
+                    class Service:
+                        def inner(self):
+                            return 1
+
+                        def outer(self):
+                            return self.inner()
+
+                    def use():
+                        svc = Service()
+                        return svc.outer()
+                """,
+            },
+        )
+        graph = CallGraph(project)
+        outer = graph.function("src/repro/x/svc.py", "outer", "Service")
+        (site,) = [
+            s for s in graph.call_sites(outer) if s.target is not None
+        ]
+        assert site.target.qname == "src/repro/x/svc.py:Service.inner"
+        assert site.same_object
+        use = graph.function("src/repro/x/svc.py", "use")
+        targets = {
+            s.target.qname
+            for s in graph.call_sites(use)
+            if s.target is not None
+        }
+        assert "src/repro/x/svc.py:Service.outer" in targets
+
+    def test_inherited_method_resolves_to_base(self, tmp_path):
+        project = self.make_project(
+            tmp_path,
+            {
+                "src/repro/x/base.py": """
+                    class Base:
+                        def shared(self):
+                            return 1
+                """,
+                "src/repro/x/child.py": """
+                    from repro.x.base import Base
+
+                    class Child(Base):
+                        def run(self):
+                            return self.shared()
+                """,
+            },
+        )
+        graph = CallGraph(project)
+        run = graph.function("src/repro/x/child.py", "run", "Child")
+        (site,) = [
+            s for s in graph.call_sites(run) if s.target is not None
+        ]
+        assert site.target.qname == "src/repro/x/base.py:Base.shared"
+
+    def test_unresolved_calls_keep_their_dotted_name(self, tmp_path):
+        project = self.make_project(
+            tmp_path,
+            {
+                "src/repro/x/io.py": """
+                    import sqlite3
+
+                    def connect(path):
+                        return sqlite3.connect(path)
+                """,
+            },
+        )
+        graph = CallGraph(project)
+        fn = graph.function("src/repro/x/io.py", "connect")
+        (site,) = list(graph.call_sites(fn))
+        assert site.target is None
+        assert site.dotted == "sqlite3.connect"

@@ -60,10 +60,12 @@ class TestSeededViolations:
         ]
 
     def test_rl004_lock_closure_and_blocking_call(self):
+        # the direct blocking call on line 16 moved to RL008's
+        # jurisdiction when the transitive check subsumed RL004's
         assert findings(f"{FIXTURES}/rl004_bad.py") == [
             (f"{FIXTURES}/rl004_bad.py", 7, 8, "RL004"),
             (f"{FIXTURES}/rl004_bad.py", 12, 22, "RL004"),
-            (f"{FIXTURES}/rl004_bad.py", 16, 5, "RL004"),
+            (f"{FIXTURES}/rl004_bad.py", 16, 5, "RL008"),
         ]
 
     def test_rl005_missing_envelope_and_smoke(self):
@@ -83,6 +85,10 @@ class TestSeededViolations:
             "rl003_clean.py",
             "rl004_clean.py",
             "bench_rl005_clean.py",
+            "rl006_clean.py",
+            "rl007_clean.py",
+            "rl008_clean.py",
+            "rl009_clean.py",
         ],
     )
     def test_clean_twins(self, twin):
@@ -95,8 +101,71 @@ class TestSeededViolations:
             "rl003_bad.py",
             "rl004_bad.py",
             "bench_rl005_bad.py",
+            "rl006_bad.py",
+            "rl007_bad.py",
+            "rl008_bad.py",
+            "rl009_bad.py",
         ):
             assert lint(f"{FIXTURES}/{bad}").exit_code == 1
+
+
+# ----------------------------------------------------------------------
+# the flow-sensitive rules: call graph + CFG dataflow
+# ----------------------------------------------------------------------
+class TestFlowRules:
+    def test_rl006_all_four_violation_shapes(self):
+        assert findings(f"{FIXTURES}/rl006_bad.py") == [
+            (f"{FIXTURES}/rl006_bad.py", 31, 17, "RL006"),
+            (f"{FIXTURES}/rl006_bad.py", 37, 17, "RL006"),
+            (f"{FIXTURES}/rl006_bad.py", 41, 20, "RL006"),
+            (f"{FIXTURES}/rl006_bad.py", 46, 18, "RL006"),
+        ]
+
+    def test_rl006_messages_name_the_chain_and_the_lock(self):
+        mutate, upgrade_chain, fork, upgrade = lint(
+            f"{FIXTURES}/rl006_bad.py", select=frozenset({"RL006"})
+        ).diagnostics
+        assert "'warm_cache'" in mutate.message
+        assert "'self._cache'" in mutate.message
+        assert "'rebuild'" in upgrade_chain.message
+        assert "write lock" in upgrade_chain.message
+        assert "ProcessPoolExecutor" in fork.message
+        assert "upgrading the read lock" in upgrade.message
+        assert "'self._lock'" in upgrade.message
+
+    def test_rl007_taint_reaches_every_sink_spelling(self):
+        assert findings(f"{FIXTURES}/rl007_bad.py") == [
+            (f"{FIXTURES}/rl007_bad.py", 6, 18, "RL007"),
+            (f"{FIXTURES}/rl007_bad.py", 11, 24, "RL007"),
+            (f"{FIXTURES}/rl007_bad.py", 15, 20, "RL007"),
+            (f"{FIXTURES}/rl007_bad.py", 19, 22, "RL007"),
+        ]
+
+    def test_rl007_message_points_at_the_fix(self):
+        diag = lint(f"{FIXTURES}/rl007_bad.py").diagnostics[0]
+        assert "quote_ident()" in diag.message
+        assert "parameters" in diag.message
+
+    def test_rl008_transitive_and_direct_blocking(self):
+        assert findings(f"{FIXTURES}/rl008_bad.py") == [
+            (f"{FIXTURES}/rl008_bad.py", 22, 12, "RL008"),
+            (f"{FIXTURES}/rl008_bad.py", 26, 5, "RL008"),
+        ]
+        transitive, direct = lint(f"{FIXTURES}/rl008_bad.py").diagnostics
+        assert "'load_page -> fetch_rows'" in transitive.message
+        assert "sqlite3.connect" in transitive.message
+        assert "time.sleep" in direct.message
+
+    def test_rl009_route_path_and_kind_drift(self):
+        assert findings(f"{FIXTURES}/rl009_bad.py") == [
+            (f"{FIXTURES}/rl009_bad.py", 19, 13, "RL009"),
+            (f"{FIXTURES}/rl009_bad.py", 35, 48, "RL009"),
+            (f"{FIXTURES}/rl009_bad.py", 35, 64, "RL009"),
+        ]
+        route, path, kind = lint(f"{FIXTURES}/rl009_bad.py").diagnostics
+        assert "/v1/orphan" in route.message
+        assert "/v1/missing" in path.message
+        assert "'Ghost'" in kind.message
 
 
 # ----------------------------------------------------------------------
@@ -112,13 +181,106 @@ class TestSuppression:
         result = lint(f"{FIXTURES}/suppressed.py", select=frozenset({"RL001"}))
         assert result.exit_code == 0
 
+    def test_ignore_for_the_wrong_code_is_reported_unused(self):
+        result = lint(f"{FIXTURES}/suppressed.py")
+        assert result.unused_suppressions == (
+            (f"{FIXTURES}/suppressed.py", 21, "RL001"),
+        )
+
+    def test_unused_suppressions_never_affect_the_exit_code(self):
+        # With only RL001 active, nothing fires: the bare ignore and the
+        # RL001-coded ignore both silence nothing, yet the run is clean.
+        result = lint(f"{FIXTURES}/suppressed.py", select=frozenset({"RL001"}))
+        assert result.unused_suppressions == (
+            (f"{FIXTURES}/suppressed.py", 14, ""),
+            (f"{FIXTURES}/suppressed.py", 21, "RL001"),
+        )
+        assert result.exit_code == 0
+
+    def test_coded_ignore_for_an_inactive_rule_is_not_judged(self):
+        # ignore[RL001] cannot be called unused by a run that never ran
+        # RL001; the bare/RL003 ignores are used by the RL003 findings.
+        result = lint(f"{FIXTURES}/suppressed.py", select=frozenset({"RL003"}))
+        assert result.unused_suppressions == ()
+
+    def test_doc_mentions_of_the_syntax_are_not_suppressions(self):
+        # The linter's own diagnostics module *documents* the ignore
+        # comment in docstrings and doc-comments; only genuine comment
+        # tokens opening with the directive may count.
+        result = lint("src/repro/analysis/diagnostics.py")
+        assert result.unused_suppressions == ()
+        assert result.suppressed == 0
+
+
+# ----------------------------------------------------------------------
+# the incremental result cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_warm_hit_reproduces_the_result_without_parsing(
+        self, tmp_path, monkeypatch
+    ):
+        cdir = tmp_path / "cache"
+        cold = lint(f"{FIXTURES}/rl003_bad.py", cache_dir=cdir)
+        assert cold.diagnostics
+
+        from repro.analysis.project import Project
+
+        def no_parse(self, rel, explicit):  # pragma: no cover - must not run
+            raise AssertionError("a cache hit must not parse any file")
+
+        monkeypatch.setattr(Project, "_parse", no_parse)
+        warm = lint(f"{FIXTURES}/rl003_bad.py", cache_dir=cdir)
+        assert warm == cold
+
+    def test_editing_a_file_invalidates_the_entry(self, tmp_path):
+        mod = tmp_path / "src" / "broken.py"
+        mod.parent.mkdir()
+        mod.write_text("def f(:\n", encoding="utf-8")
+        cdir = tmp_path / ".cache"
+
+        first = run_lint(tmp_path, ("src/broken.py",), cache_dir=cdir)
+        assert [d.code for d in first.diagnostics] == ["RL000"]
+        assert run_lint(tmp_path, ("src/broken.py",), cache_dir=cdir) == first
+
+        mod.write_text("def f():\n    return 1\n", encoding="utf-8")
+        fixed = run_lint(tmp_path, ("src/broken.py",), cache_dir=cdir)
+        assert fixed.diagnostics == ()
+
+    def test_rule_selection_is_part_of_the_key(self, tmp_path):
+        cdir = tmp_path / "cache"
+        full = lint(f"{FIXTURES}/rl003_bad.py", cache_dir=cdir)
+        narrow = lint(
+            f"{FIXTURES}/rl003_bad.py",
+            select=frozenset({"RL001"}),
+            cache_dir=cdir,
+        )
+        assert full.diagnostics and not narrow.diagnostics
+
+    def test_corrupt_entry_is_treated_as_a_miss(self, tmp_path):
+        cdir = tmp_path / "cache"
+        cold = lint(f"{FIXTURES}/rl003_bad.py", cache_dir=cdir)
+        for entry in cdir.glob("*.json"):
+            entry.write_text("not json", encoding="utf-8")
+        rerun = lint(f"{FIXTURES}/rl003_bad.py", cache_dir=cdir)
+        assert rerun == cold
+
 
 # ----------------------------------------------------------------------
 # select / ignore / registry
 # ----------------------------------------------------------------------
 class TestRuleSelection:
-    def test_registry_has_the_five_rules(self):
-        assert sorted(CHECKERS) == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+    def test_registry_has_the_nine_rules(self):
+        assert sorted(CHECKERS) == [
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL007",
+            "RL008",
+            "RL009",
+        ]
 
     def test_select_restricts(self):
         result = lint(f"{FIXTURES}/rl003_bad.py", select=frozenset({"RL001"}))
@@ -138,6 +300,13 @@ class TestRuleSelection:
 # the CLI surface
 # ----------------------------------------------------------------------
 class TestCli:
+    @pytest.fixture(autouse=True)
+    def _cache_in_tmp(self, tmp_path, monkeypatch):
+        """Keep the default-on result cache out of the real checkout."""
+        monkeypatch.setattr(
+            "repro.analysis.cli.DEFAULT_CACHE_DIR", str(tmp_path / "cache")
+        )
+
     def test_exit_codes(self, monkeypatch):
         monkeypatch.chdir(ROOT)
         assert lint_main([f"{FIXTURES}/rl003_clean.py"]) == 0
@@ -175,15 +344,37 @@ class TestCli:
         lint_main(["--stats", f"{FIXTURES}/suppressed.py"])
         stats = json.loads(capsys.readouterr().out.splitlines()[-1])
         assert stats["files_scanned"] == 1
-        assert stats["rules"] == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        assert stats["rules"] == [
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL007",
+            "RL008",
+            "RL009",
+        ]
         assert stats["findings"] == 1
         assert stats["suppressed"] == 2
+        assert stats["unused_suppressions"] == [
+            f"{FIXTURES}/suppressed.py:21 [RL001]"
+        ]
 
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for code in CHECKERS:
             assert code in out
+
+    def test_cache_dir_flag_and_no_cache(self, monkeypatch, tmp_path):
+        monkeypatch.chdir(ROOT)
+        cdir = tmp_path / "lint-cache"
+        args = ["--cache-dir", str(cdir), f"{FIXTURES}/rl003_bad.py"]
+        assert lint_main(args) == 1
+        assert any(p.name != "stat.json" for p in cdir.glob("*.json"))
+        assert lint_main(args) == 1  # warm hit, same verdict
+        assert lint_main(["--no-cache", f"{FIXTURES}/rl003_bad.py"]) == 1
 
     def test_module_entry_point(self):
         proc = subprocess.run(

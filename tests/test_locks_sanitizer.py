@@ -1,0 +1,129 @@
+"""The REPRO_SANITIZE runtime half of the lock discipline: every
+violation shape the static RL006 rule catches at lint time must raise
+:class:`LockSanitizerError` at run time instead of deadlocking."""
+
+import os
+import threading
+
+import pytest
+
+from repro.api.locks import (
+    LockSanitizerError,
+    RWLock,
+    consume_fork_violations,
+    held_locks_in_thread,
+)
+
+
+@pytest.fixture
+def sanitize(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+
+
+class TestViolationsRaise:
+    def test_upgrade_attempt(self, sanitize):
+        lock = RWLock()
+        with lock.read_locked():
+            with pytest.raises(LockSanitizerError, match="upgrade"):
+                lock.acquire_write()
+
+    def test_reentrant_read(self, sanitize):
+        lock = RWLock()
+        with lock.read_locked():
+            with pytest.raises(LockSanitizerError, match="reentrant read"):
+                lock.acquire_read()
+
+    def test_read_after_write(self, sanitize):
+        lock = RWLock()
+        with lock.write_locked():
+            with pytest.raises(LockSanitizerError, match="holding the write"):
+                lock.acquire_read()
+
+    def test_reentrant_write(self, sanitize):
+        lock = RWLock()
+        with lock.write_locked():
+            with pytest.raises(LockSanitizerError, match="reentrant write"):
+                lock.acquire_write()
+
+
+class TestCleanPatternsPass:
+    def test_sequential_read_then_write(self, sanitize):
+        lock = RWLock()
+        with lock.read_locked():
+            pass
+        with lock.write_locked():
+            pass
+        assert held_locks_in_thread() == {}
+
+    def test_two_distinct_locks_may_nest(self, sanitize):
+        a, b = RWLock(), RWLock()
+        with a.read_locked(), b.write_locked():
+            assert len(held_locks_in_thread()) == 2
+        assert held_locks_in_thread() == {}
+
+    def test_concurrent_readers_in_threads(self, sanitize):
+        lock = RWLock()
+        errors = []
+
+        def reader():
+            try:
+                with lock.read_locked():
+                    pass
+            except LockSanitizerError as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        lock = RWLock()
+        # reentrant reads don't deadlock by themselves; with the
+        # sanitizer off they must not raise either
+        lock.acquire_read()
+        lock.acquire_read()
+        lock.release_read()
+        lock.release_read()
+        assert held_locks_in_thread() == {}
+
+    def test_release_discards_even_if_env_flips_mid_hold(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        lock = RWLock()
+        lock.acquire_read()
+        monkeypatch.delenv("REPRO_SANITIZE")
+        lock.release_read()
+        assert held_locks_in_thread() == {}
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="platform has no fork")
+class TestForkGuard:
+    def test_fork_while_held_is_recorded(self, sanitize):
+        lock = RWLock()
+        with lock.read_locked():
+            pass  # install the guard via a sanitized acquisition
+        lock.acquire_read()
+        try:
+            pid = os.fork()
+            if pid == 0:  # pragma: no cover - child exits immediately
+                os._exit(0)
+            os.waitpid(pid, 0)
+        finally:
+            lock.release_read()
+        violations = consume_fork_violations()
+        assert len(violations) == 1
+        assert "fork() while this thread holds an RWLock" in violations[0]
+
+    def test_fork_after_release_is_clean(self, sanitize):
+        lock = RWLock()
+        with lock.write_locked():
+            pass
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - child exits immediately
+            os._exit(0)
+        _, status = os.waitpid(pid, 0)
+        assert status == 0
+        assert consume_fork_violations() == []
